@@ -1,0 +1,14 @@
+* 2:1 pass-transistor mux driven by two inverters.
+* Partition with:  dune exec bin/qwm_sim.exe -- -p examples/decks/mux_cell.sp
+M1 na a gnd nmos W=0.8u
+M2 vdd a na pmos W=1.6u
+M3 nb b gnd nmos W=0.8u
+M4 vdd b nb pmos W=1.6u
+* pass gates share the output node: one channel-connected stage
+M5 out s na nmos W=1.2u
+M6 out sb nb nmos W=1.2u
+Wout out far W=0.6u L=60u
+Cfar far 15f
+.input a b s sb
+.output far
+.end
