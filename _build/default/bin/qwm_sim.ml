@@ -1,0 +1,150 @@
+(* qwm_sim: simulate a logic stage with the QWM engine, the SPICE-like
+   reference engine, or both, and report delay/slew/accuracy. *)
+
+open Tqwm_device
+open Tqwm_circuit
+module Qwm = Tqwm_core.Qwm
+module Engine = Tqwm_spice.Engine
+module Transient = Tqwm_spice.Transient
+module Measure = Tqwm_wave.Measure
+module Waveform = Tqwm_wave.Waveform
+
+let ps = 1e12
+
+let fmt_delay = function
+  | Some d -> Printf.sprintf "%.2f ps" (d *. ps)
+  | None -> "none"
+
+let print_waveform_samples name w ~count =
+  let t0 = Waveform.start_time w and t1 = Waveform.end_time w in
+  Printf.printf "# waveform %s (time_ps voltage)\n" name;
+  for i = 0 to count - 1 do
+    let t = t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (count - 1)) in
+    Printf.printf "%.2f %.4f\n" (t *. ps) (Waveform.value_at w t)
+  done
+
+let run_spice ~model ~dt ~waveform scenario =
+  let config = { Transient.default_config with Transient.dt } in
+  let report = Engine.run ~model ~config scenario in
+  Printf.printf "spice: delay=%s slew=%s steps=%d newton=%d runtime=%.4fs\n"
+    (fmt_delay report.Engine.delay) (fmt_delay report.Engine.slew)
+    report.Engine.result.Transient.stats.Transient.steps
+    report.Engine.result.Transient.stats.Transient.nonlinear_iterations
+    report.Engine.runtime_seconds;
+  if waveform then print_waveform_samples "spice.out" report.Engine.output ~count:60;
+  report
+
+let run_qwm ~model ~waveform scenario =
+  let report = Qwm.run ~model scenario in
+  Printf.printf "qwm:   delay=%s slew=%s regions=%d newton=%d runtime=%.5fs\n"
+    (fmt_delay report.Qwm.delay) (fmt_delay report.Qwm.slew)
+    report.Qwm.stats.Tqwm_core.Qwm_solver.regions
+    report.Qwm.stats.Tqwm_core.Qwm_solver.newton_iterations report.Qwm.runtime_seconds;
+  Printf.printf "qwm:   critical points (ps): %s\n"
+    (String.concat ", "
+       (List.map (fun t -> Printf.sprintf "%.2f" (t *. ps)) report.Qwm.critical_times));
+  if waveform then
+    print_waveform_samples "qwm.out" (Qwm.output_waveform report ~dt:2e-12) ~count:60;
+  report
+
+(* --partition: parse a netlist deck and report its logic stages *)
+let partition_netlist path =
+  let tech = Tech.cmosp35 in
+  match Netlist_parser.parse_file tech path with
+  | exception Netlist_parser.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" path line message;
+    1
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | net ->
+    let gate_load (d : Device.t) = Capacitance.gate tech ~w:d.Device.w ~l:d.Device.l in
+    let extraction = Ccc.extract ~gate_load net in
+    Printf.printf "%s: %d nodes, %d elements -> %d logic stages\n" path
+      net.Netlist.num_nodes
+      (Array.length net.Netlist.elements)
+      (Array.length extraction.Ccc.instances);
+    Array.iter
+      (fun inst ->
+        let stage = inst.Ccc.stage in
+        Printf.printf "stage %d: %d edges, inputs {%s}, outputs {%s}\n"
+          inst.Ccc.component
+          (Array.length stage.Stage.edges)
+          (String.concat ", " (List.map fst inst.Ccc.input_nets))
+          (String.concat ", "
+             (List.map (Stage.node_name stage) stage.Stage.outputs));
+        Format.printf "%a" Stage.pp stage)
+      extraction.Ccc.instances;
+    0
+
+let main circuit engine dt_ps waveform ramp_ps partition =
+  match partition with
+  | Some path -> partition_netlist path
+  | None ->
+  let tech = Tech.cmosp35 in
+  match Catalog.scenario tech circuit with
+  | exception Not_found ->
+    Printf.eprintf "unknown circuit %S; examples: %s\n" circuit
+      (String.concat ", " Catalog.examples);
+    1
+  | scenario ->
+    let scenario =
+      match ramp_ps with
+      | None -> scenario
+      | Some r -> Scenario.with_ramp_input ~rise_time:(r *. 1e-12) scenario
+    in
+    Printf.printf "circuit %s: %d nodes, %d edges, window %.0f ps\n"
+      scenario.Scenario.name scenario.Scenario.stage.Stage.num_nodes
+      (Array.length scenario.Scenario.stage.Stage.edges)
+      (scenario.Scenario.t_end *. ps);
+    let golden = Models.golden tech in
+    let dt = dt_ps *. 1e-12 in
+    (match engine with
+    | `Spice -> ignore (run_spice ~model:golden ~dt ~waveform scenario)
+    | `Qwm -> ignore (run_qwm ~model:(Models.table tech) ~waveform scenario)
+    | `Both ->
+      let sp = run_spice ~model:golden ~dt ~waveform scenario in
+      let qw = run_qwm ~model:(Models.table tech) ~waveform scenario in
+      (match (sp.Engine.delay, qw.Qwm.delay) with
+      | Some a, Some b ->
+        Printf.printf "delay error: %.2f%%  speed-up: %.1fx\n"
+          (100.0 *. Float.abs (b -. a) /. a)
+          (sp.Engine.runtime_seconds /. qw.Qwm.runtime_seconds)
+      | (Some _ | None), _ -> ()));
+    0
+
+open Cmdliner
+
+let circuit =
+  let doc = "Circuit to simulate (inv, nand<k>, nor<k>, stack<k>, manchester<bits>, decoder<levels>, ckt<len>_<seed>)." in
+  Arg.(value & pos 0 string "nand3" & info [] ~docv:"CIRCUIT" ~doc)
+
+let engine =
+  let doc = "Engine: qwm, spice, or both." in
+  Arg.(value
+    & opt (enum [ ("qwm", `Qwm); ("spice", `Spice); ("both", `Both) ]) `Both
+    & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let dt =
+  let doc = "SPICE-engine step size in picoseconds." in
+  Arg.(value & opt float 1.0 & info [ "dt" ] ~docv:"PS" ~doc)
+
+let waveform =
+  let doc = "Print output waveform samples." in
+  Arg.(value & flag & info [ "w"; "waveform" ] ~doc)
+
+let ramp =
+  let doc = "Drive the switching input with a ramp of this rise time (ps) instead of a step." in
+  Arg.(value & opt (some float) None & info [ "ramp" ] ~docv:"PS" ~doc)
+
+let partition =
+  let doc = "Parse a SPICE-flavoured netlist file and print its channel-connected logic stages instead of simulating." in
+  Arg.(value & opt (some file) None & info [ "p"; "partition" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "transistor-level timing analysis by piecewise quadratic waveform matching" in
+  Cmd.v
+    (Cmd.info "qwm_sim" ~version:"1.0.0" ~doc)
+    Term.(const main $ circuit $ engine $ dt $ waveform $ ramp $ partition)
+
+let () = exit (Cmd.eval' cmd)

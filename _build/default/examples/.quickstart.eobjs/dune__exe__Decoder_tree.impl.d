@@ -1,0 +1,1 @@
+examples/decoder_tree.ml: Array Capacitance Chain Float List Models Path Printf Scenario Stage Tech Tqwm_circuit Tqwm_core Tqwm_device Tqwm_interconnect Tqwm_spice Tqwm_wave

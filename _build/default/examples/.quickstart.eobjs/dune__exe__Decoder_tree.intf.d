@@ -1,0 +1,1 @@
+examples/decoder_tree.mli:

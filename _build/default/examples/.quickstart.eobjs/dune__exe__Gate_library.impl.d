@@ -1,0 +1,1 @@
+examples/gate_library.ml: List Models Printf Scenario Tech Tqwm_circuit Tqwm_core Tqwm_device

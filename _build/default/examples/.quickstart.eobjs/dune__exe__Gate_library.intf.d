@@ -1,0 +1,1 @@
+examples/gate_library.mli:

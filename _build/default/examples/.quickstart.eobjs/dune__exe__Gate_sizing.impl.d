@@ -1,0 +1,1 @@
+examples/gate_sizing.ml: Array Builders Format Models Printf Scenario Stage Tech Tqwm_circuit Tqwm_core Tqwm_device Tqwm_sta Unix

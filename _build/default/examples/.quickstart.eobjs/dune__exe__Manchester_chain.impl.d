@@ -1,0 +1,1 @@
+examples/manchester_chain.ml: Float List Models Printf Scenario String Tech Tqwm_circuit Tqwm_core Tqwm_device Tqwm_spice Tqwm_wave

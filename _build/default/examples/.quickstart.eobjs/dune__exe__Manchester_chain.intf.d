@@ -1,0 +1,1 @@
+examples/manchester_chain.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float List Models Printf Scenario Tech Tqwm_circuit Tqwm_core Tqwm_device Tqwm_spice Tqwm_wave

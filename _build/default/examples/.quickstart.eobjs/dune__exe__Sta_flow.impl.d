@@ -1,0 +1,1 @@
+examples/sta_flow.ml: Array Capacitance Ccc Device Format List Models Netlist Printf Scenario Stage String Tech Tqwm_circuit Tqwm_device Tqwm_sta

@@ -1,0 +1,1 @@
+examples/sta_flow.mli:

@@ -1,0 +1,66 @@
+(* Memory decoder tree (paper Example 3 / Fig. 10): pass transistors
+   separated by wires whose length doubles at each tree level. QWM reduces
+   each wire to an O'Brien-Savarino pi macromodel (the paper builds the
+   same macromodels "using the AWE approach") while the reference engine
+   simulates the full distributed RC ladders.
+
+   Run with: dune exec examples/decoder_tree.exe *)
+
+open Tqwm_device
+open Tqwm_circuit
+module Pi_model = Tqwm_interconnect.Pi_model
+module Awe = Tqwm_interconnect.Awe
+module Rc_tree = Tqwm_interconnect.Rc_tree
+
+let () =
+  let tech = Tech.cmosp35 in
+  let levels = 3 in
+  let scenario = Scenario.decoder ~levels tech in
+
+  (* the interconnect substrate on its own: the last (longest) wire *)
+  let wire_l = 50e-6 *. (2.0 ** float_of_int (levels - 1)) in
+  let r = Capacitance.wire_resistance tech ~w:0.6e-6 ~l:wire_l in
+  let c = Capacitance.wire_total tech ~w:0.6e-6 ~l:wire_l in
+  let ladder = Rc_tree.of_ladder ~r_total:r ~c_total:c ~segments:16 in
+  let far = Rc_tree.num_nodes ladder - 1 in
+  let pi = Pi_model.of_tree ladder in
+  let awe = Awe.of_tree ladder ~node:far in
+  Printf.printf "longest wire (%.0f um): R=%.1f ohm, C=%.1f fF\n" (wire_l *. 1e6) r
+    (c *. 1e15);
+  Printf.printf "  Elmore delay %.2f ps, AWE 50%% delay %.2f ps\n"
+    (Rc_tree.elmore ladder far *. 1e12)
+    (Awe.delay_to awe ~level:0.5 *. 1e12);
+  Printf.printf "  pi model: C_near=%.2f fF, R=%.1f ohm, C_far=%.2f fF\n"
+    (pi.Pi_model.c_near *. 1e15) pi.Pi_model.r (pi.Pi_model.c_far *. 1e15);
+
+  (* full path: QWM-with-pi-models vs SPICE-with-ladders *)
+  let golden = Models.golden tech in
+  let table = Models.table tech in
+  let spice = Tqwm_spice.Engine.run ~model:golden scenario in
+  let qwm = Tqwm_core.Qwm.run ~model:table scenario in
+  let chain = qwm.Tqwm_core.Qwm.lowering.Path.chain in
+  Printf.printf "\ndecoder path: %d stage edges -> %d chain edges after pi reduction\n"
+    (Array.length scenario.Scenario.stage.Stage.edges)
+    (Chain.length chain);
+  (match (spice.Tqwm_spice.Engine.delay, qwm.Tqwm_core.Qwm.delay) with
+  | Some a, Some b ->
+    Printf.printf "delay: spice %.2f ps, qwm %.2f ps (%.2f%% error, %.1fx speed-up)\n"
+      (a *. 1e12) (b *. 1e12)
+      (100.0 *. Float.abs (b -. a) /. a)
+      (spice.Tqwm_spice.Engine.runtime_seconds /. qwm.Tqwm_core.Qwm.runtime_seconds)
+  | (Some _ | None), _ -> print_endline "delay measurement missing");
+
+  (* the closely-spaced waveform pairs of Fig. 10: both ends of each wire *)
+  Printf.printf "\n%8s" "t(ps)";
+  List.iter (fun (name, _) -> Printf.printf "  %6s" name) qwm.Tqwm_core.Qwm.node_quadratics;
+  print_newline ();
+  List.iter
+    (fun t_ps ->
+      Printf.printf "%8.0f" t_ps;
+      List.iter
+        (fun (_, q) ->
+          Printf.printf "  %6.2f"
+            (Tqwm_wave.Waveform.quadratic_value_at q (t_ps *. 1e-12)))
+        qwm.Tqwm_core.Qwm.node_quadratics;
+      print_newline ())
+    [ 0.0; 25.0; 50.0; 100.0; 150.0; 250.0; 400.0 ]

@@ -1,0 +1,67 @@
+(* Characterize a small standard-cell library with QWM: delay and output
+   slew per gate across output loads and input slews -- the kind of
+   on-the-fly stage evaluation the paper motivates (cells whose outputs
+   are not gate inputs cannot be pre-characterized; §I).
+
+   Run with: dune exec examples/gate_library.exe *)
+
+open Tqwm_device
+open Tqwm_circuit
+
+let () =
+  let tech = Tech.cmosp35 in
+  let table = Models.table tech in
+  let ps = 1e12 in
+  let gates =
+    [
+      ("inv", fun load -> Scenario.inverter_falling ~load tech);
+      ("nand2", fun load -> Scenario.nand_falling ~n:2 ~load tech);
+      ("nand3", fun load -> Scenario.nand_falling ~n:3 ~load tech);
+      ("nand4", fun load -> Scenario.nand_falling ~n:4 ~load tech);
+      ("nor2", fun load -> Scenario.nor_rising ~n:2 ~load tech);
+      ("nor3", fun load -> Scenario.nor_rising ~n:3 ~load tech);
+    ]
+  in
+  let loads = [ 5e-15; 10e-15; 20e-15; 40e-15 ] in
+  let slews = [ None; Some 30e-12; Some 80e-12 ] in
+  (* process-corner spread first: the same gate at fast/typical/slow *)
+  Printf.printf "corner spread (nand3, 10 fF, step input):\n";
+  List.iter
+    (fun corner ->
+      let tech' = Tech.corner tech corner in
+      let model = Models.table tech' in
+      let report = Tqwm_core.Qwm.run ~model (Scenario.nand_falling ~n:3 tech') in
+      match report.Tqwm_core.Qwm.delay with
+      | Some d -> Printf.printf "  %-8s %8.2f ps\n" (Tech.corner_name corner) (d *. ps)
+      | None -> Printf.printf "  %-8s (no crossing)\n" (Tech.corner_name corner))
+    [ Tech.Fast; Tech.Typical; Tech.Slow ];
+  print_newline ();
+  Printf.printf "%-7s %-9s %-10s %10s %10s %9s\n" "gate" "load(fF)" "input" "delay(ps)"
+    "slew(ps)" "regions";
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun load ->
+          List.iter
+            (fun slew ->
+              let scenario = make load in
+              let scenario, input_desc =
+                match slew with
+                | None -> (scenario, "step")
+                | Some rise_time ->
+                  ( Scenario.with_ramp_input ~rise_time scenario,
+                    Printf.sprintf "%.0fps ramp" (rise_time *. ps) )
+              in
+              let report = Tqwm_core.Qwm.run ~model:table scenario in
+              let show = function
+                | Some x -> Printf.sprintf "%10.2f" (x *. ps)
+                | None -> "      none"
+              in
+              Printf.printf "%-7s %-9.1f %-10s %s %s %9d\n" name (load *. 1e15)
+                input_desc
+                (show report.Tqwm_core.Qwm.delay)
+                (show report.Tqwm_core.Qwm.slew)
+                report.Tqwm_core.Qwm.stats.Tqwm_core.Qwm_solver.regions)
+            slews)
+        loads)
+    gates

@@ -1,0 +1,49 @@
+(* Manchester carry chain (paper Example 2 / Fig. 9): the carry nodes are
+   precharged; the first pull-down switches and the discharge cascades
+   through the pass-transistor chain. This is the 6-NMOS-stack workload
+   whose node waveforms the paper plots.
+
+   Run with: dune exec examples/manchester_chain.exe *)
+
+open Tqwm_device
+open Tqwm_circuit
+
+let () =
+  let tech = Tech.cmosp35 in
+  let bits = 5 in
+  let scenario = Scenario.manchester ~bits tech in
+  let golden = Models.golden tech in
+  let table = Models.table tech in
+
+  let spice = Tqwm_spice.Engine.run ~model:golden scenario in
+  let qwm = Tqwm_core.Qwm.run ~model:table scenario in
+
+  let ps = 1e12 in
+  Printf.printf "Manchester carry chain, %d bit slices (a %d-transistor stack)\n" bits
+    (bits + 1);
+  Printf.printf "critical points (turn-on cascade): %s ps\n"
+    (String.concat ", "
+       (List.map (fun t -> Printf.sprintf "%.1f" (t *. ps)) qwm.Tqwm_core.Qwm.critical_times));
+
+  (* carry-node waveforms: QWM quadratic pieces vs the SPICE trace *)
+  Printf.printf "\n%8s" "t(ps)";
+  List.iter (fun (name, _) -> Printf.printf "  %7s" name) qwm.Tqwm_core.Qwm.node_quadratics;
+  Printf.printf "  (QWM; SPICE carry-out in last column)\n";
+  List.iter
+    (fun t_ps ->
+      let t = t_ps *. 1e-12 in
+      Printf.printf "%8.0f" t_ps;
+      List.iter
+        (fun (_, q) ->
+          Printf.printf "  %7.3f" (Tqwm_wave.Waveform.quadratic_value_at q t))
+        qwm.Tqwm_core.Qwm.node_quadratics;
+      Printf.printf "  %7.3f\n"
+        (Tqwm_wave.Waveform.value_at spice.Tqwm_spice.Engine.output t))
+    [ 0.0; 10.0; 25.0; 50.0; 75.0; 100.0; 150.0; 200.0; 300.0 ];
+
+  match (spice.Tqwm_spice.Engine.delay, qwm.Tqwm_core.Qwm.delay) with
+  | Some a, Some b ->
+    Printf.printf "\ncarry-out delay: spice %.2f ps, qwm %.2f ps (%.2f%% error)\n"
+      (a *. ps) (b *. ps)
+      (100.0 *. Float.abs (b -. a) /. a)
+  | (Some _ | None), _ -> print_endline "\ndelay measurement missing"

@@ -1,0 +1,56 @@
+(* Quickstart: evaluate the falling transition of a 3-input NAND with QWM
+   and compare it against the SPICE-like reference engine.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Tqwm_device
+open Tqwm_circuit
+
+let () =
+  let tech = Tech.cmosp35 in
+
+  (* 1. Device models: the analytic "golden" physics for the reference
+     engine, and the tabular model QWM uses (characterized from the golden
+     one, paper §V-A). *)
+  let golden = Models.golden tech in
+  let table = Models.table tech in
+
+  (* 2. A workload: worst-case falling transition of a NAND3 (all inputs
+     high, the bottom input switching at t = 0). *)
+  let scenario = Scenario.nand_falling ~n:3 tech in
+
+  (* 3. Reference: transient simulation with 1 ps steps. *)
+  let spice = Tqwm_spice.Engine.run ~model:golden scenario in
+
+  (* 4. QWM: a handful of algebraic solves at the critical points. *)
+  let qwm = Tqwm_core.Qwm.run ~model:table scenario in
+
+  let ps = 1e12 in
+  let show = function Some d -> Printf.sprintf "%.2f ps" (d *. ps) | None -> "none" in
+  Printf.printf "NAND3 falling-output delay\n";
+  Printf.printf "  spice : %s   (%d time steps, %.4f s)\n"
+    (show spice.Tqwm_spice.Engine.delay)
+    spice.Tqwm_spice.Engine.result.Tqwm_spice.Transient.stats.Tqwm_spice.Transient.steps
+    spice.Tqwm_spice.Engine.runtime_seconds;
+  Printf.printf "  qwm   : %s   (%d regions, %.5f s)\n"
+    (show qwm.Tqwm_core.Qwm.delay)
+    qwm.Tqwm_core.Qwm.stats.Tqwm_core.Qwm_solver.regions
+    qwm.Tqwm_core.Qwm.runtime_seconds;
+  (match (spice.Tqwm_spice.Engine.delay, qwm.Tqwm_core.Qwm.delay) with
+  | Some a, Some b ->
+    Printf.printf "  delay error %.2f%%, speed-up %.1fx\n"
+      (100.0 *. Float.abs (b -. a) /. a)
+      (spice.Tqwm_spice.Engine.runtime_seconds /. qwm.Tqwm_core.Qwm.runtime_seconds)
+  | (Some _ | None), _ -> ());
+
+  (* 5. Waveforms are first-class: sample QWM's piecewise-quadratic output
+     next to the SPICE trace. *)
+  Printf.printf "\n  t(ps)   spice(V)  qwm(V)\n";
+  let qwm_wave = Tqwm_core.Qwm.output_waveform qwm ~dt:1e-12 in
+  List.iter
+    (fun t_ps ->
+      let t = t_ps *. 1e-12 in
+      Printf.printf "  %5.0f   %7.3f  %7.3f\n" t_ps
+        (Tqwm_wave.Waveform.value_at spice.Tqwm_spice.Engine.output t)
+        (Tqwm_wave.Waveform.value_at qwm_wave t))
+    [ 0.0; 20.0; 40.0; 60.0; 80.0; 120.0; 160.0 ]

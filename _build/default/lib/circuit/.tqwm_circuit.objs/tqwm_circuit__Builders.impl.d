@@ -1,0 +1,1 @@
+lib/circuit/builders.ml: Array Capacitance Device List Option Printf Stage String Tech Tqwm_device

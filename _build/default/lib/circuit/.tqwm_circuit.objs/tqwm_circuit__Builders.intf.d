@@ -1,0 +1,1 @@
+lib/circuit/builders.mli: Stage Tech Tqwm_device

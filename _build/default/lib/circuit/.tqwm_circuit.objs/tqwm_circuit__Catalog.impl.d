@@ -1,0 +1,1 @@
+lib/circuit/catalog.ml: Array Random_circuits Scenario String Tqwm_device

@@ -1,0 +1,1 @@
+lib/circuit/catalog.mli: Scenario Tqwm_device

@@ -1,0 +1,1 @@
+lib/circuit/ccc.ml: Array Fun Hashtbl List Netlist Option Stage

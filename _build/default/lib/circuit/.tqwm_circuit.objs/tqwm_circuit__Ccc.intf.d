@@ -1,0 +1,1 @@
+lib/circuit/ccc.mli: Netlist Stage Tqwm_device

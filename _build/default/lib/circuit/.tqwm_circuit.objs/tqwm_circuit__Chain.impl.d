@@ -1,0 +1,1 @@
+lib/circuit/chain.ml: Array Format List Tqwm_device

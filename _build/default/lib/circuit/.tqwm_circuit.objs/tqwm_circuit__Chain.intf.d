@@ -1,0 +1,1 @@
+lib/circuit/chain.mli: Format Tqwm_device

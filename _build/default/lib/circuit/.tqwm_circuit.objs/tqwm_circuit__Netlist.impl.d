@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array List String Tqwm_device

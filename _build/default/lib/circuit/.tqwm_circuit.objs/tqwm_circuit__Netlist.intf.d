@@ -1,0 +1,1 @@
+lib/circuit/netlist.mli: Tqwm_device

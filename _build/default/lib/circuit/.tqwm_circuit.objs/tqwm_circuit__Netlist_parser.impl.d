@@ -1,0 +1,1 @@
+lib/circuit/netlist_parser.ml: Hashtbl List Netlist Option Printf String Tqwm_device

@@ -1,0 +1,1 @@
+lib/circuit/netlist_parser.mli: Netlist Tqwm_device

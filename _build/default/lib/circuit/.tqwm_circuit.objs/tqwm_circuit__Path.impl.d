@@ -1,0 +1,1 @@
+lib/circuit/path.ml: Array Chain List Stage Tqwm_device

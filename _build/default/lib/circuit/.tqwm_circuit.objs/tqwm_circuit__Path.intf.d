@@ -1,0 +1,1 @@
+lib/circuit/path.mli: Chain Stage Tqwm_device

@@ -1,0 +1,1 @@
+lib/circuit/random_circuits.ml: Array List Printf Random Scenario Tqwm_device

@@ -1,0 +1,1 @@
+lib/circuit/random_circuits.mli: Scenario Tqwm_device

@@ -1,0 +1,1 @@
+lib/circuit/scenario.ml: Array Builders Chain Device List Measure Mosfet Option Path Printf Source Stage Tech Tqwm_device Tqwm_wave

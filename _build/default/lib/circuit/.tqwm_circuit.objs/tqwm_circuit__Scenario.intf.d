@@ -1,0 +1,1 @@
+lib/circuit/scenario.mli: Chain Device_model Measure Path Source Stage Tech Tqwm_device Tqwm_wave

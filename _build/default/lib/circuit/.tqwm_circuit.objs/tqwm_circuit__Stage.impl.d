@@ -1,0 +1,1 @@
+lib/circuit/stage.ml: Array Format Fun Hashtbl List Tqwm_device

@@ -1,0 +1,234 @@
+open Tqwm_device
+
+let default_load = 10e-15
+
+let min_widths (tech : Tech.t) = (tech.w_min, 2.0 *. tech.w_min)
+
+let inverter ?wn ?wp ?(load = default_load) (tech : Tech.t) =
+  let wn_min, wp_min = min_widths tech in
+  let wn = Option.value wn ~default:wn_min and wp = Option.value wp ~default:wp_min in
+  let b = Stage.create () in
+  let out = Stage.add_node b "out" in
+  Stage.add_edge b ~gate:"a1" (Device.nmos ~w:wn tech) ~src:out ~snk:(Stage.ground b);
+  Stage.add_edge b ~gate:"a1" (Device.pmos ~w:wp tech) ~src:(Stage.supply b) ~snk:out;
+  Stage.add_load b out load;
+  Stage.mark_output b out;
+  Stage.finish b
+
+let series_pull_down b tech ~w ~n ~top ~input_name =
+  (* n series NMOS from ground up to [top]; returns internal nodes bottom-up *)
+  let rec build below i acc =
+    if i > n then List.rev acc
+    else begin
+      let above = if i = n then top else Stage.add_node b (Printf.sprintf "x%d" i) in
+      Stage.add_edge b ~gate:(input_name i) (Device.nmos ~w tech) ~src:above ~snk:below;
+      build above (i + 1) (if i = n then acc else above :: acc)
+    end
+  in
+  build (Stage.ground b) 1 []
+
+let nand ~n ?wn ?wp ?(load = default_load) (tech : Tech.t) =
+  if n < 1 then invalid_arg "Builders.nand: n < 1";
+  let wn_min, wp_min = min_widths tech in
+  let wn = Option.value wn ~default:wn_min and wp = Option.value wp ~default:wp_min in
+  let b = Stage.create () in
+  let out = Stage.add_node b "out" in
+  let input i = Printf.sprintf "a%d" i in
+  let (_ : Stage.node list) =
+    series_pull_down b tech ~w:wn ~n ~top:out ~input_name:input
+  in
+  for i = 1 to n do
+    Stage.add_edge b ~gate:(input i) (Device.pmos ~w:wp tech) ~src:(Stage.supply b)
+      ~snk:out
+  done;
+  Stage.add_load b out load;
+  Stage.mark_output b out;
+  Stage.finish b
+
+let nor ~n ?wn ?wp ?(load = default_load) (tech : Tech.t) =
+  if n < 1 then invalid_arg "Builders.nor: n < 1";
+  let wn_min, wp_min = min_widths tech in
+  let wn = Option.value wn ~default:wn_min and wp = Option.value wp ~default:wp_min in
+  let b = Stage.create () in
+  let out = Stage.add_node b "out" in
+  let input i = Printf.sprintf "a%d" i in
+  (* series PMOS from the supply down to the output; a1 next to VDD *)
+  let rec build above i =
+    if i > n then ()
+    else begin
+      let below = if i = n then out else Stage.add_node b (Printf.sprintf "y%d" i) in
+      Stage.add_edge b ~gate:(input i) (Device.pmos ~w:wp tech) ~src:above ~snk:below;
+      build below (i + 1)
+    end
+  in
+  build (Stage.supply b) 1;
+  for i = 1 to n do
+    Stage.add_edge b ~gate:(input i) (Device.nmos ~w:wn tech) ~src:out
+      ~snk:(Stage.ground b)
+  done;
+  Stage.add_load b out load;
+  Stage.mark_output b out;
+  Stage.finish b
+
+let nand_pass ~n ?wn ?wp ?(wire_length = 30e-6) ?(load = default_load) (tech : Tech.t) =
+  if n < 1 then invalid_arg "Builders.nand_pass: n < 1";
+  let wn_min, wp_min = min_widths tech in
+  let wn = Option.value wn ~default:wn_min and wp = Option.value wp ~default:wp_min in
+  let b = Stage.create () in
+  let out = Stage.add_node b "out" in
+  let mid = Stage.add_node b "mid" in
+  let far = Stage.add_node b "far" in
+  let input i = Printf.sprintf "a%d" i in
+  let (_ : Stage.node list) =
+    series_pull_down b tech ~w:wn ~n ~top:out ~input_name:input
+  in
+  for i = 1 to n do
+    Stage.add_edge b ~gate:(input i) (Device.pmos ~w:wp tech) ~src:(Stage.supply b)
+      ~snk:out
+  done;
+  (* the pass transistor and wire of Fig. 1: channel-connected, so part of
+     this stage rather than a separately characterizable cell *)
+  Stage.add_edge b ~gate:"en" (Device.nmos ~w:(2.0 *. wn) tech) ~src:mid ~snk:out;
+  Stage.add_edge b (Device.wire ~w:0.6e-6 ~l:wire_length) ~src:far ~snk:mid;
+  Stage.add_load b far load;
+  Stage.mark_output b far;
+  Stage.finish b
+
+let aoi21 ?wn ?wp ?(load = default_load) (tech : Tech.t) =
+  let wn_min, wp_min = min_widths tech in
+  let wn = Option.value wn ~default:(2.0 *. wn_min)
+  and wp = Option.value wp ~default:(2.0 *. wp_min) in
+  let b = Stage.create () in
+  let out = Stage.add_node b "out" in
+  let x = Stage.add_node b "x" in
+  let y = Stage.add_node b "y" in
+  (* pull-down: (a series b) parallel c *)
+  Stage.add_edge b ~gate:"b" (Device.nmos ~w:wn tech) ~src:x ~snk:(Stage.ground b);
+  Stage.add_edge b ~gate:"a" (Device.nmos ~w:wn tech) ~src:out ~snk:x;
+  Stage.add_edge b ~gate:"c" (Device.nmos ~w:wn tech) ~src:out ~snk:(Stage.ground b);
+  (* pull-up: (a parallel b) series c *)
+  Stage.add_edge b ~gate:"a" (Device.pmos ~w:wp tech) ~src:(Stage.supply b) ~snk:y;
+  Stage.add_edge b ~gate:"b" (Device.pmos ~w:wp tech) ~src:(Stage.supply b) ~snk:y;
+  Stage.add_edge b ~gate:"c" (Device.pmos ~w:wp tech) ~src:y ~snk:out;
+  Stage.add_load b out load;
+  Stage.mark_output b out;
+  Stage.finish b
+
+let oai21 ?wn ?wp ?(load = default_load) (tech : Tech.t) =
+  let wn_min, wp_min = min_widths tech in
+  let wn = Option.value wn ~default:(2.0 *. wn_min)
+  and wp = Option.value wp ~default:(2.0 *. wp_min) in
+  let b = Stage.create () in
+  let out = Stage.add_node b "out" in
+  let x = Stage.add_node b "x" in
+  let y = Stage.add_node b "y" in
+  (* pull-up: (a series b... a parallel b) in series with c is the AOI
+     dual: here (a OR b) AND c -> pull-up = (a series b) parallel? no:
+     out = not ((a or b) and c): pull-up conducts when (a or b) and c is
+     false: (!a and !b) or !c -> series pair a,b parallel with c *)
+  Stage.add_edge b ~gate:"a" (Device.pmos ~w:wp tech) ~src:(Stage.supply b) ~snk:y;
+  Stage.add_edge b ~gate:"b" (Device.pmos ~w:wp tech) ~src:y ~snk:out;
+  Stage.add_edge b ~gate:"c" (Device.pmos ~w:wp tech) ~src:(Stage.supply b) ~snk:out;
+  (* pull-down: (a parallel b) series c *)
+  Stage.add_edge b ~gate:"a" (Device.nmos ~w:wn tech) ~src:x ~snk:(Stage.ground b);
+  Stage.add_edge b ~gate:"b" (Device.nmos ~w:wn tech) ~src:x ~snk:(Stage.ground b);
+  Stage.add_edge b ~gate:"c" (Device.nmos ~w:wn tech) ~src:out ~snk:x;
+  Stage.add_load b out load;
+  Stage.mark_output b out;
+  Stage.finish b
+
+let nmos_stack ~widths ?(load = default_load) (tech : Tech.t) =
+  let n = Array.length widths in
+  if n < 1 then invalid_arg "Builders.nmos_stack: empty widths";
+  let b = Stage.create () in
+  let out = Stage.add_node b "out" in
+  let rec build below i =
+    if i > n then ()
+    else begin
+      let above = if i = n then out else Stage.add_node b (Printf.sprintf "x%d" i) in
+      Stage.add_edge b
+        ~gate:(Printf.sprintf "g%d" i)
+        (Device.nmos ~w:widths.(i - 1) tech)
+        ~src:above ~snk:below;
+      build above (i + 1)
+    end
+  in
+  build (Stage.ground b) 1;
+  Stage.add_load b out load;
+  Stage.mark_output b out;
+  Stage.finish b
+
+let manchester ~bits ?w ?(load = default_load) (tech : Tech.t) =
+  if bits < 1 then invalid_arg "Builders.manchester: bits < 1";
+  let w = Option.value w ~default:(2.0 *. tech.w_min) in
+  let wp = 2.0 *. tech.w_min in
+  let b = Stage.create () in
+  let carry = Array.init (bits + 1) (fun i -> Stage.add_node b (Printf.sprintf "c%d" i)) in
+  Stage.add_edge b ~gate:"g0" (Device.nmos ~w tech) ~src:carry.(0) ~snk:(Stage.ground b);
+  for i = 1 to bits do
+    Stage.add_edge b
+      ~gate:(Printf.sprintf "p%d" i)
+      (Device.nmos ~w tech) ~src:carry.(i)
+      ~snk:carry.(i - 1)
+  done;
+  Array.iter
+    (fun node ->
+      Stage.add_edge b ~gate:"phi" (Device.pmos ~w:wp tech) ~src:(Stage.supply b)
+        ~snk:node)
+    carry;
+  Stage.add_load b carry.(bits) load;
+  Stage.mark_output b carry.(bits);
+  Stage.finish b
+
+let decoder_path ~levels ?w ?(base_wire_length = 50e-6) ?(wire_width = 0.6e-6)
+    ?(wire_segments = 4) ?(load = default_load) (tech : Tech.t) =
+  if levels < 1 then invalid_arg "Builders.decoder_path: levels < 1";
+  if wire_segments < 1 then invalid_arg "Builders.decoder_path: wire_segments < 1";
+  let w = Option.value w ~default:(3.0 *. tech.w_min) in
+  let b = Stage.create () in
+  let first = Stage.add_node b "d0" in
+  Stage.add_edge b ~gate:"en" (Device.nmos ~w tech) ~src:first ~snk:(Stage.ground b);
+  let add_wire below ~level ~length =
+    let seg_l = length /. float_of_int wire_segments in
+    let rec segments below s =
+      if s > wire_segments then below
+      else begin
+        let above = Stage.add_node b (Printf.sprintf "w%d_%d" level s) in
+        Stage.add_edge b (Device.wire ~w:wire_width ~l:seg_l) ~src:above ~snk:below;
+        segments above (s + 1)
+      end
+    in
+    segments below 1
+  in
+  let rec build below level =
+    if level > levels then below
+    else begin
+      let length = base_wire_length *. (2.0 ** float_of_int (level - 1)) in
+      let wire_top = add_wire below ~level ~length in
+      (* the sibling branch of the tree loads this junction with an off
+         transistor's diffusion capacitance *)
+      Stage.add_load b wire_top (Capacitance.junction_zero_bias tech ~w);
+      let above = Stage.add_node b (Printf.sprintf "d%d" level) in
+      Stage.add_edge b
+        ~gate:(Printf.sprintf "s%d" level)
+        (Device.nmos ~w tech) ~src:above ~snk:wire_top;
+      build above (level + 1)
+    end
+  in
+  let out = build first 1 in
+  Stage.add_load b out load;
+  Stage.mark_output b out;
+  Stage.finish b
+
+let find_node (stage : Stage.t) name =
+  let rec search i =
+    if i >= stage.Stage.num_nodes then raise Not_found
+    else if String.equal stage.Stage.node_names.(i) name then i
+    else search (i + 1)
+  in
+  search 0
+
+let output_exn (stage : Stage.t) =
+  match stage.Stage.outputs with
+  | [ out ] -> out
+  | _ -> invalid_arg "Builders.output_exn: stage does not have a unique output"

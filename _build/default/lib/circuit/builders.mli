@@ -1,0 +1,72 @@
+(** Constructors for the circuit families of the paper's evaluation:
+    standard gates (Table I), NMOS stacks (Table II, Figs. 7/9), the
+    Manchester carry chain (Example 2) and the memory decoder tree
+    (Example 3, Fig. 10).
+
+    Input naming conventions: gate inputs are ["a1"], ["a2"], ... from the
+    ground side up; stacks use ["g1"].. ["gK"]; the Manchester chain uses
+    ["g0"] (first pull-down), ["p1"].. ["pN"] (pass gates) and ["phi"]
+    (precharge); the decoder uses ["en"] and ["s1"].. ["sL"]. *)
+
+open Tqwm_device
+
+val inverter : ?wn:float -> ?wp:float -> ?load:float -> Tech.t -> Stage.t
+(** Minimum-size inverter by default; input ["a1"], output node named
+    ["out"]. [load] is the external capacitance at the output (default
+    10 fF). *)
+
+val nand : n:int -> ?wn:float -> ?wp:float -> ?load:float -> Tech.t -> Stage.t
+(** [n]-input NAND: [n] series NMOS (["a1"] at the bottom), [n] parallel
+    PMOS. @raise Invalid_argument if [n < 1]. *)
+
+val nor : n:int -> ?wn:float -> ?wp:float -> ?load:float -> Tech.t -> Stage.t
+(** [n]-input NOR: [n] series PMOS (["a1"] next to VDD), [n] parallel
+    NMOS. *)
+
+val aoi21 : ?wn:float -> ?wp:float -> ?load:float -> Tech.t -> Stage.t
+(** AND-OR-INVERT: [out = not (a AND b OR c)]. The pull-down network has
+    two parallel branches — the series pair ["a"]/["b"] and the single
+    ["c"] — so worst-case path extraction must pick the conducting
+    branch. Inputs ["a"], ["b"], ["c"]. *)
+
+val oai21 : ?wn:float -> ?wp:float -> ?load:float -> Tech.t -> Stage.t
+(** OR-AND-INVERT: [out = not ((a OR b) AND c)] — the dual structure with
+    the series pair in the pull-up network. *)
+
+val nand_pass : n:int -> ?wn:float -> ?wp:float -> ?wire_length:float -> ?load:float -> Tech.t -> Stage.t
+(** The paper's Example 1 / Fig. 1 structure: an [n]-input NAND whose
+    output drives a pass transistor (gate ["en"], held high) and a wire
+    segment to the stage output ["far"] — a cell output that is not a
+    gate input, so the whole assembly forms one logic stage that must be
+    evaluated on the fly. *)
+
+val nmos_stack : widths:float array -> ?load:float -> Tech.t -> Stage.t
+(** Pure pull-down stack of [Array.length widths] NMOS transistors,
+    inputs ["g1"] (bottom) .. ["gK"], output at the top with [load]. *)
+
+val manchester : bits:int -> ?w:float -> ?load:float -> Tech.t -> Stage.t
+(** Manchester carry chain discharge structure: one pull-down NMOS
+    (["g0"]) followed by [bits] pass transistors (["p1"]..), PMOS
+    precharge (["phi"]) on every carry node. The longest path is a
+    [bits+1]-transistor stack. *)
+
+val decoder_path :
+  levels:int ->
+  ?w:float ->
+  ?base_wire_length:float ->
+  ?wire_width:float ->
+  ?wire_segments:int ->
+  ?load:float ->
+  Tech.t ->
+  Stage.t
+(** Worst-case discharge path of a memory decoder tree: an enable NMOS
+    (["en"]) followed, per level [i], by a wire whose length doubles each
+    level (modelled as [wire_segments] lumped RC sections) and a pass
+    transistor (["s<i>"]). Side-branch junction capacitance is added at
+    each level's branching node. Output is the far end with [load]. *)
+
+val find_node : Stage.t -> string -> Stage.node
+(** Look a node up by name. @raise Not_found. *)
+
+val output_exn : Stage.t -> Stage.node
+(** The unique marked output. @raise Invalid_argument otherwise. *)

@@ -1,0 +1,44 @@
+let parse_suffix ~prefix name =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+let parse_ckt name =
+  match String.index_opt name '_' with
+  | Some i when String.length name > 3 && String.sub name 0 3 = "ckt" ->
+    let len = int_of_string_opt (String.sub name 3 (i - 3)) in
+    let seed = int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) in
+    (match (len, seed) with Some l, Some s -> Some (l, s) | _, _ -> None)
+  | Some _ | None -> None
+
+let scenario (tech : Tqwm_device.Tech.t) name =
+  if String.equal name "inv" then Scenario.inverter_falling tech
+  else if String.equal name "aoi21" then Scenario.aoi21_falling tech
+  else if String.equal name "oai21" then Scenario.oai21_rising tech
+  else
+    match parse_suffix ~prefix:"nandpass" name with
+    | Some n -> Scenario.nand_pass_falling ~n tech
+    | None ->
+    match parse_suffix ~prefix:"nand" name with
+    | Some n -> Scenario.nand_falling ~n tech
+    | None ->
+      match parse_suffix ~prefix:"nor" name with
+      | Some n -> Scenario.nor_rising ~n tech
+      | None ->
+        match parse_suffix ~prefix:"stack" name with
+        | Some k ->
+          Scenario.stack_falling ~widths:(Array.make k (2.0 *. tech.w_min)) tech
+        | None ->
+          match parse_suffix ~prefix:"manchester" name with
+          | Some bits -> Scenario.manchester ~bits tech
+          | None ->
+            match parse_suffix ~prefix:"decoder" name with
+            | Some levels -> Scenario.decoder ~levels tech
+            | None ->
+              match parse_ckt name with
+              | Some (len, seed) -> Random_circuits.stack_scenario tech ~len ~seed
+              | None -> raise Not_found
+
+let examples =
+  [ "inv"; "nand3"; "nor2"; "aoi21"; "oai21"; "stack6"; "manchester5"; "decoder3"; "ckt7_2" ]

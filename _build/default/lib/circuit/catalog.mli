@@ -1,0 +1,12 @@
+(** Named scenario catalog used by the CLI and the benchmark harness.
+
+    Recognized names: ["inv"], ["nand<k>"], ["nor<k>"], ["aoi21"],
+    ["oai21"], ["stack<k>"] (uniform stack), ["manchester<bits>"],
+    ["decoder<levels>"], and ["ckt<len>_<seed>"] (Table II random
+    stacks). *)
+
+val scenario : Tqwm_device.Tech.t -> string -> Scenario.t
+(** @raise Not_found for an unrecognized name. *)
+
+val examples : string list
+(** A representative sample of valid names (for help messages). *)

@@ -1,0 +1,124 @@
+type instance = {
+  component : int;
+  stage : Stage.t;
+  stage_node_of : Netlist.node -> Stage.node option;
+  input_nets : (string * Netlist.node) list;
+}
+
+type extraction = {
+  instances : instance array;
+  component_of : Netlist.node -> int option;
+}
+
+(* union-find with path compression *)
+let find parent n =
+  let rec go n = if parent.(n) = n then n else go parent.(n) in
+  let root = go n in
+  let rec compress n =
+    if parent.(n) <> root then begin
+      let next = parent.(n) in
+      parent.(n) <- root;
+      compress next
+    end
+  in
+  compress n;
+  root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let extract ?(gate_load = fun _ -> 0.0) (net : Netlist.t) =
+  let is_rail n = n = net.Netlist.supply || n = net.Netlist.ground in
+  let parent = Array.init net.Netlist.num_nodes Fun.id in
+  Array.iter
+    (fun (e : Netlist.element) ->
+      if is_rail e.src && is_rail e.snk then
+        invalid_arg "Ccc.extract: element with both terminals on rails";
+      if (not (is_rail e.src)) && not (is_rail e.snk) then union parent e.src e.snk)
+    net.Netlist.elements;
+  (* dense component ids over non-rail nodes that touch at least one element *)
+  let touched = Array.make net.Netlist.num_nodes false in
+  Array.iter
+    (fun (e : Netlist.element) ->
+      if not (is_rail e.src) then touched.(e.src) <- true;
+      if not (is_rail e.snk) then touched.(e.snk) <- true)
+    net.Netlist.elements;
+  let component_id = Hashtbl.create 16 in
+  let next = ref 0 in
+  for n = 0 to net.Netlist.num_nodes - 1 do
+    if touched.(n) && not (is_rail n) then begin
+      let root = find parent n in
+      if not (Hashtbl.mem component_id root) then begin
+        Hashtbl.add component_id root !next;
+        incr next
+      end
+    end
+  done;
+  let num_components = !next in
+  let component_of_node n =
+    if is_rail n || not touched.(n) then None
+    else Hashtbl.find_opt component_id (find parent n)
+  in
+  let element_component (e : Netlist.element) =
+    let anchor = if is_rail e.src then e.snk else e.src in
+    match component_of_node anchor with
+    | Some c -> c
+    | None -> assert false
+  in
+  (* nets that drive gates, with the total gate load they carry *)
+  let fanout_load = Array.make net.Netlist.num_nodes 0.0 in
+  let drives_gate = Array.make net.Netlist.num_nodes false in
+  Array.iter
+    (fun (e : Netlist.element) ->
+      match e.gate with
+      | None -> ()
+      | Some g ->
+        drives_gate.(g) <- true;
+        fanout_load.(g) <- fanout_load.(g) +. gate_load e.device)
+    net.Netlist.elements;
+  let build component =
+    let b = Stage.create () in
+    let mapping = Hashtbl.create 8 in
+    let stage_node n =
+      if n = net.Netlist.supply then Stage.supply b
+      else if n = net.Netlist.ground then Stage.ground b
+      else
+        match Hashtbl.find_opt mapping n with
+        | Some s -> s
+        | None ->
+          let s = Stage.add_node b (Netlist.node_name net n) in
+          Hashtbl.add mapping n s;
+          (* external load plus fanout gate capacitance *)
+          let extra = net.Netlist.loads.(n) +. fanout_load.(n) in
+          if extra > 0.0 then Stage.add_load b s extra;
+          if drives_gate.(n) || List.mem n net.Netlist.primary_outputs then
+            Stage.mark_output b s;
+          s
+    in
+    let inputs = Hashtbl.create 8 in
+    Array.iter
+      (fun (e : Netlist.element) ->
+        if element_component e = component then begin
+          let gate =
+            Option.map
+              (fun g ->
+                let name = Netlist.node_name net g in
+                if not (Hashtbl.mem inputs name) then Hashtbl.add inputs name g;
+                name)
+              e.gate
+          in
+          Stage.add_edge b ?gate e.device ~src:(stage_node e.src) ~snk:(stage_node e.snk)
+        end)
+      net.Netlist.elements;
+    {
+      component;
+      stage = Stage.finish b;
+      stage_node_of = (fun n -> Hashtbl.find_opt mapping n);
+      input_nets = Hashtbl.fold (fun name g acc -> (name, g) :: acc) inputs [];
+    }
+  in
+  {
+    instances = Array.init num_components build;
+    component_of = component_of_node;
+  }

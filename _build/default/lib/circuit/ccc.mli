@@ -1,0 +1,32 @@
+(** Channel-connected-component extraction.
+
+    Partition a flat transistor netlist into logic stages: nodes connected
+    through transistor channels or wires (excluding the rails) belong to
+    one stage; gate terminals form the stage boundary (paper §I: "a logic
+    stage is a set of channel-connected transistors and wire segments").
+    Stage inputs are named after the driving net; the driver map records
+    which component produces each net, giving the stage-level connectivity
+    a static timing analyzer walks. *)
+
+type instance = {
+  component : int;  (** component id, dense from 0 *)
+  stage : Stage.t;
+  stage_node_of : Netlist.node -> Stage.node option;
+      (** netlist node -> node inside this stage *)
+  input_nets : (string * Netlist.node) list;
+      (** stage input name -> driving netlist net *)
+}
+
+type extraction = {
+  instances : instance array;
+  component_of : Netlist.node -> int option;
+      (** component containing (and hence driving) a non-rail netlist
+          node; [None] for rails and primary-input nets *)
+}
+
+val extract : ?gate_load:(Tqwm_device.Device.t -> float) -> Netlist.t -> extraction
+(** Partition the netlist. [gate_load] gives the input capacitance a
+    fanout transistor presents to its driving net (default: none); it is
+    added as load on the driving stage's node. Primary outputs and all
+    gate-driving nets are marked as stage outputs.
+    @raise Invalid_argument for an element with both terminals on rails. *)

@@ -1,0 +1,109 @@
+module Device = Tqwm_device.Device
+
+type node = int
+
+type element = { device : Device.t; gate : node option; src : node; snk : node }
+
+type t = {
+  num_nodes : int;
+  supply : node;
+  ground : node;
+  elements : element array;
+  primary_inputs : node list;
+  primary_outputs : node list;
+  loads : float array;
+  node_names : string array;
+}
+
+type builder = {
+  mutable names : string list;
+  mutable count : int;
+  mutable b_elements : element list;
+  mutable b_inputs : node list;
+  mutable b_outputs : node list;
+  mutable b_loads : (node * float) list;
+  b_supply : node;
+  b_ground : node;
+}
+
+let add_node b name =
+  let id = b.count in
+  b.count <- id + 1;
+  b.names <- name :: b.names;
+  id
+
+let create () =
+  let b =
+    {
+      names = [];
+      count = 0;
+      b_elements = [];
+      b_inputs = [];
+      b_outputs = [];
+      b_loads = [];
+      b_supply = 0;
+      b_ground = 1;
+    }
+  in
+  let (_ : node) = add_node b "vdd" in
+  let (_ : node) = add_node b "gnd" in
+  b
+
+let supply b = b.b_supply
+
+let ground b = b.b_ground
+
+let check_node b n ctx = if n < 0 || n >= b.count then invalid_arg ("Netlist: unknown node in " ^ ctx)
+
+let add_transistor b device ~gate ~src ~snk =
+  (match device.Device.kind with
+  | Device.Wire -> invalid_arg "Netlist.add_transistor: wire device"
+  | Device.Nmos | Device.Pmos -> ());
+  check_node b gate "add_transistor";
+  check_node b src "add_transistor";
+  check_node b snk "add_transistor";
+  b.b_elements <- { device; gate = Some gate; src; snk } :: b.b_elements
+
+let add_wire b device ~src ~snk =
+  (match device.Device.kind with
+  | Device.Wire -> ()
+  | Device.Nmos | Device.Pmos -> invalid_arg "Netlist.add_wire: transistor device");
+  check_node b src "add_wire";
+  check_node b snk "add_wire";
+  b.b_elements <- { device; gate = None; src; snk } :: b.b_elements
+
+let add_load b n c =
+  check_node b n "add_load";
+  b.b_loads <- (n, c) :: b.b_loads
+
+let mark_primary_input b n =
+  check_node b n "mark_primary_input";
+  if not (List.mem n b.b_inputs) then b.b_inputs <- n :: b.b_inputs
+
+let mark_primary_output b n =
+  check_node b n "mark_primary_output";
+  if not (List.mem n b.b_outputs) then b.b_outputs <- n :: b.b_outputs
+
+let finish b =
+  let loads = Array.make b.count 0.0 in
+  List.iter (fun (n, c) -> loads.(n) <- loads.(n) +. c) b.b_loads;
+  {
+    num_nodes = b.count;
+    supply = b.b_supply;
+    ground = b.b_ground;
+    elements = Array.of_list (List.rev b.b_elements);
+    primary_inputs = List.rev b.b_inputs;
+    primary_outputs = List.rev b.b_outputs;
+    loads;
+    node_names = Array.of_list (List.rev b.names);
+  }
+
+let node_name t n = t.node_names.(n)
+
+let find_node t name =
+  let rec search i =
+    if i >= t.num_nodes then raise Not_found
+    else if String.equal t.node_names.(i) name then i
+    else search (i + 1)
+  in
+  search 0

@@ -1,0 +1,55 @@
+(** Flat transistor netlists.
+
+    Unlike a {!Stage}, whose inputs are abstract names, a netlist connects
+    transistor gates to circuit nodes, so stage boundaries are implicit.
+    {!Ccc} partitions a netlist into logic stages (channel-connected
+    components), the structure static timing analysis operates on. *)
+
+type node = int
+
+type element = {
+  device : Tqwm_device.Device.t;
+  gate : node option;  (** gate net for transistors; [None] for wires *)
+  src : node;  (** supply-side terminal *)
+  snk : node;  (** ground-side terminal *)
+}
+
+type t = private {
+  num_nodes : int;
+  supply : node;
+  ground : node;
+  elements : element array;
+  primary_inputs : node list;
+  primary_outputs : node list;
+  loads : float array;
+  node_names : string array;
+}
+
+type builder
+
+val create : unit -> builder
+
+val supply : builder -> node
+
+val ground : builder -> node
+
+val add_node : builder -> string -> node
+
+val add_transistor :
+  builder -> Tqwm_device.Device.t -> gate:node -> src:node -> snk:node -> unit
+(** @raise Invalid_argument when the device is a wire. *)
+
+val add_wire : builder -> Tqwm_device.Device.t -> src:node -> snk:node -> unit
+
+val add_load : builder -> node -> float -> unit
+
+val mark_primary_input : builder -> node -> unit
+
+val mark_primary_output : builder -> node -> unit
+
+val finish : builder -> t
+
+val node_name : t -> node -> string
+
+val find_node : t -> string -> node
+(** @raise Not_found. *)

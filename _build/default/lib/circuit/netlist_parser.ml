@@ -1,0 +1,135 @@
+module Device = Tqwm_device.Device
+
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+let si_value line token =
+  let token = String.lowercase_ascii token in
+  let n = String.length token in
+  if n = 0 then fail line "empty number";
+  let scale, digits =
+    match token.[n - 1] with
+    | 'f' -> (1e-15, String.sub token 0 (n - 1))
+    | 'p' -> (1e-12, String.sub token 0 (n - 1))
+    | 'n' -> (1e-9, String.sub token 0 (n - 1))
+    | 'u' -> (1e-6, String.sub token 0 (n - 1))
+    | 'm' -> (1e-3, String.sub token 0 (n - 1))
+    | 'k' -> (1e3, String.sub token 0 (n - 1))
+    | '0' .. '9' | '.' -> (1.0, token)
+    | c -> fail line (Printf.sprintf "unknown magnitude suffix %c" c)
+  in
+  match float_of_string_opt digits with
+  | Some v -> v *. scale
+  | None -> fail line (Printf.sprintf "bad number %S" token)
+
+(* split "W=2u" style assignments out of a token list *)
+let parse_params line tokens =
+  List.filter_map
+    (fun token ->
+      match String.index_opt token '=' with
+      | None -> fail line (Printf.sprintf "expected key=value, got %S" token)
+      | Some i ->
+        let key = String.uppercase_ascii (String.sub token 0 i) in
+        let value = si_value line (String.sub token (i + 1) (String.length token - i - 1)) in
+        Some (key, value))
+    tokens
+
+let parse_string (tech : Tqwm_device.Tech.t) text =
+  let b = Netlist.create () in
+  let nodes = Hashtbl.create 32 in
+  let node line name =
+    match String.lowercase_ascii name with
+    | "vdd" | "vdd!" -> Netlist.supply b
+    | "gnd" | "vss" | "0" -> Netlist.ground b
+    | "" -> fail line "empty node name"
+    | key ->
+      (match Hashtbl.find_opt nodes key with
+      | Some n -> n
+      | None ->
+        let n = Netlist.add_node b name in
+        Hashtbl.add nodes key n;
+        n)
+  in
+  let geometry line params ~default_w =
+    let w = Option.value (List.assoc_opt "W" params) ~default:default_w in
+    let l = Option.value (List.assoc_opt "L" params) ~default:tech.Tqwm_device.Tech.l_min in
+    if w <= 0.0 || l <= 0.0 then fail line "non-positive geometry";
+    (w, l)
+  in
+  let transistor line = function
+    | drain :: gate :: source :: kind :: params ->
+      let drain = node line drain and gate = node line gate and source = node line source in
+      let params = parse_params line params in
+      (match String.lowercase_ascii kind with
+      | "nmos" ->
+        let w, l = geometry line params ~default_w:tech.Tqwm_device.Tech.w_min in
+        (* drain is the supply-side terminal of an NMOS pull-down *)
+        Netlist.add_transistor b (Device.nmos ~l ~w tech) ~gate ~src:drain ~snk:source
+      | "pmos" ->
+        let w, l = geometry line params ~default_w:(2.0 *. tech.Tqwm_device.Tech.w_min) in
+        (* source is the supply-side terminal of a PMOS pull-up *)
+        Netlist.add_transistor b (Device.pmos ~l ~w tech) ~gate ~src:drain ~snk:source
+      | other -> fail line (Printf.sprintf "unknown transistor type %S" other))
+    | _ -> fail line "transistor card needs: drain gate source nmos|pmos [W=..] [L=..]"
+  in
+  let wire line = function
+    | a :: b_name :: params ->
+      let na = node line a and nb = node line b_name in
+      let params = parse_params line params in
+      let w = Option.value (List.assoc_opt "W" params) ~default:0.6e-6 in
+      let l =
+        match List.assoc_opt "L" params with
+        | Some l -> l
+        | None -> fail line "wire card needs L=<length>"
+      in
+      Netlist.add_wire b (Device.wire ~w ~l) ~src:na ~snk:nb
+    | _ -> fail line "wire card needs: a b [W=..] L=.."
+  in
+  let load line = function
+    | [ n; value ] -> Netlist.add_load b (node line n) (si_value line value)
+    | _ -> fail line "capacitor card needs: node value"
+  in
+  let directive line keyword args =
+    match (keyword, args) with
+    | ".input", _ :: _ -> List.iter (fun n -> Netlist.mark_primary_input b (node line n)) args
+    | ".output", _ :: _ ->
+      List.iter (fun n -> Netlist.mark_primary_output b (node line n)) args
+    | ".end", _ -> ()
+    | (".input" | ".output"), [] -> fail line (keyword ^ " needs at least one node")
+    | _, _ -> fail line (Printf.sprintf "unknown directive %S" keyword)
+  in
+  let handle_line idx raw =
+    let line = idx + 1 in
+    let text =
+      match String.index_opt raw '*' with
+      | Some 0 -> ""
+      | Some _ | None -> raw
+    in
+    let tokens =
+      String.split_on_char ' ' (String.trim text)
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun t -> t <> "")
+    in
+    match tokens with
+    | [] -> ()
+    | card :: rest ->
+      let lower = String.lowercase_ascii card in
+      if String.length lower > 0 && lower.[0] = '.' then directive line lower rest
+      else begin
+        match lower.[0] with
+        | 'm' -> transistor line rest
+        | 'w' | 'r' -> wire line rest
+        | 'c' -> load line rest
+        | _ -> fail line (Printf.sprintf "unknown card %S" card)
+      end
+  in
+  String.split_on_char '\n' text |> List.iteri handle_line;
+  Netlist.finish b
+
+let parse_file tech path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string tech text

@@ -1,0 +1,33 @@
+(** Parser for a SPICE-flavoured flat-netlist format.
+
+    Grammar (one card per line; ['*'] starts a comment; case-insensitive
+    keywords; SI magnitude suffixes [f p n u m k] on numbers):
+
+    {v
+    * transistor: M<name> <drain> <gate> <source> nmos|pmos [W=2u] [L=0.35u]
+    M1 out a gnd nmos W=0.8u
+    M2 vdd a out pmos W=1.6u
+    * wire segment: W<name> <a> <b> [W=0.6u] L=100u
+    Wbus n1 n2 W=0.6u L=120u
+    * external load: C<name> <node> <value>
+    Cload out 10f
+    * port declarations
+    .input a
+    .output out
+    .end
+    v}
+
+    Node names [vdd]/[vdd!] map to the supply, [gnd]/[vss]/[0] to ground;
+    every other token names an internal node, created on first use.
+    Transistor cards follow SPICE's D-G-S terminal order; the supply-side
+    [src] terminal of the stage edge is chosen automatically (the drain
+    for NMOS pull-downs, the source for PMOS pull-ups — i.e. whichever
+    terminal is listed first). *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : Tqwm_device.Tech.t -> string -> Netlist.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : Tqwm_device.Tech.t -> string -> Netlist.t
+(** @raise Parse_error, [Sys_error]. *)

@@ -1,0 +1,17 @@
+let uniform state lo hi = lo +. ((hi -. lo) *. Random.State.float state 1.0)
+
+let widths (tech : Tqwm_device.Tech.t) ~len ~seed =
+  if len < 1 then invalid_arg "Random_circuits.widths: len < 1";
+  let state = Random.State.make [| seed; len |] in
+  Array.init len (fun _ -> uniform state tech.w_min (6.0 *. tech.w_min))
+
+let stack_scenario (tech : Tqwm_device.Tech.t) ~len ~seed =
+  let ws = widths tech ~len ~seed in
+  let state = Random.State.make [| seed; len; 7919 |] in
+  let load = uniform state 5e-15 25e-15 in
+  Scenario.stack_falling ~name:(Printf.sprintf "ckt%d_%d" len seed) ~widths:ws ~load tech
+
+let table2_suite tech =
+  List.concat_map
+    (fun len -> List.map (fun seed -> stack_scenario tech ~len ~seed) [ 1; 2; 3 ])
+    [ 5; 6; 7; 8; 9; 10 ]

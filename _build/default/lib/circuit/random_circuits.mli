@@ -1,0 +1,14 @@
+(** Seeded random stage generation for the Table II experiment
+    ("transistor stacks of lengths ranging from 5 to 10, with randomly
+    chosen transistor widths"). Deterministic for a given seed. *)
+
+val widths : Tqwm_device.Tech.t -> len:int -> seed:int -> float array
+(** [len] transistor widths uniform in [1x, 6x] minimum width. *)
+
+val stack_scenario : Tqwm_device.Tech.t -> len:int -> seed:int -> Scenario.t
+(** A random stack scenario named ["ckt<len>_<seed>"] with a random load
+    in [5 fF, 25 fF]. *)
+
+val table2_suite : Tqwm_device.Tech.t -> Scenario.t list
+(** The paper's Table II population: lengths 5..10, three width
+    configurations each. *)

@@ -1,0 +1,1 @@
+lib/core/qwm.ml: Array Chain Config Float List Measure Path Qwm_solver Scenario Stage String Tqwm_circuit Tqwm_device Tqwm_interconnect Tqwm_wave Unix Waveform

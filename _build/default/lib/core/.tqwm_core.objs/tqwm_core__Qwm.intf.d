@@ -1,0 +1,1 @@
+lib/core/qwm.mli: Config Path Qwm_solver Scenario Tqwm_circuit Tqwm_device Tqwm_wave Waveform

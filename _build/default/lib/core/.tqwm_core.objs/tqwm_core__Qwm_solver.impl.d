@@ -1,0 +1,1 @@
+lib/core/qwm_solver.ml: Array Chain Config Float List Option Printf Scenario String Tqwm_circuit Tqwm_device Tqwm_num Tqwm_wave

@@ -1,0 +1,1 @@
+lib/core/qwm_solver.mli: Chain Config Scenario Tqwm_circuit Tqwm_device Tqwm_wave

@@ -1,0 +1,202 @@
+open Tqwm_circuit
+open Tqwm_wave
+module Device = Tqwm_device.Device
+module Capacitance = Tqwm_device.Capacitance
+module Pi_model = Tqwm_interconnect.Pi_model
+module Rc_tree = Tqwm_interconnect.Rc_tree
+
+type report = {
+  scenario : Scenario.t;
+  lowering : Path.lowering;
+  output : Waveform.quadratic;
+  node_quadratics : (string * Waveform.quadratic) list;
+  delay : float option;
+  slew : float option;
+  critical_times : float list;
+  runtime_seconds : float;
+  stats : Qwm_solver.stats;
+}
+
+(* Collapse each maximal run of >= 2 consecutive wire edges into an
+   O'Brien-Savarino pi macromodel: one equivalent resistor edge, with the
+   near capacitance folded into the node below the run and the far
+   capacitance into the node above it. *)
+let collapse_wires (tech : Tqwm_device.Tech.t) (lowering : Path.lowering) =
+  let chain = lowering.Path.chain in
+  let edges = chain.Chain.edges and caps = chain.Chain.caps in
+  let stage_nodes = lowering.Path.stage_nodes in
+  let k = Array.length edges in
+  let is_wire i = not (Chain.is_transistor edges.(i)) in
+  let new_edges = ref [] and new_caps = ref [] and new_nodes = ref [] in
+  let push e c n =
+    new_edges := e :: !new_edges;
+    new_caps := c :: !new_caps;
+    new_nodes := n :: !new_nodes
+  in
+  let fold_into_previous c =
+    match !new_caps with
+    | [] -> ()  (* the run starts at the rail: near capacitance is grounded out *)
+    | top :: rest -> new_caps := (top +. c) :: rest
+  in
+  let rec walk i =
+    if i >= k then ()
+    else if not (is_wire i) then begin
+      push edges.(i) caps.(i) stage_nodes.(i);
+      walk (i + 1)
+    end
+    else begin
+      let rec extent j = if j < k && is_wire j then extent (j + 1) else j in
+      let j = extent i in
+      if j - i < 2 then begin
+        push edges.(i) caps.(i) stage_nodes.(i);
+        walk (i + 1)
+      end
+      else begin
+        (* edges i..j-1 form the run; interior chain nodes i+1..j-1
+           (1-based), i.e. cap indices i..j-2 *)
+        let interior = j - 1 - i in
+        let parent = Array.init (interior + 2) (fun n -> n - 1) in
+        let resistance =
+          Array.init (interior + 2) (fun n ->
+              if n = 0 then 0.0
+              else begin
+                let d = edges.(i + n - 1).Chain.device in
+                Capacitance.wire_resistance tech ~w:d.Device.w ~l:d.Device.l
+              end)
+        in
+        let cap =
+          Array.init (interior + 2) (fun n ->
+              if n = 0 || n = interior + 1 then 0.0 else caps.(i + n - 1))
+        in
+        let pi = Pi_model.of_tree (Rc_tree.make ~parent ~resistance ~cap) in
+        fold_into_previous pi.Pi_model.c_near;
+        let w = edges.(i).Chain.device.Device.w in
+        let equivalent_l = pi.Pi_model.r *. w /. tech.Tqwm_device.Tech.r_sheet_wire in
+        let device = Device.wire ~w ~l:equivalent_l in
+        push { Chain.device; gate = None } (caps.(j - 1) +. pi.Pi_model.c_far)
+          stage_nodes.(j - 1);
+        walk j
+      end
+    end
+  in
+  walk 0;
+  {
+    Path.chain =
+      Chain.make ~rail:chain.Chain.rail ~edges:(List.rev !new_edges)
+        ~caps:(List.rev !new_caps);
+    stage_nodes = Array.of_list (List.rev !new_nodes);
+  }
+
+let lower_scenario ~model ~config scenario =
+  let lowering = Scenario.lower ~model scenario in
+  if config.Config.reduce_wires then
+    collapse_wires scenario.Scenario.tech lowering
+  else lowering
+
+let quadratic_slew ~vdd q edge =
+  let direction = match edge with
+    | Tqwm_wave.Measure.Rising -> `Rising
+    | Tqwm_wave.Measure.Falling -> `Falling
+  in
+  let lo = Waveform.quadratic_first_crossing q ~level:(0.1 *. vdd) ~direction in
+  let hi = Waveform.quadratic_first_crossing q ~level:(0.9 *. vdd) ~direction in
+  match (edge, lo, hi) with
+  | Tqwm_wave.Measure.Rising, Some t1, Some t2 when t2 >= t1 -> Some (t2 -. t1)
+  | Tqwm_wave.Measure.Falling, Some t1, Some t2 when t1 >= t2 -> Some (t1 -. t2)
+  | (Tqwm_wave.Measure.Rising | Tqwm_wave.Measure.Falling), _, _ -> None
+
+let run_on_lowering ~model ?(config = Config.default) ~scenario lowering =
+  let t_start = Unix.gettimeofday () in
+  let chain = lowering.Path.chain in
+  let initial =
+    Array.map (fun n -> scenario.Scenario.initial.(n)) lowering.Path.stage_nodes
+  in
+  let solved = Qwm_solver.solve ~model ~config ~scenario ~chain ~initial in
+  let runtime_seconds = Unix.gettimeofday () -. t_start in
+  let k = Chain.length chain in
+  let output = solved.Qwm_solver.node_quadratics.(k - 1) in
+  let vdd = scenario.Scenario.tech.Tqwm_device.Tech.vdd in
+  let delay =
+    Measure.quadratic_delay_from ~t0:0.0 ~vdd output
+      ~output_edge:scenario.Scenario.output_edge
+  in
+  let slew = quadratic_slew ~vdd output scenario.Scenario.output_edge in
+  let node_quadratics =
+    Array.to_list
+      (Array.mapi
+         (fun idx q ->
+           (Stage.node_name scenario.Scenario.stage lowering.Path.stage_nodes.(idx), q))
+         solved.Qwm_solver.node_quadratics)
+  in
+  {
+    scenario;
+    lowering;
+    output;
+    node_quadratics;
+    delay;
+    slew;
+    critical_times = solved.Qwm_solver.critical_times;
+    runtime_seconds;
+    stats = solved.Qwm_solver.stats;
+  }
+
+let run ~model ?(config = Config.default) scenario =
+  let lowering = lower_scenario ~model ~config scenario in
+  run_on_lowering ~model ~config ~scenario lowering
+
+let output_waveform report ~dt = Waveform.sample_quadratic report.output ~dt
+
+let node_delay report name =
+  match List.assoc_opt name report.node_quadratics with
+  | None -> raise Not_found
+  | Some q ->
+    let vdd = report.scenario.Scenario.tech.Tqwm_device.Tech.vdd in
+    let direction =
+      match report.scenario.Scenario.output_edge with
+      | Tqwm_wave.Measure.Rising -> `Rising
+      | Tqwm_wave.Measure.Falling -> `Falling
+    in
+    Waveform.quadratic_first_crossing q ~level:(vdd /. 2.0) ~direction
+
+let node_current report name ~dt =
+  let rec index k = function
+    | [] -> raise Not_found
+    | (n, q) :: rest -> if String.equal n name then (k, q) else index (k + 1) rest
+  in
+  let k, q = index 0 report.node_quadratics in
+  let c = report.lowering.Path.chain.Chain.caps.(k) in
+  (* dv/dt of each quadratic piece is linear: sample it directly *)
+  let pieces = Waveform.quadratic_pieces q in
+  let slope t =
+    let rec find = function
+      | [] -> 0.0
+      | (p : Waveform.piece) :: rest ->
+        if t <= p.Waveform.t0 +. p.Waveform.dt || rest = [] then
+          p.Waveform.dv +. (p.Waveform.ddv *. Float.max (t -. p.Waveform.t0) 0.0)
+        else find rest
+    in
+    find pieces
+  in
+  let t_end =
+    match List.rev pieces with
+    | last :: _ -> last.Waveform.t0 +. last.Waveform.dt
+    | [] -> 0.0
+  in
+  let steps = max (int_of_float (Float.ceil (t_end /. dt))) 1 in
+  Waveform.of_samples
+    (Array.init (steps + 1) (fun i ->
+         let t = Float.min (float_of_int i *. dt) t_end in
+         let t = if i = steps then t_end else t in
+         (t, c *. slope t)))
+
+let switching_energy report =
+  let chain = report.lowering.Path.chain in
+  let quads = List.map snd report.node_quadratics in
+  List.fold_left
+    (fun (acc, k) q ->
+      let c = chain.Chain.caps.(k) in
+      let v0 = Waveform.quadratic_value_at q 0.0 in
+      let v1 = Waveform.quadratic_end_value q in
+      (acc +. (0.5 *. c *. Float.abs ((v0 *. v0) -. (v1 *. v1))), k + 1))
+    (0.0, 0) quads
+  |> fst

@@ -1,0 +1,810 @@
+open Tqwm_circuit
+module Device_model = Tqwm_device.Device_model
+module Source = Tqwm_wave.Source
+module Waveform = Tqwm_wave.Waveform
+module Tridiag = Tqwm_num.Tridiag
+module Bordered = Tqwm_num.Bordered
+module Sherman_morrison = Tqwm_num.Sherman_morrison
+module Lu = Tqwm_num.Lu
+module Mat = Tqwm_num.Mat
+
+type stats = {
+  regions : int;
+  turn_ons : int;
+  newton_iterations : int;
+  linear_solves : int;
+  bisections : int;
+  failures : int;
+}
+
+type result = {
+  node_quadratics : Waveform.quadratic array;
+  critical_times : float list;
+  t_solved : float;
+  stats : stats;
+}
+
+(* All internal voltages are in "pull-down-normalized" coordinates: the rail
+   is 0 V and nodes discharge toward it. Pull-up chains are mirrored about
+   VDD on the way in and back on the way out. *)
+type problem = {
+  model : Device_model.t;
+  vdd : float;
+  rail : Chain.rail;
+  edges : Chain.edge array;  (** edge k at index k-1 *)
+  gates : Source.t option array;
+  caps : float array;  (** node k capacitance at index k-1 *)
+  t_end : float;
+  cfg : Config.t;
+}
+
+type state = {
+  mutable t : float;
+  v : float array;  (** normalized voltages, index 0..K; v.(0) = 0 rail *)
+  i : float array;  (** normalized node currents C dv/dt, index 0..K *)
+  mutable active : int;  (** nodes 1..active evolve; the rest are frozen *)
+  pieces : Waveform.piece list array;  (** reversed, per node 1..K *)
+  mutable crits : float list;  (** reversed *)
+  mutable n_regions : int;
+  mutable n_turn_ons : int;
+  mutable n_newton : int;
+  mutable n_solves : int;
+  mutable n_bisect : int;
+  mutable n_fail : int;
+  mutable last_alpha : float array;  (** warm start: previous region's curvature *)
+}
+
+let chain_length p = Array.length p.edges
+
+let real_of_norm p x =
+  match p.rail with Chain.Pull_down -> x | Chain.Pull_up -> p.vdd -. x
+
+let gate_real p k t =
+  match p.gates.(k - 1) with Some s -> Source.value s t | None -> 0.0
+
+let gate_real_slope p k t =
+  match p.gates.(k - 1) with Some s -> Source.derivative s t | None -> 0.0
+
+let gate_norm p k t = real_of_norm p (gate_real p k t)
+
+let gate_norm_slope p k t =
+  match p.rail with
+  | Chain.Pull_down -> gate_real_slope p k t
+  | Chain.Pull_up -> -.gate_real_slope p k t
+
+(* terminal voltages of edge k for normalized below/above node voltages *)
+let terminal_voltages p k ~t ~vb ~va =
+  match p.rail with
+  | Chain.Pull_down -> { Device_model.input = gate_real p k t; src = va; snk = vb }
+  | Chain.Pull_up ->
+    { Device_model.input = gate_real p k t; src = p.vdd -. vb; snk = p.vdd -. va }
+
+(* J'_k: normalized current flowing from node k to node k-1 *)
+let edge_current p k ~t ~vb ~va =
+  p.model.Device_model.iv p.edges.(k - 1).Chain.device (terminal_voltages p k ~t ~vb ~va)
+
+(* (dJ'_k/dv'_below, dJ'_k/dv'_above) *)
+let edge_current_derivs p k ~t ~vb ~va =
+  let tv = terminal_voltages p k ~t ~vb ~va in
+  let dsrc, dsnk = p.model.Device_model.iv_derivatives p.edges.(k - 1).Chain.device tv in
+  match p.rail with
+  | Chain.Pull_down -> (dsnk, dsrc)
+  | Chain.Pull_up -> (-.dsrc, -.dsnk)
+
+(* explicit time derivative of J'_k through a moving gate drive *)
+let edge_current_dt p k ~t ~vb ~va =
+  let slope = gate_real_slope p k t in
+  if slope = 0.0 then 0.0
+  else begin
+    let tv = terminal_voltages p k ~t ~vb ~va in
+    let h = 1e-5 in
+    let device = p.edges.(k - 1).Chain.device in
+    let up = p.model.Device_model.iv device { tv with input = tv.input +. h } in
+    let dn = p.model.Device_model.iv device { tv with input = tv.input -. h } in
+    (up -. dn) /. (2.0 *. h) *. slope
+  end
+
+(* body-corrected threshold of edge k seen from its below node *)
+let threshold p k ~t ~vb =
+  let real_b = real_of_norm p vb in
+  let tv = { Device_model.input = gate_real p k t; src = real_b; snk = real_b } in
+  p.model.Device_model.threshold p.edges.(k - 1).Chain.device tv
+
+let threshold_slope p k ~t ~vb =
+  let h = 1e-5 in
+  (threshold p k ~t ~vb:(vb +. h) -. threshold p k ~t ~vb:(vb -. h)) /. (2.0 *. h)
+
+(* gate drive in excess of threshold; the transistor conducts when >= 0 *)
+let drive p k ~t ~vb = gate_norm p k t -. vb -. threshold p k ~t ~vb
+
+(* nodes connected to the front through wire edges activate together *)
+let rec extend_front p a =
+  if a >= chain_length p then a
+  else if Chain.is_transistor p.edges.(a) then a
+  else extend_front p (a + 1)
+
+type target =
+  | Turn_on of int  (** edge index whose turn-on ends the region *)
+  | Level of { node : int; value : float }
+
+let is_linear p = p.cfg.Config.waveform_model = Config.Linear
+
+(* Region-end node voltages and currents for a candidate (x, delta).
+   Quadratic model (the paper's): x_k is the current slope [alpha_k], so
+   [v] gains i*d + alpha*d^2/2 over the region and [i] gains alpha*d.
+   Linear model: x_k is the region's (constant) current itself, so [v]
+   gains x*d and the end current is x. *)
+let project p st x delta =
+  let k_total = chain_length p in
+  let v_end = Array.make (k_total + 1) 0.0 and i_end = Array.make (k_total + 1) 0.0 in
+  let linear = is_linear p in
+  for k = 1 to k_total do
+    if k <= st.active then begin
+      let c = p.caps.(k - 1) in
+      if linear then begin
+        v_end.(k) <- st.v.(k) +. (x.(k - 1) *. delta /. c);
+        i_end.(k) <- x.(k - 1)
+      end
+      else begin
+        v_end.(k) <-
+          st.v.(k) +. (((st.i.(k) *. delta) +. (0.5 *. x.(k - 1) *. delta *. delta)) /. c);
+        i_end.(k) <- st.i.(k) +. (x.(k - 1) *. delta)
+      end
+    end
+    else v_end.(k) <- st.v.(k)
+  done;
+  (v_end, i_end)
+
+let region_residual p st target alpha delta =
+  let m = st.active in
+  let t' = st.t +. delta in
+  let v_end, i_end = project p st alpha delta in
+  let j = Array.make (m + 2) 0.0 in
+  for k = 1 to m do
+    j.(k) <- edge_current p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k)
+  done;
+  (* j.(m+1) stays 0: the edge above the front is an off transistor *)
+  let f = Array.make (m + 1) 0.0 in
+  for k = 1 to m do
+    f.(k - 1) <- i_end.(k) -. (j.(k + 1) -. j.(k))
+  done;
+  (match target with
+  | Turn_on k0 -> f.(m) <- drive p k0 ~t:t' ~vb:v_end.(m)
+  | Level { node; value } -> f.(m) <- v_end.(node) -. value);
+  (f, v_end, i_end)
+
+(* Jacobian of the region system, returned as its structural components:
+   the alpha-block tridiagonal, the dense last (d/d delta) column, the
+   single non-zero of the last row (at alpha_m) and the corner. *)
+let region_jacobian p st target alpha delta =
+  let m = st.active in
+  let linear = is_linear p in
+  let t' = st.t +. delta in
+  let v_end, i_end = project p st alpha delta in
+  (* dv_end/dx per node, and di_end/dx (shared by all nodes) *)
+  let h =
+    Array.init m (fun k ->
+        if linear then delta /. p.caps.(k) else 0.5 *. delta *. delta /. p.caps.(k))
+  in
+  let di_dx = if linear then 1.0 else delta in
+  let w = Array.make (m + 1) 0.0 in
+  for k = 1 to m do
+    w.(k) <- i_end.(k) /. p.caps.(k - 1)
+  done;
+  let lower = Array.make m 0.0
+  and diag = Array.make m 0.0
+  and upper = Array.make m 0.0
+  and last_col = Array.make m 0.0 in
+  (* each edge's derivatives are shared by the rows of both its nodes *)
+  let derivs =
+    Array.init m (fun idx ->
+        let k = idx + 1 in
+        edge_current_derivs p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k))
+  in
+  let deriv_ts =
+    Array.init m (fun idx ->
+        let k = idx + 1 in
+        edge_current_dt p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k))
+  in
+  for k = 1 to m do
+    let r = k - 1 in
+    let djk_b, djk_a = derivs.(r) in
+    let djk_t = deriv_ts.(r) in
+    let djk1_b, djk1_a, djk1_t =
+      if k < m then begin
+        let b, a = derivs.(r + 1) in
+        (b, a, deriv_ts.(r + 1))
+      end
+      else (0.0, 0.0, 0.0)
+    in
+    diag.(r) <- di_dx +. ((djk_a -. djk1_b) *. h.(r));
+    if k < m then upper.(r) <- -.djk1_a *. h.(r + 1);
+    if k > 1 then lower.(r) <- djk_b *. h.(r - 2 + 1);
+    let dj_dt_total =
+      (* d/d delta of -(J_{k+1} - J_k) through voltages and gate motion *)
+      -.((djk1_b *. w.(k)) +. (djk1_a *. (if k < m then w.(k + 1) else 0.0)) +. djk1_t)
+      +. (djk_b *. w.(k - 1))
+      +. (djk_a *. w.(k))
+      +. djk_t
+    in
+    (* di_end/d delta: alpha for the quadratic model, 0 for the linear *)
+    last_col.(r) <- (if linear then 0.0 else alpha.(r)) +. dj_dt_total
+  done;
+  let last_row_m, corner =
+    match target with
+    | Turn_on k0 ->
+      let vth' = threshold_slope p k0 ~t:t' ~vb:v_end.(m) in
+      let d_alpha = (-1.0 -. vth') *. h.(m - 1) in
+      let d_delta = gate_norm_slope p k0 t' -. ((1.0 +. vth') *. w.(m)) in
+      (d_alpha, d_delta)
+    | Level _ -> (h.(m - 1), w.(m))
+  in
+  (lower, diag, upper, last_col, last_row_m, corner)
+
+let solve_linear p (lower, diag, upper, last_col, last_row_m, corner) f =
+  let m = Array.length diag in
+  match p.cfg.Config.linear_solver with
+  | Config.Dense_lu ->
+    let a = Mat.create (m + 1) (m + 1) in
+    for r = 0 to m - 1 do
+      Mat.set a r r diag.(r);
+      if r > 0 then Mat.set a r (r - 1) lower.(r);
+      if r < m - 1 then Mat.set a r (r + 1) upper.(r);
+      Mat.set a r m last_col.(r)
+    done;
+    Mat.set a m (m - 1) last_row_m;
+    Mat.set a m m corner;
+    Lu.solve a f
+  | Config.Bordered ->
+    let core = Tridiag.make ~lower ~diag ~upper in
+    let last_row = Array.make m 0.0 in
+    last_row.(m - 1) <- last_row_m;
+    Bordered.solve { Bordered.core; last_col; last_row; corner } f
+  | Config.Sherman_morrison ->
+    (* the paper's form: an (m+1) tridiagonal matrix (the last row's only
+       non-zero is adjacent to the corner, and the last column's entry in
+       row m-1 fits the super-diagonal) plus a rank-1 update carrying the
+       remaining last-column entries *)
+    let lower' = Array.make (m + 1) 0.0
+    and diag' = Array.make (m + 1) 0.0
+    and upper' = Array.make (m + 1) 0.0 in
+    Array.blit lower 0 lower' 0 m;
+    Array.blit diag 0 diag' 0 m;
+    Array.blit upper 0 upper' 0 m;
+    upper'.(m - 1) <- last_col.(m - 1);
+    lower'.(m) <- last_row_m;
+    diag'.(m) <- corner;
+    let u = Array.make (m + 1) 0.0 in
+    for r = 0 to m - 2 do
+      u.(r) <- last_col.(r)
+    done;
+    let v = Array.make (m + 1) 0.0 in
+    v.(m) <- 1.0;
+    let core = Tridiag.make ~lower:lower' ~diag:diag' ~upper:upper' in
+    Sherman_morrison.solve_tridiag core ~u ~v f
+
+let converged p f =
+  let m = Array.length f - 1 in
+  let ok = ref (Float.abs f.(m) <= p.cfg.Config.voltage_tolerance) in
+  for k = 0 to m - 1 do
+    if Float.abs f.(k) > p.cfg.Config.current_tolerance then ok := false
+  done;
+  !ok
+
+(* first-order guess of the region length from the target node's slope *)
+let initial_delta p st target =
+  let fallback = 5e-12 in
+  let guess =
+    match target with
+    | Level { node; value } ->
+      let rate = -.st.i.(node) /. p.caps.(node - 1) in
+      if rate > 1e3 then (st.v.(node) -. value) /. rate else fallback
+    | Turn_on k0 ->
+      let m = st.active in
+      let target_v = gate_norm p k0 st.t -. threshold p k0 ~t:st.t ~vb:st.v.(m) in
+      let rate = -.st.i.(m) /. p.caps.(m - 1) in
+      if rate > 1e3 then (st.v.(m) -. target_v) /. rate else fallback
+  in
+  Float.min (Float.max guess 1e-14) (Float.max (p.t_end *. 2.0) 1e-12)
+
+type region_solution = { alpha : float array; delta : float; ok : bool; iters : int }
+
+(* Scale-free residual magnitude: current matches in units of the current
+   tolerance, the end condition in units of the voltage tolerance. *)
+let merit p f =
+  let m = Array.length f - 1 in
+  let acc = ref (Float.abs f.(m) /. p.cfg.Config.voltage_tolerance) in
+  for k = 0 to m - 1 do
+    acc := Float.max !acc (Float.abs f.(k) /. p.cfg.Config.current_tolerance)
+  done;
+  !acc
+
+(* Newton warm start from a given candidate (used after the explicit
+   estimator has produced a good guess). *)
+let solve_region_from ?cap p st target alpha0 delta0 =
+  let m = st.active in
+  let cfg = p.cfg in
+  let max_iterations = Option.value cap ~default:cfg.Config.max_iterations in
+  let alpha = Array.copy alpha0 in
+  let delta = ref (Float.max delta0 1e-15) in
+  let apply_step step dx =
+    let trial_alpha = Array.init m (fun r -> alpha.(r) -. (step *. dx.(r))) in
+    let prev = !delta in
+    let next = prev -. (step *. dx.(m)) in
+    let trial_delta =
+      if next <= 0.0 then prev *. 0.3
+      else if next > prev *. 10.0 then prev *. 10.0
+      else Float.max next 1e-16
+    in
+    (trial_alpha, trial_delta)
+  in
+  let rec iterate n f0 =
+    st.n_newton <- st.n_newton + 1;
+    if converged p f0 then { alpha; delta = !delta; ok = true; iters = n }
+    else if n >= max_iterations then { alpha; delta = !delta; ok = false; iters = n }
+    else begin
+      let jac = region_jacobian p st target alpha !delta in
+      match solve_linear p jac f0 with
+      | exception _ -> { alpha; delta = !delta; ok = false; iters = n }
+      | dx ->
+        st.n_solves <- st.n_solves + 1;
+        let m0 = merit p f0 in
+        let rec backtrack step tries =
+          let trial_alpha, trial_delta = apply_step step dx in
+          let f, _, _ = region_residual p st target trial_alpha trial_delta in
+          let mt = merit p f in
+          if tries = 0 then (trial_alpha, trial_delta, f, mt)
+          else if Float.is_nan mt || mt >= m0 then backtrack (step /. 2.0) (tries - 1)
+          else (trial_alpha, trial_delta, f, mt)
+        in
+        let trial_alpha, trial_delta, f, mt = backtrack cfg.Config.damping 10 in
+        if Float.is_nan mt then { alpha; delta = !delta; ok = false; iters = n }
+        else begin
+          Array.blit trial_alpha 0 alpha 0 m;
+          delta := trial_delta;
+          iterate (n + 1) f
+        end
+    end
+  in
+  let f0, _, _ = region_residual p st target alpha !delta in
+  if Float.is_nan (merit p f0) then { alpha; delta = !delta; ok = false; iters = 0 }
+  else iterate 0 f0
+
+let solve_region ?cap p st target =
+  let m = st.active in
+  let x0 =
+    if is_linear p then Array.init m (fun r -> st.i.(r + 1))
+    else if Array.length st.last_alpha = m then Array.copy st.last_alpha
+    else Array.make m 0.0
+  in
+  solve_region_from ?cap p st target x0 (initial_delta p st target)
+
+(* Coarse explicit-Euler integration of the active nodes up to the target
+   condition: a robust initial guess when the plain Newton start fails
+   (e.g. a turn-on region whose condition node has only just activated and
+   carries no current yet). *)
+let estimate_region p st target =
+  let m = st.active in
+  let v = Array.copy st.v in
+  let i = Array.make (m + 1) 0.0 in
+  let remaining = Float.max (p.t_end -. st.t) 1e-12 in
+  let reached t_rel =
+    match target with
+    | Turn_on k0 -> drive p k0 ~t:(st.t +. t_rel) ~vb:v.(m) >= 0.0
+    | Level { node; value } -> v.(node) <= value
+  in
+  let compute_currents t_rel =
+    let j = Array.make (m + 2) 0.0 in
+    for k = 1 to m do
+      j.(k) <- edge_current p k ~t:(st.t +. t_rel) ~vb:v.(k - 1) ~va:v.(k)
+    done;
+    for k = 1 to m do
+      i.(k) <- j.(k + 1) -. j.(k)
+    done
+  in
+  let rec step t_rel n =
+    if reached t_rel && t_rel > 0.0 then Some t_rel
+    else if n = 0 || t_rel > remaining *. 4.0 then None
+    else begin
+      compute_currents t_rel;
+      (* limit the per-step voltage change for stability *)
+      let dt = ref (remaining /. 50.0) in
+      for k = 1 to m do
+        let rate = Float.abs i.(k) /. p.caps.(k - 1) in
+        if rate > 0.0 then dt := Float.min !dt (0.08 /. rate)
+      done;
+      let dt = Float.max !dt 1e-16 in
+      for k = 1 to m do
+        v.(k) <- v.(k) +. (i.(k) /. p.caps.(k - 1) *. dt)
+      done;
+      step (t_rel +. dt) (n - 1)
+    end
+  in
+  match step 0.0 600 with
+  | None -> None
+  | Some delta ->
+    compute_currents delta;
+    let seed =
+      if is_linear p then Array.init m (fun r -> i.(r + 1))
+      else Array.init m (fun r -> (i.(r + 1) -. st.i.(r + 1)) /. delta)
+    in
+    Some (seed, delta)
+
+(* Reject solutions that leave the physical operating range: committing
+   them would poison every later region. Also reject regions whose
+   quadratic pieces swing far outside the rails {e between} the matching
+   points (the end states match but the waveform is garbage); bisecting
+   the target then yields shorter, well-behaved pieces. *)
+let plausible p st sol =
+  let v_end, _ = project p st sol.alpha sol.delta in
+  let lo = -0.3 and hi = p.vdd +. 0.3 in
+  let ok = ref (Float.is_finite sol.delta && sol.delta > 0.0) in
+  Array.iter
+    (fun v -> if not (Float.is_finite v) || v < lo -. 0.7 || v > hi +. 0.7 then ok := false)
+    v_end;
+  for k = 1 to (if is_linear p then 0 else st.active) do
+    (* interior extremum of the quadratic piece, if any *)
+    let a = sol.alpha.(k - 1) in
+    if a <> 0.0 then begin
+      let t_ext = -.st.i.(k) /. a in
+      if t_ext > 0.0 && t_ext < sol.delta then begin
+        let c = p.caps.(k - 1) in
+        let v_ext = st.v.(k) +. (((st.i.(k) *. t_ext) +. (0.5 *. a *. t_ext *. t_ext)) /. c) in
+        if v_ext < lo || v_ext > hi then ok := false
+      end
+    end
+  done;
+  !ok
+
+(* Fixed-length fallback region: with the region length pinned, only the
+   current-match equations remain and the Jacobian is purely tridiagonal.
+   Always commits; guarantees forward progress. *)
+let solve_fixed p st delta =
+  let m = st.active in
+  let cfg = p.cfg in
+  let alpha =
+    if is_linear p then Array.init m (fun r -> st.i.(r + 1)) else Array.make m 0.0
+  in
+  let residual a =
+    let t' = st.t +. delta in
+    let v_end, i_end = project p st a delta in
+    let j = Array.make (m + 2) 0.0 in
+    for k = 1 to m do
+      j.(k) <- edge_current p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k)
+    done;
+    Array.init m (fun r -> i_end.(r + 1) -. (j.(r + 2) -. j.(r + 1)))
+  in
+  let fixed_merit f =
+    Array.fold_left
+      (fun acc x -> Float.max acc (Float.abs x /. cfg.Config.current_tolerance))
+      0.0 f
+  in
+  let rec iterate n f0 =
+    st.n_newton <- st.n_newton + 1;
+    if fixed_merit f0 <= 1.0 || n >= cfg.Config.max_iterations then alpha
+    else begin
+      let lower, diag, upper, _, _, _ =
+        region_jacobian p st (Level { node = m; value = 0.0 }) alpha delta
+      in
+      match Tridiag.solve (Tridiag.make ~lower ~diag ~upper) f0 with
+      | exception _ -> alpha
+      | dx ->
+        st.n_solves <- st.n_solves + 1;
+        let m0 = fixed_merit f0 in
+        let rec backtrack step tries =
+          let trial = Array.init m (fun r -> alpha.(r) -. (step *. dx.(r))) in
+          let f = residual trial in
+          let mt = fixed_merit f in
+          if tries = 0 then (trial, f, mt)
+          else if Float.is_nan mt || mt >= m0 then backtrack (step /. 2.0) (tries - 1)
+          else (trial, f, mt)
+        in
+        let trial, f, mt = backtrack 1.0 8 in
+        if Float.is_nan mt then alpha
+        else begin
+          Array.blit trial 0 alpha 0 m;
+          iterate (n + 1) f
+        end
+    end
+  in
+  let alpha = iterate 0 (residual alpha) in
+  { alpha; delta; ok = true; iters = 0 }
+
+(* Step size for the fallback region: move the fastest node by ~0.1 V. *)
+let fallback_delta p st =
+  let m = st.active in
+  let dt = ref ((p.t_end -. st.t) /. 20.0) in
+  for k = 1 to m do
+    let rate = Float.abs st.i.(k) /. p.caps.(k - 1) in
+    if rate > 0.0 then dt := Float.min !dt (0.1 /. rate)
+  done;
+  Float.max !dt 1e-14
+
+(* append this region's quadratic pieces and advance the state *)
+let commit p st { alpha; delta; ok; iters = _ } =
+  let k_total = chain_length p in
+  let delta = Float.max delta 1e-16 in
+  let v_end, i_end = project p st alpha delta in
+  let linear = is_linear p in
+  for k = 1 to k_total do
+    let piece =
+      if k <= st.active then begin
+        if linear then
+          {
+            Waveform.t0 = st.t;
+            dt = delta;
+            v0 = st.v.(k);
+            dv = alpha.(k - 1) /. p.caps.(k - 1);
+            ddv = 0.0;
+          }
+        else
+          {
+            Waveform.t0 = st.t;
+            dt = delta;
+            v0 = st.v.(k);
+            dv = st.i.(k) /. p.caps.(k - 1);
+            ddv = alpha.(k - 1) /. p.caps.(k - 1);
+          }
+      end
+      else { Waveform.t0 = st.t; dt = delta; v0 = st.v.(k); dv = 0.0; ddv = 0.0 }
+    in
+    st.pieces.(k - 1) <- piece :: st.pieces.(k - 1)
+  done;
+  for k = 1 to k_total do
+    st.v.(k) <- v_end.(k);
+    if k <= st.active then st.i.(k) <- i_end.(k)
+  done;
+  st.t <- st.t +. delta;
+  st.n_regions <- st.n_regions + 1;
+  st.last_alpha <- Array.copy alpha;
+  if not ok then st.n_fail <- st.n_fail + 1
+
+let debug = ref false
+
+(* Attempt a region. Escalation ladder on Newton failure: retry from an
+   explicit-Euler warm start; bisect the target voltage; finally take a
+   short fixed-length current-matching step so the state always advances
+   physically. *)
+let rec advance p st target depth =
+  let sol =
+    (* a cheap capped attempt first; the explicit-Euler warm start earns
+       the full iteration budget only when the cheap start fails *)
+    let first = solve_region ~cap:(p.cfg.Config.max_iterations / 4) p st target in
+    if first.ok then first
+    else
+      match estimate_region p st target with
+      | Some (alpha0, delta0) ->
+        let retry = solve_region_from p st target alpha0 delta0 in
+        if retry.ok then retry else first
+      | None -> first
+  in
+  if !debug then begin
+    let f, _, _ = region_residual p st target sol.alpha sol.delta in
+    Printf.eprintf
+      "[qwm] t=%.2fps m=%d target=%s ok=%b iters=%d delta=%.3fps merit=%.3g v=[%s] i=[%s] alpha=[%s]\n%!"
+      (st.t *. 1e12) st.active
+      (match target with
+      | Turn_on k -> Printf.sprintf "turnon%d" k
+      | Level { node; value } -> Printf.sprintf "level(%d,%.3f)" node value)
+      sol.ok sol.iters (sol.delta *. 1e12) (merit p f)
+      (String.concat ","
+         (List.map (fun v -> Printf.sprintf "%.3f" v) (Array.to_list st.v)))
+      (String.concat ","
+         (List.map (fun v -> Printf.sprintf "%.2e" v) (Array.to_list st.i)))
+      (String.concat ","
+         (List.map (fun v -> Printf.sprintf "%.2e" v) (Array.to_list sol.alpha)))
+  end;
+  if sol.ok && plausible p st sol then commit p st sol
+  else begin
+    let node, goal =
+      match target with
+      | Level { node; value } -> (node, value)
+      | Turn_on k0 ->
+        let m = st.active in
+        (m, gate_norm p k0 st.t -. threshold p k0 ~t:st.t ~vb:st.v.(m))
+    in
+    let mid = (st.v.(node) +. goal) /. 2.0 in
+    if depth > 0 && Float.abs (mid -. st.v.(node)) >= 1e-4 then begin
+      st.n_bisect <- st.n_bisect + 1;
+      advance p st (Level { node; value = mid }) (depth - 1);
+      advance p st target (depth - 1)
+    end
+    else begin
+      (* last resort: a short fixed-length step that only matches currents *)
+      st.n_fail <- st.n_fail + 1;
+      commit p st (solve_fixed p st (fallback_delta p st))
+    end
+  end
+
+let refresh_currents p st =
+  let m = st.active in
+  let j = Array.make (m + 2) 0.0 in
+  for k = 1 to m do
+    j.(k) <- edge_current p k ~t:st.t ~vb:st.v.(k - 1) ~va:st.v.(k)
+  done;
+  for k = 1 to m do
+    st.i.(k) <- j.(k + 1) -. j.(k)
+  done
+
+(* first instant the (inactive-chain) bottom transistor's gate drive
+   reaches threshold, by sampling + bisection; None if never *)
+let find_gate_turn_on p k0 ~t_from =
+  let f t = drive p k0 ~t ~vb:0.0 in
+  if f t_from >= 0.0 then Some t_from
+  else begin
+    let samples = 512 in
+    let dt = (p.t_end -. t_from) /. float_of_int samples in
+    let rec scan i =
+      if i > samples then None
+      else begin
+        let t = t_from +. (float_of_int i *. dt) in
+        if f t >= 0.0 then begin
+          let rec bisect lo hi n =
+            if n = 0 then Some hi
+            else begin
+              let mid = (lo +. hi) /. 2.0 in
+              if f mid >= 0.0 then bisect lo mid (n - 1) else bisect mid hi (n - 1)
+            end
+          in
+          bisect (t -. dt) t 60
+        end
+        else scan (i + 1)
+      end
+    in
+    scan 1
+  end
+
+let finalize p st =
+  let k_total = chain_length p in
+  let t_solved = Float.max st.t (p.t_end *. 1e-3) in
+  let quads =
+    Array.init k_total (fun idx ->
+        let pieces = List.rev st.pieces.(idx) in
+        let pieces =
+          if pieces = [] then
+            [ { Waveform.t0 = 0.0; dt = t_solved; v0 = st.v.(idx + 1); dv = 0.0; ddv = 0.0 } ]
+          else pieces
+        in
+        let unnorm piece =
+          match p.rail with
+          | Chain.Pull_down -> piece
+          | Chain.Pull_up ->
+            {
+              piece with
+              Waveform.v0 = p.vdd -. piece.Waveform.v0;
+              dv = -.piece.Waveform.dv;
+              ddv = -.piece.Waveform.ddv;
+            }
+        in
+        Waveform.quadratic_of_pieces (List.map unnorm pieces))
+  in
+  {
+    node_quadratics = quads;
+    critical_times = List.rev st.crits;
+    t_solved = st.t;
+    stats =
+      {
+        regions = st.n_regions;
+        turn_ons = st.n_turn_ons;
+        newton_iterations = st.n_newton;
+        linear_solves = st.n_solves;
+        bisections = st.n_bisect;
+        failures = st.n_fail;
+      };
+  }
+
+let solve ~model ~config ~scenario ~chain ~initial =
+  let k_total = Chain.length chain in
+  if Array.length initial <> k_total then
+    invalid_arg "Qwm_solver.solve: initial voltage count mismatch";
+  let tech = scenario.Scenario.tech in
+  let gates =
+    Array.map
+      (fun (e : Chain.edge) ->
+        Option.map (fun g -> Scenario.source scenario g) e.Chain.gate)
+      chain.Chain.edges
+  in
+  let p =
+    {
+      model;
+      vdd = tech.Tqwm_device.Tech.vdd;
+      rail = chain.Chain.rail;
+      edges = chain.Chain.edges;
+      gates;
+      caps = chain.Chain.caps;
+      t_end = scenario.Scenario.t_end;
+      cfg = config;
+    }
+  in
+  let norm v = match p.rail with Chain.Pull_down -> v | Chain.Pull_up -> p.vdd -. v in
+  let st =
+    {
+      t = 0.0;
+      v = Array.init (k_total + 1) (fun k -> if k = 0 then 0.0 else norm initial.(k - 1));
+      i = Array.make (k_total + 1) 0.0;
+      active = 0;
+      pieces = Array.make k_total [];
+      crits = [];
+      n_regions = 0;
+      n_turn_ons = 0;
+      n_newton = 0;
+      n_solves = 0;
+      n_bisect = 0;
+      n_fail = 0;
+      last_alpha = [||];
+    }
+  in
+  let remaining_levels = ref (List.map (fun frac -> frac *. p.vdd) config.Config.levels) in
+  let end_level = config.Config.end_fraction *. p.vdd in
+  let rec loop () =
+    if st.t >= p.t_end || st.n_regions >= config.Config.max_regions then ()
+    else if st.active = 0 then begin
+      (* waiting for the bottom transistor's gate to reach threshold *)
+      match find_gate_turn_on p 1 ~t_from:st.t with
+      | None ->
+        (* never conducts: hold everything flat until the window ends *)
+        for k = 1 to k_total do
+          st.pieces.(k - 1) <-
+            { Waveform.t0 = st.t; dt = p.t_end -. st.t; v0 = st.v.(k); dv = 0.0; ddv = 0.0 }
+            :: st.pieces.(k - 1)
+        done;
+        st.t <- p.t_end
+      | Some t_on ->
+        if t_on > st.t +. 1e-16 then begin
+          for k = 1 to k_total do
+            st.pieces.(k - 1) <-
+              { Waveform.t0 = st.t; dt = t_on -. st.t; v0 = st.v.(k); dv = 0.0; ddv = 0.0 }
+              :: st.pieces.(k - 1)
+          done;
+          st.t <- t_on
+        end;
+        st.crits <- st.t :: st.crits;
+        st.n_turn_ons <- st.n_turn_ons + 1;
+        st.active <- extend_front p 1;
+        refresh_currents p st;
+        loop ()
+    end
+    else if st.active < k_total then begin
+      let k0 = st.active + 1 in
+      (* fire within tolerance: a just-solved turn-on region leaves the
+         drive within the Newton voltage tolerance of zero *)
+      let fire_margin = -10.0 *. config.Config.voltage_tolerance in
+      if drive p k0 ~t:st.t ~vb:st.v.(st.active) >= fire_margin then begin
+        (* already past threshold: fire the critical point immediately *)
+        st.crits <- st.t :: st.crits;
+        st.n_turn_ons <- st.n_turn_ons + 1;
+        st.active <- extend_front p k0;
+        refresh_currents p st;
+        loop ()
+      end
+      else begin
+        advance p st (Turn_on k0) config.Config.bisect_depth;
+        loop ()
+      end
+    end
+    else begin
+      (* all transistors on: follow the output down the level ladder *)
+      let v_out = st.v.(k_total) in
+      if v_out <= end_level then ()
+      else begin
+        let rec pick () =
+          match !remaining_levels with
+          | [] -> None
+          | l :: rest ->
+            if l < v_out -. 1e-6 then Some l
+            else begin
+              remaining_levels := rest;
+              pick ()
+            end
+        in
+        match pick () with
+        | None -> ()
+        | Some level ->
+          remaining_levels := List.tl !remaining_levels;
+          advance p st (Level { node = k_total; value = level }) config.Config.bisect_depth;
+          loop ()
+      end
+    end
+  in
+  loop ();
+  finalize p st

@@ -1,0 +1,49 @@
+(** The piecewise-quadratic waveform-matching engine (paper §IV).
+
+    The transient of a charge/discharge chain is divided into regions
+    separated by critical points — the instants successive transistors
+    turn on — plus a descending ladder of output-level matching points
+    once every transistor conducts. Within a region each active node's
+    current is linear, [I_k(t) = I_k(tau) + alpha_k (t - tau)], so its
+    voltage is quadratic; the [alpha_k] and the region length are found by
+    one small Newton solve matching capacitor currents against the device
+    I/V relation {e only at the region end point} (paper Eq. (7)).
+
+    Internally the chain is normalized to "discharge toward a rail at 0 V"
+    coordinates; pull-up (PMOS) chains are mirrored about VDD, solved
+    identically and mirrored back. *)
+
+open Tqwm_circuit
+
+type stats = {
+  regions : int;  (** quadratic regions solved *)
+  turn_ons : int;  (** critical points fired *)
+  newton_iterations : int;
+  linear_solves : int;
+  bisections : int;
+  failures : int;  (** regions accepted without full convergence *)
+}
+
+type result = {
+  node_quadratics : Tqwm_wave.Waveform.quadratic array;
+      (** real (un-normalized) voltage waveform of chain node [k] at index
+          [k-1] *)
+  critical_times : float list;  (** turn-on instants, ascending *)
+  t_solved : float;  (** last instant covered by the pieces *)
+  stats : stats;
+}
+
+val solve :
+  model:Tqwm_device.Device_model.t ->
+  config:Config.t ->
+  scenario:Scenario.t ->
+  chain:Chain.t ->
+  initial:float array ->
+  result
+(** [solve ~model ~config ~scenario ~chain ~initial] runs QWM on [chain];
+    [initial.(k-1)] is the real initial voltage of chain node [k]. Gate
+    drives come from the scenario's sources.
+    @raise Invalid_argument on malformed inputs. *)
+
+val debug : bool ref
+(** Emit a per-region trace on stderr (diagnostics only). *)

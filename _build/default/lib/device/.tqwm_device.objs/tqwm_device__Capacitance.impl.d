@@ -1,0 +1,1 @@
+lib/device/capacitance.ml: Device Float Tech

@@ -1,0 +1,1 @@
+lib/device/capacitance.mli: Device Tech

@@ -1,0 +1,1 @@
+lib/device/device.ml: Format Option Tech

@@ -1,0 +1,1 @@
+lib/device/device.mli: Format Tech

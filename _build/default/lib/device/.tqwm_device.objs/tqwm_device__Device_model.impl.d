@@ -1,0 +1,1 @@
+lib/device/device_model.ml: Capacitance Device Mosfet Tech

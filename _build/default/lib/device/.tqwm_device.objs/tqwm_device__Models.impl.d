@@ -1,0 +1,1 @@
+lib/device/models.ml: Device_model Mosfet Table_model

@@ -1,0 +1,1 @@
+lib/device/models.mli: Device_model Tech

@@ -1,0 +1,1 @@
+lib/device/table_model.ml: Array Buffer Device Device_model Float List Mosfet Printf String Tech Tqwm_num

@@ -1,0 +1,1 @@
+lib/device/table_model.mli: Device_model Mosfet Tech Tqwm_num

@@ -1,0 +1,1 @@
+lib/device/tech.ml:

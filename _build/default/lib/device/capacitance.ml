@@ -1,0 +1,24 @@
+let gate (tech : Tech.t) ~w ~l = (tech.cox *. w *. l) +. (2.0 *. tech.c_overlap *. w)
+
+let junction_zero_bias (tech : Tech.t) ~w =
+  let area = w *. tech.l_diffusion in
+  let perimeter = (2.0 *. tech.l_diffusion) +. w in
+  (tech.cj *. area) +. (tech.cjsw *. perimeter)
+
+let junction (tech : Tech.t) ~w ~v =
+  let c0 = junction_zero_bias tech ~w in
+  let v = Float.max v (-0.5 *. tech.pb) in
+  c0 /. ((1.0 +. (v /. tech.pb)) ** tech.mj)
+
+let overlap (tech : Tech.t) ~w = tech.c_overlap *. w
+
+let wire_total (tech : Tech.t) ~w ~l =
+  (tech.c_wire_area *. w *. l) +. (2.0 *. tech.c_wire_fringe *. l)
+
+let wire_resistance (tech : Tech.t) ~w ~l = tech.r_sheet_wire *. l /. w
+
+let terminal ?(miller_factor = 1.0) tech (device : Device.t) ~v =
+  match device.kind with
+  | Device.Nmos | Device.Pmos ->
+    junction tech ~w:device.w ~v +. (miller_factor *. overlap tech ~w:device.w)
+  | Device.Wire -> 0.5 *. wire_total tech ~w:device.w ~l:device.l

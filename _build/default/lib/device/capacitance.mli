@@ -1,0 +1,32 @@
+(** Parasitic capacitance models (paper Definition 2: [srccap], [snkcap],
+    [inputcap]; §III-B notes junction capacitances depend on terminal
+    voltages and that Miller capacitances are included). *)
+
+val gate : Tech.t -> w:float -> l:float -> float
+(** Intrinsic gate capacitance plus both overlap capacitances. *)
+
+val junction_zero_bias : Tech.t -> w:float -> float
+(** Source/drain junction capacitance at zero bias: area term over the
+    diffusion region plus the sidewall perimeter term. *)
+
+val junction : Tech.t -> w:float -> v:float -> float
+(** Reverse-bias-dependent junction capacitance
+    [Cj0 / (1 + v/pb)^mj]; [v] is the reverse bias (node voltage for an
+    n+ junction in a grounded p-substrate), clamped to avoid the
+    forward-bias singularity. *)
+
+val overlap : Tech.t -> w:float -> float
+(** Gate-to-diffusion overlap capacitance of one terminal. *)
+
+val terminal : ?miller_factor:float -> Tech.t -> Device.t -> v:float -> float
+(** Total capacitance contributed by one channel terminal of [device] to
+    its node: junction at bias [v] plus the overlap capacitance amplified
+    by [miller_factor] (default 1.0; use 2.0 for a switching gate per the
+    Miller approximation). Wires contribute half their total capacitance
+    to each end. *)
+
+val wire_total : Tech.t -> w:float -> l:float -> float
+(** Total distributed capacitance of a wire segment (area + fringe). *)
+
+val wire_resistance : Tech.t -> w:float -> l:float -> float
+(** End-to-end resistance of a wire segment. *)

@@ -1,0 +1,26 @@
+type kind = Nmos | Pmos | Wire
+
+type t = { kind : kind; w : float; l : float }
+
+let check_geometry w l =
+  if w <= 0.0 || l <= 0.0 then invalid_arg "Device: non-positive geometry"
+
+let nmos ?l ~w (tech : Tech.t) =
+  let l = Option.value l ~default:tech.Tech.l_min in
+  check_geometry w l;
+  { kind = Nmos; w; l }
+
+let pmos ?l ~w (tech : Tech.t) =
+  let l = Option.value l ~default:tech.Tech.l_min in
+  check_geometry w l;
+  { kind = Pmos; w; l }
+
+let wire ~w ~l =
+  check_geometry w l;
+  { kind = Wire; w; l }
+
+let kind_to_string = function Nmos -> "nmos" | Pmos -> "pmos" | Wire -> "wire"
+
+let pp fmt d =
+  Format.fprintf fmt "%s(w=%.3gum, l=%.3gum)" (kind_to_string d.kind) (d.w *. 1e6)
+    (d.l *. 1e6)

@@ -1,0 +1,24 @@
+(** Circuit elements (paper Definition 1).
+
+    A logic-stage edge is an NMOS transistor, a PMOS transistor, or a wire
+    segment, characterized by its geometric parameters; electrical
+    properties are derived from geometry by the device models. *)
+
+type kind = Nmos | Pmos | Wire
+
+type t = {
+  kind : kind;
+  w : float;  (** transistor width / wire width, m *)
+  l : float;  (** transistor length / wire length, m *)
+}
+
+val nmos : ?l:float -> w:float -> Tech.t -> t
+(** NMOS with default minimum channel length. *)
+
+val pmos : ?l:float -> w:float -> Tech.t -> t
+
+val wire : w:float -> l:float -> t
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit

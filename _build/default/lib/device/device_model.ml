@@ -1,0 +1,63 @@
+type terminal_voltages = { input : float; src : float; snk : float }
+
+type t = {
+  name : string;
+  iv : Device.t -> terminal_voltages -> float;
+  iv_derivatives : Device.t -> terminal_voltages -> float * float;
+  threshold : Device.t -> terminal_voltages -> float;
+  src_cap : Device.t -> v:float -> float;
+  snk_cap : Device.t -> v:float -> float;
+  input_cap : Device.t -> float;
+}
+
+let finite_difference_derivatives iv device tv =
+  let h = 1e-6 in
+  let dsrc =
+    (iv device { tv with src = tv.src +. h } -. iv device { tv with src = tv.src -. h })
+    /. (2.0 *. h)
+  in
+  let dsnk =
+    (iv device { tv with snk = tv.snk +. h } -. iv device { tv with snk = tv.snk -. h })
+    /. (2.0 *. h)
+  in
+  (dsrc, dsnk)
+
+let analytic ?(miller_factor = 1.0) (tech : Tech.t) =
+  let iv (device : Device.t) tv =
+    match device.kind with
+    | Device.Nmos ->
+      Mosfet.channel_current tech Mosfet.N ~w:device.w ~l:device.l ~vg:tv.input
+        ~va:tv.src ~vb:tv.snk
+    | Device.Pmos ->
+      Mosfet.channel_current tech Mosfet.P ~w:device.w ~l:device.l ~vg:tv.input
+        ~va:tv.src ~vb:tv.snk
+    | Device.Wire ->
+      (tv.src -. tv.snk) /. Capacitance.wire_resistance tech ~w:device.w ~l:device.l
+  in
+  let iv_derivatives (device : Device.t) tv =
+    match device.kind with
+    | Device.Nmos | Device.Pmos -> finite_difference_derivatives iv device tv
+    | Device.Wire ->
+      let g = 1.0 /. Capacitance.wire_resistance tech ~w:device.w ~l:device.l in
+      (g, -.g)
+  in
+  let threshold (device : Device.t) tv =
+    match device.kind with
+    | Device.Nmos -> Mosfet.threshold tech Mosfet.N ~vsb:tv.snk
+    | Device.Pmos -> Mosfet.threshold tech Mosfet.P ~vsb:(tech.vdd -. tv.src)
+    | Device.Wire -> 0.0
+  in
+  let terminal_cap device ~v = Capacitance.terminal ~miller_factor tech device ~v in
+  {
+    name = "analytic";
+    iv;
+    iv_derivatives;
+    threshold;
+    src_cap = terminal_cap;
+    snk_cap = terminal_cap;
+    input_cap =
+      (fun (device : Device.t) ->
+        match device.kind with
+        | Device.Nmos | Device.Pmos -> Capacitance.gate tech ~w:device.w ~l:device.l
+        | Device.Wire -> 0.0);
+  }

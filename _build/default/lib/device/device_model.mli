@@ -1,0 +1,39 @@
+(** The paper's [DeviceModel] interface (Definition 2).
+
+    A device model maps geometry and a terminal-voltage configuration to
+    the current flowing from the edge's [src] node to its [snk] node, and
+    exposes the threshold and parasitic-capacitance relations the QWM and
+    SPICE engines need. Two implementations exist: the analytic model
+    below (the golden physics) and {!Table_model} (the compressed tabular
+    fit QWM uses, mirroring the paper's Hspice characterization). *)
+
+type terminal_voltages = {
+  input : float;  (** gate voltage; meaningless for wires *)
+  src : float;  (** voltage of the supply-side terminal of the edge *)
+  snk : float;  (** voltage of the ground-side terminal *)
+}
+
+type t = {
+  name : string;
+  iv : Device.t -> terminal_voltages -> float;
+      (** current src -> snk; positive when conducting "downhill" *)
+  iv_derivatives : Device.t -> terminal_voltages -> float * float;
+      (** [(dI/dVsrc, dI/dVsnk)] *)
+  threshold : Device.t -> terminal_voltages -> float;
+      (** turn-on threshold (positive magnitude, body-corrected): an NMOS
+          conducts when [input - snk > threshold], a PMOS when
+          [src - input > threshold], wires always (threshold 0) *)
+  src_cap : Device.t -> v:float -> float;
+      (** capacitance contribution of the src terminal at node bias [v] *)
+  snk_cap : Device.t -> v:float -> float;
+  input_cap : Device.t -> float;
+}
+
+val analytic : ?miller_factor:float -> Tech.t -> t
+(** Model backed by {!Mosfet} physics and {!Capacitance}. NMOS and PMOS
+    body terminals are tied to ground and VDD respectively. *)
+
+val finite_difference_derivatives :
+  (Device.t -> terminal_voltages -> float) -> Device.t -> terminal_voltages -> float * float
+(** Central-difference [iv_derivatives] for models that lack analytic
+    ones. *)

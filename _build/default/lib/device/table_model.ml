@@ -1,0 +1,313 @@
+module Interp = Tqwm_num.Interp
+module Polyfit = Tqwm_num.Polyfit
+
+type fit = {
+  s1 : float;
+  s2 : float;
+  t0 : float;
+  t1 : float;
+  t2 : float;
+  vth : float;
+  vdsat : float;
+}
+
+let zero_fit ~vth = { s1 = 0.0; s2 = 0.0; t0 = 0.0; t1 = 0.0; t2 = 0.0; vth; vdsat = 0.0 }
+
+type t = {
+  tech : Tech.t;
+  polarity : Mosfet.polarity;
+  vg_axis : Interp.axis;
+  vs_axis : Interp.axis;
+  fits : fit array array;  (** indexed [vg][vs] *)
+  vth_by_vs : float array;
+}
+
+let reference_w = 1.0e-6
+
+let reference_l (tech : Tech.t) = tech.l_min
+
+(* Evaluate one grid point's piecewise fit at a channel drop [x = vd - vs];
+   the quadratic covers the triode region, the line the saturation region. *)
+let fit_eval fit x =
+  if x <= fit.vdsat then fit.t0 +. (fit.t1 *. x) +. (fit.t2 *. x *. x)
+  else (fit.s1 *. x) +. fit.s2
+
+let fit_eval_deriv fit x =
+  if x <= fit.vdsat then fit.t1 +. (2.0 *. fit.t2 *. x) else fit.s1
+
+let sample_range ~lo ~hi ~count f =
+  Array.init count (fun i ->
+      let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (count - 1)) in
+      (x, f x))
+
+let characterize ?(grid_step = 0.1) ?(vd_samples = 9) (tech : Tech.t) ~polarity
+    ~source ~threshold =
+  if grid_step <= 0.0 then invalid_arg "Table_model.characterize: grid_step <= 0";
+  if vd_samples < 3 then invalid_arg "Table_model.characterize: vd_samples < 3";
+  let count = int_of_float (Float.ceil (tech.vdd /. grid_step)) + 1 in
+  let vg_axis = Interp.axis ~start:0.0 ~stop:tech.vdd ~count in
+  let vs_axis = vg_axis in
+  let fit_point g s =
+    let vth = threshold ~vs:s in
+    let vdsat = Float.max (g -. s -. vth) 0.0 in
+    let headroom = tech.vdd -. s in
+    if vdsat <= 1e-9 || headroom <= 1e-9 then zero_fit ~vth
+    else begin
+      let current x = source ~vg:g ~vs:s ~vd:(s +. x) in
+      let triode_end = Float.min vdsat headroom in
+      let triode_pts = sample_range ~lo:0.0 ~hi:triode_end ~count:vd_samples current in
+      let t0, t1, t2 = Polyfit.quadratic triode_pts in
+      let s1, s2 =
+        if vdsat < headroom -. 1e-9 then
+          let sat_pts = sample_range ~lo:vdsat ~hi:headroom ~count:vd_samples current in
+          Polyfit.linear sat_pts |> fun (intercept, slope) -> (slope, intercept)
+        else begin
+          (* no saturation headroom on the grid: continue with the triode tangent *)
+          let slope = t1 +. (2.0 *. t2 *. triode_end) in
+          let value = t0 +. (t1 *. triode_end) +. (t2 *. triode_end *. triode_end) in
+          (slope, value -. (slope *. triode_end))
+        end
+      in
+      { s1; s2; t0; t1; t2; vth; vdsat = triode_end }
+    end
+  in
+  let fits =
+    Array.init count (fun i ->
+        Array.init count (fun j -> fit_point (Interp.knot vg_axis i) (Interp.knot vs_axis j)))
+  in
+  let vth_by_vs = Array.init count (fun j -> fits.(0).(j).vth) in
+  { tech; polarity; vg_axis; vs_axis; fits; vth_by_vs }
+
+let of_analytic ?grid_step ?vd_samples (tech : Tech.t) polarity =
+  let w = reference_w and l = reference_l tech in
+  let source =
+    match polarity with
+    | Mosfet.N -> fun ~vg ~vs ~vd -> Mosfet.ids tech Mosfet.N ~w ~l ~vg ~vd ~vs
+    | Mosfet.P ->
+      (* pull-down-normalized coordinates: mirror about VDD *)
+      fun ~vg ~vs ~vd ->
+        Mosfet.ids tech Mosfet.P ~w ~l ~vg:(tech.vdd -. vg) ~vd:(tech.vdd -. vd)
+          ~vs:(tech.vdd -. vs)
+  in
+  let threshold ~vs = Mosfet.threshold tech polarity ~vsb:vs in
+  characterize ?grid_step ?vd_samples tech ~polarity ~source ~threshold
+
+(* Bilinear interpolation between the four neighbouring grid fits; each
+   corner's polynomial is evaluated at the query's own vd (paper §V-A). *)
+let interp_corners t ~vg ~vs ~vd eval =
+  let i, tx = Interp.locate t.vg_axis vg in
+  let j, ty = Interp.locate t.vs_axis vs in
+  let corner di dj =
+    let fit = t.fits.(i + di).(j + dj) in
+    let s_corner = Interp.knot t.vs_axis (j + dj) in
+    eval fit (vd -. s_corner)
+  in
+  let f00 = corner 0 0 and f10 = corner 1 0 and f01 = corner 0 1 and f11 = corner 1 1 in
+  ((1.0 -. tx) *. (1.0 -. ty) *. f00)
+  +. (tx *. (1.0 -. ty) *. f10)
+  +. ((1.0 -. tx) *. ty *. f01)
+  +. (tx *. ty *. f11)
+
+let lookup t ~vg ~vs ~vd = interp_corners t ~vg ~vs ~vd fit_eval
+
+let lookup_dvd t ~vg ~vs ~vd = interp_corners t ~vg ~vs ~vd fit_eval_deriv
+
+(* One corner pass yielding the current and both fast derivatives (paper
+   §V-A: "I/V queries ... dIds/dVd and dIds/dVs can be computed very
+   fast"). dI/dVd interpolates the fitted-polynomial slopes; dI/dVs
+   differentiates the interpolation weights (the corners' own [vds]
+   arguments do not depend on the query's source voltage). *)
+let lookup_with_derivs t ~vg ~vs ~vd =
+  let i, tx = Interp.locate t.vg_axis vg in
+  let j, ty = Interp.locate t.vs_axis vs in
+  let corner di dj eval =
+    let fit = t.fits.(i + di).(j + dj) in
+    eval fit (vd -. Interp.knot t.vs_axis (j + dj))
+  in
+  let f00 = corner 0 0 fit_eval and f10 = corner 1 0 fit_eval in
+  let f01 = corner 0 1 fit_eval and f11 = corner 1 1 fit_eval in
+  let d00 = corner 0 0 fit_eval_deriv and d10 = corner 1 0 fit_eval_deriv in
+  let d01 = corner 0 1 fit_eval_deriv and d11 = corner 1 1 fit_eval_deriv in
+  let w00 = (1.0 -. tx) *. (1.0 -. ty)
+  and w10 = tx *. (1.0 -. ty)
+  and w01 = (1.0 -. tx) *. ty
+  and w11 = tx *. ty in
+  let value = (w00 *. f00) +. (w10 *. f10) +. (w01 *. f01) +. (w11 *. f11) in
+  let dvd = (w00 *. d00) +. (w10 *. d10) +. (w01 *. d01) +. (w11 *. d11) in
+  let dvs =
+    (((1.0 -. tx) *. (f01 -. f00)) +. (tx *. (f11 -. f10))) /. t.vs_axis.Interp.step
+  in
+  (value, dvd, dvs)
+
+let threshold t ~vs =
+  Interp.linear t.vs_axis t.vth_by_vs vs
+
+let vdsat t ~vg ~vs = interp_corners t ~vg ~vs ~vd:vs (fun fit _ -> fit.vdsat)
+
+let fit_at t i j = t.fits.(i).(j)
+
+let format_version = 1
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "tqwm-table %d\n" format_version);
+  Buffer.add_string buf
+    (Printf.sprintf "polarity %s\n"
+       (match t.polarity with Mosfet.N -> "N" | Mosfet.P -> "P"));
+  Buffer.add_string buf (Printf.sprintf "vdd %.17g\n" t.tech.Tech.vdd);
+  Buffer.add_string buf
+    (Printf.sprintf "grid %.17g %.17g %d\n" t.vg_axis.Interp.start t.vg_axis.Interp.step
+       t.vg_axis.Interp.count);
+  Array.iter
+    (Array.iter (fun fit ->
+         Buffer.add_string buf
+           (Printf.sprintf "%.17g %.17g %.17g %.17g %.17g %.17g %.17g\n" fit.s1 fit.s2
+              fit.t0 fit.t1 fit.t2 fit.vth fit.vdsat)))
+    t.fits;
+  Buffer.contents buf
+
+let of_string (tech : Tech.t) text =
+  let fail msg = failwith ("Table_model.of_string: " ^ msg) in
+  let lines =
+    String.split_on_char '\n' text |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | magic :: polarity_line :: vdd_line :: grid_line :: fit_lines ->
+    (match String.split_on_char ' ' magic with
+    | [ "tqwm-table"; v ] when int_of_string_opt v = Some format_version -> ()
+    | _ -> fail "bad magic or version");
+    let polarity =
+      match String.split_on_char ' ' polarity_line with
+      | [ "polarity"; "N" ] -> Mosfet.N
+      | [ "polarity"; "P" ] -> Mosfet.P
+      | _ -> fail "bad polarity line"
+    in
+    let vdd =
+      match String.split_on_char ' ' vdd_line with
+      | [ "vdd"; v ] -> (try float_of_string v with Failure _ -> fail "bad vdd")
+      | _ -> fail "bad vdd line"
+    in
+    if Float.abs (vdd -. tech.Tech.vdd) > 1e-9 then
+      fail
+        (Printf.sprintf "table characterized at vdd=%g but tech has %g" vdd tech.Tech.vdd);
+    let start, step, count =
+      match String.split_on_char ' ' grid_line with
+      | [ "grid"; a; b; c ] ->
+        (try (float_of_string a, float_of_string b, int_of_string c)
+         with Failure _ -> fail "bad grid")
+      | _ -> fail "bad grid line"
+    in
+    if count < 2 || step <= 0.0 then fail "bad grid parameters";
+    let axis = { Interp.start; step; count } in
+    let expected = count * count in
+    if List.length fit_lines <> expected then
+      fail
+        (Printf.sprintf "expected %d fit lines, found %d" expected
+           (List.length fit_lines));
+    let parse_fit line =
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | [ s1; s2; t0; t1; t2; vth; vdsat ] ->
+        (try
+           {
+             s1 = float_of_string s1;
+             s2 = float_of_string s2;
+             t0 = float_of_string t0;
+             t1 = float_of_string t1;
+             t2 = float_of_string t2;
+             vth = float_of_string vth;
+             vdsat = float_of_string vdsat;
+           }
+         with Failure _ -> fail "bad fit value")
+      | _ -> fail "fit line needs 7 values"
+    in
+    let all = Array.of_list (List.map parse_fit fit_lines) in
+    let fits = Array.init count (fun i -> Array.init count (fun j -> all.((i * count) + j))) in
+    let vth_by_vs = Array.init count (fun j -> fits.(0).(j).vth) in
+    { tech; polarity; vg_axis = axis; vs_axis = axis; fits; vth_by_vs }
+  | _ -> fail "truncated header"
+
+let save t ~path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load tech ~path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string tech text
+
+let grid t = (t.vg_axis, t.vs_axis)
+
+let geometry_scale t (device : Device.t) =
+  device.w *. reference_l t.tech /. (device.l *. reference_w)
+
+(* Current src -> snk for a transistor edge, resolving terminal symmetry
+   and the PMOS mirror onto the normalized table. *)
+let transistor_iv table (device : Device.t) (tv : Device_model.terminal_voltages) =
+  let scale = geometry_scale table device in
+  match table.polarity with
+  | Mosfet.N ->
+    if tv.src >= tv.snk then scale *. lookup table ~vg:tv.input ~vs:tv.snk ~vd:tv.src
+    else -.(scale *. lookup table ~vg:tv.input ~vs:tv.src ~vd:tv.snk)
+  | Mosfet.P ->
+    let vdd = table.tech.vdd in
+    let g = vdd -. tv.input and a = vdd -. tv.src and b = vdd -. tv.snk in
+    if b >= a then scale *. lookup table ~vg:g ~vs:a ~vd:b
+    else -.(scale *. lookup table ~vg:g ~vs:b ~vd:a)
+
+let to_device_model ?(miller_factor = 1.0) (tech : Tech.t) ~nmos ~pmos =
+  let analytic = Device_model.analytic ~miller_factor tech in
+  let iv (device : Device.t) tv =
+    match device.kind with
+    | Device.Nmos -> transistor_iv nmos device tv
+    | Device.Pmos -> transistor_iv pmos device tv
+    | Device.Wire -> analytic.Device_model.iv device tv
+  in
+  (* (dI/dVsrc, dI/dVsnk) from the fast table derivatives, with the same
+     terminal-symmetry and polarity normalization as [transistor_iv] *)
+  let transistor_derivs table device (tv : Device_model.terminal_voltages) =
+    let scale = geometry_scale table device in
+    match table.polarity with
+    | Mosfet.N ->
+      if tv.src >= tv.snk then begin
+        let _, dvd, dvs = lookup_with_derivs table ~vg:tv.input ~vs:tv.snk ~vd:tv.src in
+        (scale *. dvd, scale *. dvs)
+      end
+      else begin
+        let _, dvd, dvs = lookup_with_derivs table ~vg:tv.input ~vs:tv.src ~vd:tv.snk in
+        (-.(scale *. dvs), -.(scale *. dvd))
+      end
+    | Mosfet.P ->
+      let vdd = table.tech.vdd in
+      let g = vdd -. tv.input and a = vdd -. tv.src and b = vdd -. tv.snk in
+      if b >= a then begin
+        let _, dvd, dvs = lookup_with_derivs table ~vg:g ~vs:a ~vd:b in
+        (-.(scale *. dvs), -.(scale *. dvd))
+      end
+      else begin
+        let _, dvd, dvs = lookup_with_derivs table ~vg:g ~vs:b ~vd:a in
+        (scale *. dvd, scale *. dvs)
+      end
+  in
+  let iv_derivatives (device : Device.t) tv =
+    match device.kind with
+    | Device.Nmos -> transistor_derivs nmos device tv
+    | Device.Pmos -> transistor_derivs pmos device tv
+    | Device.Wire -> analytic.Device_model.iv_derivatives device tv
+  in
+  let threshold_fn (device : Device.t) (tv : Device_model.terminal_voltages) =
+    match device.kind with
+    | Device.Nmos -> threshold nmos ~vs:tv.snk
+    | Device.Pmos -> threshold pmos ~vs:(tech.vdd -. tv.src)
+    | Device.Wire -> 0.0
+  in
+  {
+    analytic with
+    Device_model.name = "table";
+    iv;
+    iv_derivatives;
+    threshold = threshold_fn;
+  }

@@ -1,0 +1,1 @@
+lib/interconnect/awe.ml: Array Float Rc_tree Tqwm_num

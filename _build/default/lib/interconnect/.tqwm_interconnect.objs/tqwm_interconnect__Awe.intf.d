@@ -1,0 +1,1 @@
+lib/interconnect/awe.mli: Rc_tree

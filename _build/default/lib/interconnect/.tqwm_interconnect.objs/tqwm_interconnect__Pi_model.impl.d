@@ -1,0 +1,1 @@
+lib/interconnect/pi_model.ml: Float Rc_tree Tqwm_device

@@ -1,0 +1,1 @@
+lib/interconnect/pi_model.mli: Rc_tree Tqwm_device

@@ -1,0 +1,1 @@
+lib/interconnect/rc_tree.mli:

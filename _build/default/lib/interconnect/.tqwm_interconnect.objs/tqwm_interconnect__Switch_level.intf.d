@@ -1,0 +1,1 @@
+lib/interconnect/switch_level.mli: Chain Rc_tree Tqwm_circuit Tqwm_device

@@ -1,0 +1,67 @@
+type two_pole = { poles : float * float; residues : float * float }
+
+exception Unstable
+
+(* exact or near single-pole response: p = 1/m1 for H = 1/(1 - m1 s) *)
+let single_pole m1 =
+  if m1 >= 0.0 then raise Unstable;
+  let p = 1.0 /. m1 in
+  { poles = (p, p *. 1e6); residues = (-1.0, 0.0) }
+
+(* H(s) = (a0 + a1 s)/(1 + b1 s + b2 s^2) with a0 = 1 (unit DC gain).
+   Matching the series H(s) = 1 + m1 s + m2 s^2 + m3 s^3 + ... gives
+     s^2:  m2 + b1 m1 + b2 = 0
+     s^3:  m3 + b1 m2 + b2 m1 = 0
+   so b1 = (m3 - m1 m2) / (m1^2 - m2), b2 = (m2^2 - m1 m3) / (m1^2 - m2),
+   and a1 = m1 + b1. *)
+let fit ~m1 ~m2 ~m3 =
+  let det = (m1 *. m1) -. m2 in
+  let scale = (m1 *. m1) +. Float.abs m2 in
+  if Float.abs det <= 1e-9 *. scale then single_pole m1
+  else begin
+    let b1 = (m3 -. (m1 *. m2)) /. det in
+    let b2 = ((m2 *. m2) -. (m1 *. m3)) /. det in
+    if Float.abs b2 <= 1e-12 *. b1 *. b1 then single_pole m1
+    else begin
+      let a1 = m1 +. b1 in
+      (* poles: roots of b2 s^2 + b1 s + 1 = 0 *)
+      match Tqwm_num.Quad.roots ~a:b2 ~b:b1 ~c:1.0 with
+      | [ p1; p2 ] when p1 < 0.0 && p2 < 0.0 ->
+        (* residues of H(s)/s = 1/s + k1/(s-p1) + k2/(s-p2) *)
+        let k1 = (1.0 +. (a1 *. p1)) /. (b2 *. p1 *. (p1 -. p2)) in
+        let k2 = (1.0 +. (a1 *. p2)) /. (b2 *. p2 *. (p2 -. p1)) in
+        { poles = (p1, p2); residues = (k1, k2) }
+      | [ _; _ ] | [ _ ] | [] -> raise Unstable
+      | _ :: _ :: _ :: _ -> assert false
+    end
+  end
+
+let of_tree tree ~node =
+  let m = Rc_tree.moments tree ~order:3 in
+  fit ~m1:m.(1).(node) ~m2:m.(2).(node) ~m3:m.(3).(node)
+
+let step_response { poles = p1, p2; residues = k1, k2 } t =
+  if t < 0.0 then 0.0
+  else 1.0 +. (k1 *. exp (p1 *. t)) +. (k2 *. exp (p2 *. t))
+
+let dominant_time_constant { poles = p1, p2; _ } = -1.0 /. Float.max p1 p2
+
+let delay_to tp ~level =
+  if level <= 0.0 || level >= 1.0 then invalid_arg "Awe.delay_to: level out of (0,1)";
+  let tau = dominant_time_constant tp in
+  (* bracket the crossing, then bisect *)
+  let rec grow hi n =
+    if n = 0 then hi
+    else if step_response tp hi >= level then hi
+    else grow (2.0 *. hi) (n - 1)
+  in
+  let hi = grow tau 60 in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if step_response tp mid >= level then bisect lo mid (n - 1)
+      else bisect mid hi (n - 1)
+    end
+  in
+  bisect 0.0 hi 80

@@ -1,0 +1,32 @@
+(** Asymptotic waveform evaluation: two-pole Padé approximation of an RC
+    transfer function from its first three circuit moments (Pillage &
+    Rohrer). Used to evaluate wire responses and to sanity-check the
+    pi-model reduction (the paper builds its wire macromodels "using the
+    AWE approach"). *)
+
+type two_pole = {
+  poles : float * float;  (** both negative for a stable RC fit *)
+  residues : float * float;  (** step-response residues *)
+}
+
+exception Unstable
+(** Raised when the fitted poles are not negative real (moment data not
+    RC-realizable at this order). *)
+
+val fit : m1:float -> m2:float -> m3:float -> two_pole
+(** Fit [H(s) = (a0 + a1 s) / (1 + b1 s + b2 s^2)] matching moments
+    1, m1, m2, m3, then factor into poles/residues. *)
+
+val of_tree : Rc_tree.t -> node:int -> two_pole
+(** Fit the transfer to one node of an RC tree. *)
+
+val step_response : two_pole -> float -> float
+(** Unit-step response at time [t >= 0]:
+    [1 + k1 e^(p1 t) + k2 e^(p2 t)]. *)
+
+val delay_to : two_pole -> level:float -> float
+(** First time the step response crosses [level] in (0, 1), by bisection.
+    @raise Invalid_argument for levels outside (0, 1). *)
+
+val dominant_time_constant : two_pole -> float
+(** [-1 / max(p1, p2)], the slowest time constant. *)

@@ -1,0 +1,20 @@
+type t = { c_near : float; r : float; c_far : float }
+
+let of_admittance_moments ~y1 ~y2 ~y3 =
+  if y3 = 0.0 || y2 = 0.0 then invalid_arg "Pi_model: degenerate admittance moments";
+  let c_far = y2 *. y2 /. y3 in
+  let r = -.(y3 *. y3) /. (y2 *. y2 *. y2) in
+  let c_near = y1 -. c_far in
+  if c_far <= 0.0 || r < 0.0 then invalid_arg "Pi_model: non-realizable reduction";
+  { c_near = Float.max c_near 0.0; r; c_far }
+
+let of_tree tree =
+  let y1, y2, y3 = Rc_tree.admittance_moments tree in
+  of_admittance_moments ~y1 ~y2 ~y3
+
+let of_wire tech ~w ~l ~segments =
+  let r_total = Tqwm_device.Capacitance.wire_resistance tech ~w ~l in
+  let c_total = Tqwm_device.Capacitance.wire_total tech ~w ~l in
+  of_tree (Rc_tree.of_ladder ~r_total ~c_total ~segments)
+
+let total_cap t = t.c_near +. t.c_far

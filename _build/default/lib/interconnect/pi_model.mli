@@ -1,0 +1,23 @@
+(** O'Brien–Savarino pi-model reduction.
+
+    Reduce a distributed RC load to a 3-element pi (near capacitance,
+    resistance, far capacitance) matching the first three moments of the
+    driving-point admittance. The paper builds exactly such "macro pi
+    models" for the decoder-tree wires before running QWM. *)
+
+type t = {
+  c_near : float;  (** capacitance at the driven end *)
+  r : float;
+  c_far : float;  (** capacitance at the far end *)
+}
+
+val of_admittance_moments : y1:float -> y2:float -> y3:float -> t
+(** [c_far = y2^2 / y3], [r = -(y3^2) / y2^3], [c_near = y1 - c_far].
+    @raise Invalid_argument on degenerate moments (e.g. zero [y3]). *)
+
+val of_tree : Rc_tree.t -> t
+
+val of_wire : Tqwm_device.Tech.t -> w:float -> l:float -> segments:int -> t
+(** Pi reduction of a uniform wire discretized as an RC ladder. *)
+
+val total_cap : t -> float

@@ -1,0 +1,96 @@
+type t = { parent : int array; resistance : float array; cap : float array }
+
+let make ~parent ~resistance ~cap =
+  let n = Array.length parent in
+  if Array.length resistance <> n || Array.length cap <> n then
+    invalid_arg "Rc_tree.make: length mismatch";
+  if n = 0 then invalid_arg "Rc_tree.make: empty tree";
+  if parent.(0) <> -1 then invalid_arg "Rc_tree.make: node 0 must be the root";
+  Array.iteri
+    (fun i p ->
+      if i > 0 && (p < 0 || p >= i) then
+        (* parents must precede children: guarantees acyclicity *)
+        invalid_arg "Rc_tree.make: parents must precede children")
+    parent;
+  Array.iter (fun r -> if r < 0.0 then invalid_arg "Rc_tree.make: negative R") resistance;
+  Array.iter (fun c -> if c < 0.0 then invalid_arg "Rc_tree.make: negative C") cap;
+  { parent; resistance; cap }
+
+let num_nodes t = Array.length t.parent
+
+let of_ladder ~r_total ~c_total ~segments =
+  if segments < 1 then invalid_arg "Rc_tree.of_ladder: segments < 1";
+  if r_total < 0.0 || c_total <= 0.0 then invalid_arg "Rc_tree.of_ladder: bad R/C";
+  let n = segments + 1 in
+  let r_seg = r_total /. float_of_int segments in
+  let c_seg = c_total /. float_of_int segments in
+  make
+    ~parent:(Array.init n (fun i -> i - 1))
+    ~resistance:(Array.init n (fun i -> if i = 0 then 0.0 else r_seg))
+    ~cap:
+      (Array.init n (fun i ->
+           if i = 0 then c_seg /. 2.0
+           else if i = segments then c_seg /. 2.0
+           else c_seg))
+
+let downstream_caps t =
+  let n = num_nodes t in
+  let acc = Array.copy t.cap in
+  (* children have larger indices, so one reverse sweep suffices *)
+  for i = n - 1 downto 1 do
+    acc.(t.parent.(i)) <- acc.(t.parent.(i)) +. acc.(i)
+  done;
+  acc
+
+let path_to_root t node =
+  let rec go acc n = if n < 0 then acc else go (n :: acc) t.parent.(n) in
+  go [] node
+
+let shared_resistance t a b =
+  let on_path_a = Array.make (num_nodes t) false in
+  List.iter (fun n -> on_path_a.(n) <- true) (path_to_root t a);
+  List.fold_left
+    (fun acc n -> if n > 0 && on_path_a.(n) then acc +. t.resistance.(n) else acc)
+    0.0 (path_to_root t b)
+
+let elmore t node =
+  let n = num_nodes t in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (shared_resistance t node k *. t.cap.(k))
+  done;
+  !acc
+
+let moments t ~order =
+  if order < 0 then invalid_arg "Rc_tree.moments: negative order";
+  let n = num_nodes t in
+  let m = Array.make_matrix (order + 1) n 0.0 in
+  Array.fill m.(0) 0 n 1.0;
+  for j = 1 to order do
+    for node = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (shared_resistance t node k *. t.cap.(k) *. m.(j - 1).(k))
+      done;
+      m.(j).(node) <- -. !acc
+    done
+  done;
+  m
+
+let admittance_moments t =
+  let m = moments t ~order:2 in
+  let n = num_nodes t in
+  let y1 = ref 0.0 and y2 = ref 0.0 and y3 = ref 0.0 in
+  for k = 0 to n - 1 do
+    y1 := !y1 +. t.cap.(k);
+    y2 := !y2 +. (t.cap.(k) *. m.(1).(k));
+    y3 := !y3 +. (t.cap.(k) *. m.(2).(k))
+  done;
+  (!y1, !y2, !y3)
+
+let total_cap t = Array.fold_left ( +. ) 0.0 t.cap
+
+let total_resistance_to t node =
+  List.fold_left
+    (fun acc n -> if n > 0 then acc +. t.resistance.(n) else acc)
+    0.0 (path_to_root t node)

@@ -1,0 +1,45 @@
+(** RC trees: the linear-interconnect substrate (Elmore delay and circuit
+    moments, the inputs to AWE and the pi-model reduction). *)
+
+type t = {
+  parent : int array;  (** parent node index; -1 for the root (the driver) *)
+  resistance : float array;  (** resistance from parent to node; unused at root *)
+  cap : float array;  (** grounded capacitance at each node *)
+}
+
+val make : parent:int array -> resistance:float array -> cap:float array -> t
+(** @raise Invalid_argument on length mismatch, cycles, bad parents, or
+    negative element values. Node 0 must be the root. *)
+
+val num_nodes : t -> int
+
+val of_ladder : r_total:float -> c_total:float -> segments:int -> t
+(** Uniform RC ladder discretizing a distributed wire: [segments] sections
+    of R/n and C/n (node 0 is the driven end; capacitance is split per
+    section at the far node of each section). *)
+
+val downstream_caps : t -> float array
+(** Total capacitance in the subtree rooted at each node. *)
+
+val shared_resistance : t -> int -> int -> float
+(** Resistance of the common path from the root to the two nodes' paths —
+    the kernel of the Elmore/moment formulas. *)
+
+val elmore : t -> int -> float
+(** Elmore delay from the root to a node:
+    [sum_k R_shared(node, k) * C_k]. *)
+
+val moments : t -> order:int -> float array array
+(** [moments tree ~order] returns [m] with [m.(j).(k)] the j-th circuit
+    moment of the voltage transfer to node [k] ([m.(0)] all ones,
+    [m.(1).(k) = -elmore k], ...). Computed by the standard recursive
+    path-tracing recurrence. *)
+
+val admittance_moments : t -> float * float * float
+(** First three moments (y1, y2, y3) of the driving-point admittance seen
+    from the root: [Y(s) = y1 s + y2 s^2 + y3 s^3 + ...]. *)
+
+val total_cap : t -> float
+
+val total_resistance_to : t -> int -> float
+(** Sum of resistances on the root-to-node path. *)

@@ -1,0 +1,37 @@
+open Tqwm_circuit
+module Device = Tqwm_device.Device
+module Mosfet = Tqwm_device.Mosfet
+module Capacitance = Tqwm_device.Capacitance
+
+let effective_resistance (tech : Tqwm_device.Tech.t) (device : Device.t) =
+  match device.Device.kind with
+  | Device.Wire -> Capacitance.wire_resistance tech ~w:device.w ~l:device.l
+  | Device.Nmos ->
+    let idsat =
+      Mosfet.ids tech Mosfet.N ~w:device.w ~l:device.l ~vg:tech.vdd ~vd:tech.vdd ~vs:0.0
+    in
+    if idsat <= 0.0 then invalid_arg "Switch_level: non-conducting device";
+    tech.vdd /. (2.0 *. idsat)
+  | Device.Pmos ->
+    let idsat =
+      Mosfet.ids tech Mosfet.P ~w:device.w ~l:device.l ~vg:0.0 ~vd:0.0 ~vs:tech.vdd
+    in
+    if idsat <= 0.0 then invalid_arg "Switch_level: non-conducting device";
+    tech.vdd /. (2.0 *. idsat)
+
+let chain_rc tech (chain : Chain.t) =
+  let k = Chain.length chain in
+  let parent = Array.init (k + 1) (fun i -> i - 1) in
+  let resistance =
+    Array.init (k + 1) (fun i ->
+        if i = 0 then 0.0
+        else effective_resistance tech chain.Chain.edges.(i - 1).Chain.device)
+  in
+  let cap = Array.init (k + 1) (fun i -> if i = 0 then 0.0 else chain.Chain.caps.(i - 1)) in
+  Rc_tree.make ~parent ~resistance ~cap
+
+let elmore_delay tech chain =
+  let rc = chain_rc tech chain in
+  Rc_tree.elmore rc (Chain.length chain)
+
+let delay_estimate tech chain = log 2.0 *. elmore_delay tech chain

@@ -1,0 +1,22 @@
+(** Switch-level timing baseline (Crystal / IRSIM methodology): model each
+    conducting transistor as a resistor, reduce the stage to an RC tree
+    and report the Elmore delay. Fast and crude — the related-work
+    baseline QWM is positioned against. *)
+
+open Tqwm_circuit
+
+val effective_resistance : Tqwm_device.Tech.t -> Tqwm_device.Device.t -> float
+(** Switched-resistor value for a transistor: VDD / (2 * Idsat) at full
+    gate drive; wire segments use their physical resistance.
+    @raise Invalid_argument for non-conducting geometry. *)
+
+val chain_rc : Tqwm_device.Tech.t -> Chain.t -> Rc_tree.t
+(** RC ladder of a charge/discharge chain: node 0 is the rail; chain node
+    k keeps its capacitance and gets the effective resistance of edge k. *)
+
+val elmore_delay : Tqwm_device.Tech.t -> Chain.t -> float
+(** Elmore delay from the rail to the chain output. *)
+
+val delay_estimate : Tqwm_device.Tech.t -> Chain.t -> float
+(** 50 % switch-level delay estimate: [ln 2] times the Elmore delay (the
+    single-pole approximation). *)

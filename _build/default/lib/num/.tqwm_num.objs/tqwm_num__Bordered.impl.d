@@ -1,0 +1,1 @@
+lib/num/bordered.ml: Array Float Mat Tridiag Vec

@@ -1,0 +1,1 @@
+lib/num/bordered.mli: Mat Tridiag Vec

@@ -1,0 +1,1 @@
+lib/num/interp.ml: Array Float Mat

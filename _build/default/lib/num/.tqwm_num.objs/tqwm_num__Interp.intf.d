@@ -1,0 +1,1 @@
+lib/num/interp.mli: Mat Vec

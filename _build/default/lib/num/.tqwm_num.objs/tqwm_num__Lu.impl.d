@@ -1,0 +1,1 @@
+lib/num/lu.ml: Array Float Mat Vec

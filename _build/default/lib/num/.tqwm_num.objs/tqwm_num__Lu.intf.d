@@ -1,0 +1,1 @@
+lib/num/lu.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/num/mat.ml: Array Float Format Printf

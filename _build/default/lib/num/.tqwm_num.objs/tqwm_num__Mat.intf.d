@@ -1,0 +1,1 @@
+lib/num/mat.mli: Format Vec

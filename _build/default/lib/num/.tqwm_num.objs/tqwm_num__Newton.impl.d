@@ -1,0 +1,1 @@
+lib/num/newton.ml: Array Vec

@@ -1,0 +1,1 @@
+lib/num/newton.mli: Vec

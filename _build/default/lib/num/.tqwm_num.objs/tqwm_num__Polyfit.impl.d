@@ -1,0 +1,1 @@
+lib/num/polyfit.ml: Array Float Lu Mat Vec

@@ -1,0 +1,1 @@
+lib/num/sherman_morrison.mli: Tridiag Vec

@@ -1,0 +1,1 @@
+lib/num/stats.ml: Float List

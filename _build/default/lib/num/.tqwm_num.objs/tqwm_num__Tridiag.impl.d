@@ -1,0 +1,1 @@
+lib/num/tridiag.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/num/tridiag.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/num/vec.ml: Array Float Format Printf

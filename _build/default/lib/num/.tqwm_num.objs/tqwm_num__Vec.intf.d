@@ -1,0 +1,1 @@
+lib/num/vec.mli: Format

@@ -1,0 +1,40 @@
+exception Singular
+
+type t = { core : Tridiag.t; last_col : Vec.t; last_row : Vec.t; corner : float }
+
+let dim t = Tridiag.dim t.core + 1
+
+let to_mat t =
+  let n = Tridiag.dim t.core in
+  let m = Mat.create (n + 1) (n + 1) in
+  let core = Tridiag.to_mat t.core in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Mat.set m i j (Mat.get core i j)
+    done;
+    Mat.set m i n t.last_col.(i);
+    Mat.set m n i t.last_row.(i)
+  done;
+  Mat.set m n n t.corner;
+  m
+
+let solve t b =
+  let n = Tridiag.dim t.core in
+  if Array.length b <> n + 1 then invalid_arg "Bordered.solve: dimension mismatch";
+  if Array.length t.last_col <> n || Array.length t.last_row <> n then
+    invalid_arg "Bordered.solve: border length mismatch";
+  if n = 0 then begin
+    if Float.abs t.corner < 1e-300 then raise Singular;
+    [| b.(0) /. t.corner |]
+  end
+  else begin
+    let f = Array.sub b 0 n in
+    let g = b.(n) in
+    let y = Tridiag.solve t.core f in
+    let z = Tridiag.solve t.core t.last_col in
+    let schur = t.corner -. Vec.dot t.last_row z in
+    if Float.abs schur < 1e-300 then raise Singular;
+    let xd = (g -. Vec.dot t.last_row y) /. schur in
+    let xa = Array.init n (fun i -> y.(i) -. (z.(i) *. xd)) in
+    Array.append xa [| xd |]
+  end

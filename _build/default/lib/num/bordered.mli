@@ -1,0 +1,32 @@
+(** Bordered tridiagonal systems.
+
+    The per-region QWM Jacobian has the block shape
+
+    {[ [ T  u ] [xa]   [f]
+       [ vT d ] [xd] = [g] ]}
+
+    with [T] tridiagonal (n x n), [u] the last column, [vT] the last row and
+    [d] the corner scalar. Block elimination needs two tridiagonal solves:
+    [xd = (g - vT T^-1 f) / (d - vT T^-1 u)], [xa = T^-1 (f - u xd)].
+    Total cost O(n), the complexity the paper claims for its
+    Sherman–Morrison formulation. *)
+
+exception Singular
+
+type t = {
+  core : Tridiag.t;
+  last_col : Vec.t;  (** u, length n *)
+  last_row : Vec.t;  (** v, length n *)
+  corner : float;  (** d *)
+}
+
+val dim : t -> int
+(** Size of the full system, [n + 1]. *)
+
+val to_mat : t -> Mat.t
+(** Densify (for tests and the dense-LU ablation path). *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve sys b] with [b] of length [n + 1].
+    @raise Singular when the Schur complement vanishes.
+    @raise Tridiag.Singular when the tridiagonal core does. *)

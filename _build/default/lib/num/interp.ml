@@ -1,0 +1,76 @@
+type axis = { start : float; step : float; count : int }
+
+let axis ~start ~stop ~count =
+  if count < 2 then invalid_arg "Interp.axis: count < 2";
+  if stop <= start then invalid_arg "Interp.axis: empty range";
+  { start; step = (stop -. start) /. float_of_int (count - 1); count }
+
+let knot ax i = ax.start +. (float_of_int i *. ax.step)
+
+let locate ax x =
+  let raw = (x -. ax.start) /. ax.step in
+  let i = int_of_float (Float.floor raw) in
+  let i = if i < 0 then 0 else if i > ax.count - 2 then ax.count - 2 else i in
+  (i, raw -. float_of_int i)
+
+let linear ax samples x =
+  if Array.length samples <> ax.count then
+    invalid_arg "Interp.linear: sample count mismatch";
+  let i, t = locate ax x in
+  samples.(i) +. (t *. (samples.(i + 1) -. samples.(i)))
+
+let check_sorted xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Interp: axis needs at least 2 points";
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then invalid_arg "Interp: axis must be strictly increasing"
+  done
+
+let locate_sorted xs x =
+  check_sorted xs;
+  let n = Array.length xs in
+  let rec search lo hi =
+    if hi - lo <= 1 then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if xs.(mid) <= x then search mid hi else search lo mid
+    end
+  in
+  let i = if x < xs.(0) then 0 else min (search 0 (n - 1)) (n - 2) in
+  (i, (x -. xs.(i)) /. (xs.(i + 1) -. xs.(i)))
+
+let piecewise_linear ~xs ~ys x =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Interp.piecewise_linear: length mismatch";
+  let i, t = locate_sorted xs x in
+  ys.(i) +. (t *. (ys.(i + 1) -. ys.(i)))
+
+let table_lookup ~xs ~ys table x y =
+  let rows, cols = Mat.dims table in
+  if rows <> Array.length xs || cols <> Array.length ys then
+    invalid_arg "Interp.table_lookup: table dims mismatch";
+  let i, tx = locate_sorted xs x in
+  let j, ty = locate_sorted ys y in
+  let f00 = Mat.get table i j
+  and f10 = Mat.get table (i + 1) j
+  and f01 = Mat.get table i (j + 1)
+  and f11 = Mat.get table (i + 1) (j + 1) in
+  ((1.0 -. tx) *. (1.0 -. ty) *. f00)
+  +. (tx *. (1.0 -. ty) *. f10)
+  +. ((1.0 -. tx) *. ty *. f01)
+  +. (tx *. ty *. f11)
+
+let bilinear ax ay table x y =
+  let rows, cols = Mat.dims table in
+  if rows <> ax.count || cols <> ay.count then
+    invalid_arg "Interp.bilinear: table dims mismatch";
+  let i, tx = locate ax x in
+  let j, ty = locate ay y in
+  let f00 = Mat.get table i j
+  and f10 = Mat.get table (i + 1) j
+  and f01 = Mat.get table i (j + 1)
+  and f11 = Mat.get table (i + 1) (j + 1) in
+  ((1.0 -. tx) *. (1.0 -. ty) *. f00)
+  +. (tx *. (1.0 -. ty) *. f10)
+  +. ((1.0 -. tx) *. ty *. f01)
+  +. (tx *. ty *. f11)

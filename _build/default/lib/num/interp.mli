@@ -1,0 +1,46 @@
+(** Interpolation over uniform grids.
+
+    Used by the tabular device model: queries with terminal voltages off
+    the characterization grid are interpolated from neighbour points
+    (paper §V-A). *)
+
+type axis = {
+  start : float;
+  step : float;  (** > 0 *)
+  count : int;  (** >= 2 *)
+}
+
+val axis : start:float -> stop:float -> count:int -> axis
+(** Uniform axis of [count] knots spanning [start, stop].
+    @raise Invalid_argument if [count < 2] or [stop <= start]. *)
+
+val knot : axis -> int -> float
+
+val locate : axis -> float -> int * float
+(** [locate ax x] is [(i, t)] with [i] the cell index (clamped to the grid)
+    and [t] in [0, 1] the position within the cell; values outside the grid
+    clamp to the border cell and extrapolate linearly. *)
+
+val linear : axis -> Vec.t -> float -> float
+(** 1-D piecewise-linear interpolation of samples given at the knots. *)
+
+val bilinear : axis -> axis -> Mat.t -> float -> float -> float
+(** [bilinear ax ay table x y] with [table] of dims [ax.count] x [ay.count]. *)
+
+(** {2 Non-uniform grids}
+
+    Characterization tables (delay vs. input slew and load) use
+    hand-picked breakpoints rather than uniform axes. *)
+
+val locate_sorted : float array -> float -> int * float
+(** [locate_sorted xs x] for strictly increasing [xs] (length >= 2):
+    [(i, t)] with [xs.(i) <= x < xs.(i+1)] and [t] the cell fraction;
+    clamps to the border cells (extrapolating [t] outside [0, 1]).
+    @raise Invalid_argument on a short or non-increasing axis. *)
+
+val piecewise_linear : xs:float array -> ys:float array -> float -> float
+(** 1-D interpolation on a non-uniform axis. *)
+
+val table_lookup : xs:float array -> ys:float array -> Mat.t -> float -> float -> float
+(** Bilinear interpolation on non-uniform axes; [table] has dims
+    [length xs] x [length ys]. *)

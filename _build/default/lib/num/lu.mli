@@ -1,0 +1,22 @@
+(** LU decomposition with partial pivoting, and direct dense solves. *)
+
+exception Singular of int
+(** Raised when elimination meets a (near-)zero pivot; the payload is the
+    offending column. *)
+
+type factor
+(** A factored matrix (P*A = L*U), reusable for multiple right-hand sides. *)
+
+val factorize : Mat.t -> factor
+(** @raise Singular if the matrix is numerically singular.
+    @raise Invalid_argument on a non-square matrix. *)
+
+val solve_factored : factor -> Vec.t -> Vec.t
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b]. *)
+
+val det : Mat.t -> float
+(** Determinant via LU; 0 for singular matrices. *)
+
+val inverse : Mat.t -> Mat.t

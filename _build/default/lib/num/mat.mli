@@ -1,0 +1,46 @@
+(** Dense row-major matrices. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length [rows * cols] *)
+}
+
+val create : int -> int -> t
+(** [create r c] is the zero [r]x[c] matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] accumulates [x] into entry [(i, j)]; the basic
+    operation of matrix stamping. *)
+
+val dims : t -> int * int
+
+val of_rows : float array array -> t
+
+val to_rows : t -> float array array
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val scale : float -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val max_abs_diff : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type outcome = { x : Vec.t; iterations : int; residual_norm : float; converged : bool }
+
+type problem = {
+  residual : Vec.t -> Vec.t;
+  solve_linearized : Vec.t -> Vec.t -> Vec.t;
+}
+
+type config = {
+  max_iterations : int;
+  residual_tolerance : float;
+  step_tolerance : float;
+  damping : float;
+  max_step : float option;
+}
+
+let default_config =
+  {
+    max_iterations = 60;
+    residual_tolerance = 1e-9;
+    step_tolerance = 1e-12;
+    damping = 1.0;
+    max_step = None;
+  }
+
+let clamp_step max_step dx =
+  match max_step with
+  | None -> dx
+  | Some limit ->
+    let mag = Vec.norm_inf dx in
+    if mag > limit && mag > 0.0 then Vec.scale (limit /. mag) dx else dx
+
+let solve ?(config = default_config) problem x0 =
+  let rec loop x iter =
+    let f = problem.residual x in
+    let fnorm = Vec.norm_inf f in
+    if fnorm <= config.residual_tolerance then
+      { x; iterations = iter; residual_norm = fnorm; converged = true }
+    else if iter >= config.max_iterations then
+      { x; iterations = iter; residual_norm = fnorm; converged = false }
+    else
+      match problem.solve_linearized x f with
+      | exception _ -> { x; iterations = iter; residual_norm = fnorm; converged = false }
+      | dx ->
+        let dx = clamp_step config.max_step dx in
+        let step_norm = Vec.norm_inf dx in
+        let x' =
+          Array.init (Array.length x) (fun i -> x.(i) -. (config.damping *. dx.(i)))
+        in
+        if step_norm <= config.step_tolerance then
+          let f' = problem.residual x' in
+          let fnorm' = Vec.norm_inf f' in
+          {
+            x = x';
+            iterations = iter + 1;
+            residual_norm = fnorm';
+            converged = fnorm' <= config.residual_tolerance *. 10.0;
+          }
+        else loop x' (iter + 1)
+  in
+  loop (Vec.copy x0) 0

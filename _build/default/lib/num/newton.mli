@@ -1,0 +1,35 @@
+(** Damped Newton–Raphson for small nonlinear systems F(x) = 0.
+
+    The linear step is delegated to a caller-supplied solver so the same
+    driver serves the dense-LU SPICE engine and the bordered-tridiagonal
+    QWM engine. *)
+
+type outcome = {
+  x : Vec.t;  (** final iterate *)
+  iterations : int;
+  residual_norm : float;  (** inf-norm of F at the final iterate *)
+  converged : bool;
+}
+
+type problem = {
+  residual : Vec.t -> Vec.t;  (** F *)
+  solve_linearized : Vec.t -> Vec.t -> Vec.t;
+      (** [solve_linearized x f] returns the Newton update [dx] with
+          [J(x) dx = f]; may raise to signal a singular Jacobian. *)
+}
+
+type config = {
+  max_iterations : int;
+  residual_tolerance : float;  (** stop when |F|_inf falls below *)
+  step_tolerance : float;  (** stop when |dx|_inf falls below *)
+  damping : float;  (** fraction of the Newton step taken, in (0, 1] *)
+  max_step : float option;  (** clamp |dx|_inf per iteration if given *)
+}
+
+val default_config : config
+(** 60 iterations, residual 1e-9, step 1e-12, full steps, no clamp. *)
+
+val solve : ?config:config -> problem -> Vec.t -> outcome
+(** [solve problem x0] iterates from [x0]. Linear-solver exceptions are
+    caught and reported as [converged = false] at the last healthy
+    iterate. *)

@@ -1,0 +1,20 @@
+let rk4 ~f ~t0 ~x0 ~t1 ~steps =
+  if steps < 1 then invalid_arg "Ode.rk4: steps < 1";
+  if t1 <= t0 then invalid_arg "Ode.rk4: empty interval";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let out = Array.make (steps + 1) (t0, Vec.copy x0) in
+  let x = ref (Vec.copy x0) in
+  for i = 1 to steps do
+    let t = t0 +. (float_of_int (i - 1) *. h) in
+    let k1 = f t !x in
+    let k2 = f (t +. (h /. 2.0)) (Vec.add !x (Vec.scale (h /. 2.0) k1)) in
+    let k3 = f (t +. (h /. 2.0)) (Vec.add !x (Vec.scale (h /. 2.0) k2)) in
+    let k4 = f (t +. h) (Vec.add !x (Vec.scale h k3)) in
+    let incr =
+      Vec.scale (h /. 6.0)
+        (Vec.add (Vec.add k1 (Vec.scale 2.0 k2)) (Vec.add (Vec.scale 2.0 k3) k4))
+    in
+    x := Vec.add !x incr;
+    out.(i) <- (t +. h, Vec.copy !x)
+  done;
+  out

@@ -1,0 +1,15 @@
+(** Reference ODE integration (classic RK4, fixed step).
+
+    Not used by the production engines — kept as an independent oracle for
+    testing the transient simulator on small systems. *)
+
+val rk4 :
+  f:(float -> Vec.t -> Vec.t) ->
+  t0:float ->
+  x0:Vec.t ->
+  t1:float ->
+  steps:int ->
+  (float * Vec.t) array
+(** [rk4 ~f ~t0 ~x0 ~t1 ~steps] integrates [x' = f t x] and returns the
+    trajectory including both endpoints ([steps + 1] samples).
+    @raise Invalid_argument if [steps < 1] or [t1 <= t0]. *)

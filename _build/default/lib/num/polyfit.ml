@@ -1,0 +1,48 @@
+let fit ~degree pts =
+  let m = degree + 1 in
+  if Array.length pts < m then invalid_arg "Polyfit.fit: not enough points";
+  (* normal equations: (X^T X) c = X^T y with X the Vandermonde matrix *)
+  let a = Mat.create m m and b = Vec.create m in
+  Array.iter
+    (fun (x, y) ->
+      let powers = Array.make (2 * m) 1.0 in
+      for k = 1 to (2 * m) - 1 do
+        powers.(k) <- powers.(k - 1) *. x
+      done;
+      for i = 0 to m - 1 do
+        b.(i) <- b.(i) +. (powers.(i) *. y);
+        for j = 0 to m - 1 do
+          Mat.add_to a i j powers.(i + j)
+        done
+      done)
+    pts;
+  Lu.solve a b
+
+let eval c x =
+  let acc = ref 0.0 in
+  for i = Array.length c - 1 downto 0 do
+    acc := (!acc *. x) +. c.(i)
+  done;
+  !acc
+
+let eval_deriv c x =
+  let acc = ref 0.0 in
+  for i = Array.length c - 1 downto 1 do
+    acc := (!acc *. x) +. (float_of_int i *. c.(i))
+  done;
+  !acc
+
+let linear pts =
+  match fit ~degree:1 pts with
+  | [| c0; c1 |] -> (c0, c1)
+  | _ -> assert false
+
+let quadratic pts =
+  match fit ~degree:2 pts with
+  | [| c0; c1; c2 |] -> (c0, c1, c2)
+  | _ -> assert false
+
+let max_residual c pts =
+  Array.fold_left
+    (fun acc (x, y) -> Float.max acc (Float.abs (eval c x -. y)))
+    0.0 pts

@@ -1,0 +1,27 @@
+(** Least-squares polynomial fitting.
+
+    The device characterization (paper §V-A, Fig. 8) fits the channel
+    current against the drain voltage with a linear function in the
+    saturation region and a quadratic in the triode region. *)
+
+val fit : degree:int -> (float * float) array -> float array
+(** [fit ~degree pts] returns coefficients [c] (lowest power first,
+    length [degree+1]) minimizing sum of squared residuals of
+    [c0 + c1 x + ... ] over [pts].
+    @raise Invalid_argument when there are fewer points than coefficients.
+    @raise Lu.Singular when the normal equations are degenerate. *)
+
+val eval : float array -> float -> float
+(** Horner evaluation, lowest power first. *)
+
+val eval_deriv : float array -> float -> float
+(** Derivative of the fitted polynomial at a point. *)
+
+val linear : (float * float) array -> float * float
+(** [(intercept, slope)] convenience wrapper around degree-1 [fit]. *)
+
+val quadratic : (float * float) array -> float * float * float
+(** [(c0, c1, c2)] convenience wrapper around degree-2 [fit]. *)
+
+val max_residual : float array -> (float * float) array -> float
+(** Largest absolute fit error over the sample points. *)

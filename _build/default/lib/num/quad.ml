@@ -1,0 +1,21 @@
+let eval ~a ~b ~c x = (a *. x *. x) +. (b *. x) +. c
+
+let roots ~a ~b ~c =
+  if a = 0.0 then
+    if b = 0.0 then []
+    else [ -.c /. b ]
+  else begin
+    let disc = (b *. b) -. (4.0 *. a *. c) in
+    if disc < 0.0 then []
+    else if disc = 0.0 then [ -.b /. (2.0 *. a) ]
+    else begin
+      (* stable form: pick the root expression that avoids cancellation *)
+      let sq = sqrt disc in
+      let q = -0.5 *. (b +. (if b >= 0.0 then sq else -.sq)) in
+      let r1 = q /. a and r2 = c /. q in
+      if r1 <= r2 then [ r1; r2 ] else [ r2; r1 ]
+    end
+  end
+
+let smallest_positive_root ~a ~b ~c =
+  roots ~a ~b ~c |> List.find_opt (fun r -> r > 0.0)

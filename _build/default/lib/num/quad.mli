@@ -1,0 +1,11 @@
+(** Quadratic-polynomial utilities for piecewise-quadratic waveforms. *)
+
+val roots : a:float -> b:float -> c:float -> float list
+(** Real roots of [a x^2 + b x + c], ascending; degenerate cases (a = 0,
+    and a = b = 0) handled. A double root is reported once. *)
+
+val smallest_positive_root : a:float -> b:float -> c:float -> float option
+(** First strictly-positive real root, if any; the "time until the
+    quadratic piece reaches a level" query. *)
+
+val eval : a:float -> b:float -> c:float -> float -> float

@@ -1,0 +1,11 @@
+exception Singular
+
+let solve ~base_solve ~u ~v b =
+  let y = base_solve b in
+  let z = base_solve u in
+  let denom = 1.0 +. Vec.dot v z in
+  if Float.abs denom < 1e-300 then raise Singular;
+  let coeff = Vec.dot v y /. denom in
+  Array.init (Array.length y) (fun i -> y.(i) -. (coeff *. z.(i)))
+
+let solve_tridiag t ~u ~v b = solve ~base_solve:(Tridiag.solve t) ~u ~v b

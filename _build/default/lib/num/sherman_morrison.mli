@@ -1,0 +1,19 @@
+(** Sherman–Morrison rank-1 update solves.
+
+    The QWM Jacobian is a tridiagonal matrix plus a rank-1 correction
+    [u vT] contributed by the region-length column (paper §IV-B). Given a
+    fast solver for the base matrix [A], the update
+
+    {[ (A + u vT)^-1 b = y - (vT y / (1 + vT z)) z ]}
+
+    with [A y = b] and [A z = u] costs two base solves. *)
+
+exception Singular
+(** Raised when [1 + vT z] vanishes, i.e. the updated matrix is singular. *)
+
+val solve : base_solve:(Vec.t -> Vec.t) -> u:Vec.t -> v:Vec.t -> Vec.t -> Vec.t
+(** [solve ~base_solve ~u ~v b] solves [(A + u vT) x = b] where
+    [base_solve] solves systems in [A]. *)
+
+val solve_tridiag : Tridiag.t -> u:Vec.t -> v:Vec.t -> Vec.t -> Vec.t
+(** Specialisation with a tridiagonal base matrix, the paper's exact use. *)

@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> invalid_arg "Stats.geometric_mean: empty"
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive entry";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let max_abs xs = List.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 xs
+
+let rms = function
+  | [] -> invalid_arg "Stats.rms: empty"
+  | xs ->
+    sqrt (List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs
+          /. float_of_int (List.length xs))
+
+let relative_error ~reference x =
+  if reference = 0.0 then invalid_arg "Stats.relative_error: zero reference";
+  Float.abs (x -. reference) /. Float.abs reference
+
+let percent x = 100.0 *. x

@@ -1,0 +1,20 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val geometric_mean : float list -> float
+(** @raise Invalid_argument on the empty list or non-positive entries. *)
+
+val max_abs : float list -> float
+(** 0 on the empty list. *)
+
+val rms : float list -> float
+(** Root-mean-square; @raise Invalid_argument on the empty list. *)
+
+val relative_error : reference:float -> float -> float
+(** |x - reference| / |reference|; @raise Invalid_argument when the
+    reference is zero. *)
+
+val percent : float -> float
+(** Fraction to percent. *)

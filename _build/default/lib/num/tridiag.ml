@@ -1,0 +1,63 @@
+type t = { lower : Vec.t; diag : Vec.t; upper : Vec.t }
+
+exception Singular of int
+
+let make ~lower ~diag ~upper =
+  let n = Array.length diag in
+  if Array.length lower <> n || Array.length upper <> n then
+    invalid_arg "Tridiag.make: band length mismatch";
+  { lower; diag; upper }
+
+let dim t = Array.length t.diag
+
+let of_mat m =
+  let n, cols = Mat.dims m in
+  if n <> cols then invalid_arg "Tridiag.of_mat: non-square matrix";
+  let lower = Vec.create n and diag = Vec.create n and upper = Vec.create n in
+  for i = 0 to n - 1 do
+    if i > 0 then lower.(i) <- Mat.get m i (i - 1);
+    diag.(i) <- Mat.get m i i;
+    if i < n - 1 then upper.(i) <- Mat.get m i (i + 1)
+  done;
+  { lower; diag; upper }
+
+let to_mat t =
+  let n = dim t in
+  Mat.init n n (fun i j ->
+      if j = i - 1 then t.lower.(i)
+      else if j = i then t.diag.(i)
+      else if j = i + 1 then t.upper.(i)
+      else 0.0)
+
+let solve t b =
+  let n = dim t in
+  if Array.length b <> n then invalid_arg "Tridiag.solve: dimension mismatch";
+  if n = 0 then [||]
+  else begin
+    (* forward sweep storing modified coefficients *)
+    let c' = Vec.create n and d' = Vec.create n in
+    if Float.abs t.diag.(0) < 1e-300 then raise (Singular 0);
+    c'.(0) <- t.upper.(0) /. t.diag.(0);
+    d'.(0) <- b.(0) /. t.diag.(0);
+    for i = 1 to n - 1 do
+      let denom = t.diag.(i) -. (t.lower.(i) *. c'.(i - 1)) in
+      if Float.abs denom < 1e-300 then raise (Singular i);
+      if i < n - 1 then c'.(i) <- t.upper.(i) /. denom;
+      d'.(i) <- (b.(i) -. (t.lower.(i) *. d'.(i - 1))) /. denom
+    done;
+    let x = Vec.create n in
+    x.(n - 1) <- d'.(n - 1);
+    for i = n - 2 downto 0 do
+      x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+    done;
+    x
+  end
+
+let mul_vec t x =
+  let n = dim t in
+  if Array.length x <> n then invalid_arg "Tridiag.mul_vec: dimension mismatch";
+  Array.init n (fun i ->
+      let s = ref (t.diag.(i) *. x.(i)) in
+      if i > 0 then s := !s +. (t.lower.(i) *. x.(i - 1));
+      if i < n - 1 then s := !s +. (t.upper.(i) *. x.(i + 1));
+      !s)

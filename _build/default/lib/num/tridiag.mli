@@ -1,0 +1,25 @@
+(** Tridiagonal systems (Thomas algorithm, O(n)). *)
+
+type t = {
+  lower : Vec.t;  (** sub-diagonal, length n (entry 0 unused) *)
+  diag : Vec.t;  (** main diagonal, length n *)
+  upper : Vec.t;  (** super-diagonal, length n (entry n-1 unused) *)
+}
+
+exception Singular of int
+
+val make : lower:Vec.t -> diag:Vec.t -> upper:Vec.t -> t
+(** @raise Invalid_argument if the three bands differ in length. *)
+
+val dim : t -> int
+
+val of_mat : Mat.t -> t
+(** Extract the three bands of a square matrix (off-band entries ignored). *)
+
+val to_mat : t -> Mat.t
+
+val solve : t -> Vec.t -> Vec.t
+(** Thomas algorithm. @raise Singular on a zero pivot (no pivoting is
+    performed; intended for diagonally-dominant timing systems). *)
+
+val mul_vec : t -> Vec.t -> Vec.t

@@ -1,0 +1,48 @@
+(** Dense floating-point vectors.
+
+    Thin wrappers over [float array] used throughout the numeric kernels.
+    All functions are total unless stated otherwise; dimension mismatches
+    raise [Invalid_argument]. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of length [n]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+(** Elementwise sum. *)
+
+val sub : t -> t -> t
+(** Elementwise difference. *)
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] updates [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Max absolute entry; 0 for the empty vector. *)
+
+val max_abs_diff : t -> t -> float
+(** [max_abs_diff x y] is [norm_inf (sub x y)]. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/spice/dc.ml: Array Mna Option Scenario Tqwm_circuit Tqwm_num

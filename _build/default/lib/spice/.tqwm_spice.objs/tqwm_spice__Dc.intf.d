@@ -1,0 +1,1 @@
+lib/spice/dc.mli: Scenario Tqwm_circuit Tqwm_device

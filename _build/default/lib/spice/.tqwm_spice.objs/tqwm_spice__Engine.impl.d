@@ -1,0 +1,1 @@
+lib/spice/engine.ml: List Measure Scenario Stage Tqwm_circuit Tqwm_device Tqwm_wave Transient Unix Waveform

@@ -1,0 +1,1 @@
+lib/spice/engine.mli: Scenario Tqwm_circuit Tqwm_device Tqwm_wave Transient Waveform

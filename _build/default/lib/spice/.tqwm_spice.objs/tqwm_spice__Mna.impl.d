@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array Scenario Stage Tqwm_circuit Tqwm_device Tqwm_num

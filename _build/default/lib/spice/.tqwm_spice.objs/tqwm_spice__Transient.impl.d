@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Float List Mna Scenario Stage Tqwm_circuit Tqwm_device Tqwm_num Tqwm_wave

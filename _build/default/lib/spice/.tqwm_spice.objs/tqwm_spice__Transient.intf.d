@@ -1,0 +1,1 @@
+lib/spice/transient.mli: Scenario Stage Tqwm_circuit Tqwm_device Tqwm_wave

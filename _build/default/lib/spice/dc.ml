@@ -1,0 +1,33 @@
+open Tqwm_circuit
+module Vec = Tqwm_num.Vec
+module Mat = Tqwm_num.Mat
+module Lu = Tqwm_num.Lu
+module Newton = Tqwm_num.Newton
+
+type result = { voltages : float array; iterations : int; converged : bool }
+
+let solve ~model ?time ?(gmin = 1e-12) (scenario : Scenario.t) =
+  let ctx = Mna.make_context ~model scenario in
+  let time = Option.value time ~default:scenario.t_end in
+  let n = Mna.dimension ctx.Mna.index in
+  let residual x =
+    let f = Mna.out_currents ctx ~time x in
+    Vec.init n (fun i -> f.(i) +. (gmin *. x.(i)))
+  in
+  let solve_linearized x f =
+    let j = Mna.conductance ctx ~time x in
+    for i = 0 to n - 1 do
+      Mat.add_to j i i gmin
+    done;
+    Lu.solve j f
+  in
+  let config =
+    { Newton.default_config with max_iterations = 200; damping = 0.7; max_step = Some 0.5 }
+  in
+  let x0 = Vec.init n (fun i -> scenario.initial.(ctx.Mna.index.unknowns.(i))) in
+  let outcome = Newton.solve ~config { Newton.residual; solve_linearized } x0 in
+  {
+    voltages = Mna.full_voltages ctx outcome.Newton.x;
+    iterations = outcome.Newton.iterations;
+    converged = outcome.Newton.converged;
+  }

@@ -1,0 +1,22 @@
+(** DC operating-point analysis.
+
+    Newton–Raphson on the static nodal equations with a small [gmin]
+    conductance to ground regularizing floating (all-off) nodes. *)
+
+open Tqwm_circuit
+
+type result = {
+  voltages : float array;  (** per stage node *)
+  iterations : int;
+  converged : bool;
+}
+
+val solve :
+  model:Tqwm_device.Device_model.t ->
+  ?time:float ->
+  ?gmin:float ->
+  Scenario.t ->
+  result
+(** Operating point with gate drives evaluated at [time] (default: the
+    scenario's [t_end], i.e. settled inputs); initial guess from the
+    scenario's initial voltages. [gmin] defaults to 1e-12 S. *)

@@ -1,0 +1,28 @@
+open Tqwm_circuit
+open Tqwm_wave
+
+type report = {
+  scenario : Scenario.t;
+  result : Transient.result;
+  output : Waveform.t;
+  delay : float option;
+  slew : float option;
+  runtime_seconds : float;
+}
+
+let run ~model ?(config = Transient.default_config) (scenario : Scenario.t) =
+  let t0 = Unix.gettimeofday () in
+  let result = Transient.simulate ~model ~config scenario in
+  let runtime_seconds = Unix.gettimeofday () -. t0 in
+  let output = Transient.node_waveform result scenario.Scenario.output in
+  let vdd = scenario.Scenario.tech.Tqwm_device.Tech.vdd in
+  let delay =
+    Measure.delay_from ~t0:0.0 ~vdd ~output ~output_edge:scenario.Scenario.output_edge
+  in
+  let slew = Measure.slew ~vdd output scenario.Scenario.output_edge in
+  { scenario; result; output; delay; slew; runtime_seconds }
+
+let node_waveforms report =
+  let stage = report.scenario.Scenario.stage in
+  Stage.internal_nodes stage
+  |> List.map (fun n -> (Stage.node_name stage n, Transient.node_waveform report.result n))

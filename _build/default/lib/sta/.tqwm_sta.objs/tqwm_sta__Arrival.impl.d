@@ -1,0 +1,1 @@
+lib/sta/arrival.ml: Array Float List Option Printf Scenario String Timing_graph Tqwm_circuit Tqwm_core Tqwm_wave

@@ -1,0 +1,1 @@
+lib/sta/arrival.mli: Timing_graph Tqwm_core Tqwm_device

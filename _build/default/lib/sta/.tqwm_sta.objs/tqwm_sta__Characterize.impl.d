@@ -1,0 +1,1 @@
+lib/sta/characterize.ml: Array Float Format Printf Scenario Tqwm_circuit Tqwm_core Tqwm_num

@@ -1,0 +1,1 @@
+lib/sta/characterize.mli: Format Tqwm_circuit Tqwm_core Tqwm_device Tqwm_num

@@ -1,0 +1,1 @@
+lib/sta/report.ml: Array Arrival Format List Scenario String Timing_graph Tqwm_circuit

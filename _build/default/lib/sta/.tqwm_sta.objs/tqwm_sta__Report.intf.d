@@ -1,0 +1,1 @@
+lib/sta/report.mli: Arrival Format Timing_graph

@@ -1,0 +1,1 @@
+lib/sta/timing_graph.ml: Array List Queue Tqwm_circuit

@@ -1,0 +1,1 @@
+lib/sta/timing_graph.mli: Tqwm_circuit

@@ -1,0 +1,144 @@
+open Tqwm_circuit
+module Source = Tqwm_wave.Source
+
+exception Analysis_failure of string
+
+type stage_timing = {
+  id : Timing_graph.stage_id;
+  arrival_in : float;
+  delay : float;
+  slew : float;
+  arrival_out : float;
+  critical_fanin : Timing_graph.stage_id option;
+}
+
+type analysis = {
+  timings : stage_timing array;
+  critical_path : Timing_graph.stage_id list;
+  worst_arrival : float;
+}
+
+(* reshape a switching source as a ramp with the driver's slew, keeping
+   its logical direction; constant sources are left alone *)
+let ramp_of ~slew source =
+  match Source.transition_time source with
+  | None -> source
+  | Some _ ->
+    let low = Source.value source (-1.0) in
+    let high = Source.value source 1e3 in
+    if low = high then source else Source.ramp ~t0:0.0 ~low ~high ~rise_time:slew ()
+
+let settled source = Source.constant (Source.value source 1e3)
+
+type slack_report = {
+  required : float array;
+  slack : float array;
+  worst_slack : float;
+}
+
+let slacks graph analysis ~clock_period =
+  let n = Array.length analysis.timings in
+  let required = Array.make n clock_period in
+  (* reverse topological order: children are processed before parents *)
+  let order = List.rev (Timing_graph.topological_order graph) in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (c : Timing_graph.connection) ->
+          let downstream = c.Timing_graph.to_stage in
+          let budget = required.(downstream) -. analysis.timings.(downstream).delay in
+          if budget < required.(id) then required.(id) <- budget)
+        (Timing_graph.fanout graph id))
+    order;
+  let slack = Array.mapi (fun i r -> r -. analysis.timings.(i).arrival_out) required in
+  let worst_slack = Array.fold_left Float.min infinity slack in
+  { required; slack; worst_slack }
+
+let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12) graph =
+  let n = Timing_graph.num_stages graph in
+  let timings = Array.make n None in
+  let timing_exn id =
+    match timings.(id) with
+    | Some t -> t
+    | None -> raise (Analysis_failure "fanin stage not yet timed")
+  in
+  let evaluate id =
+    let scenario = Timing_graph.scenario graph id in
+    let fanin = Timing_graph.fanin graph id in
+    (* the latest-arriving driver defines the switching input *)
+    let critical =
+      List.fold_left
+        (fun acc (c : Timing_graph.connection) ->
+          let t = timing_exn c.Timing_graph.from_stage in
+          match acc with
+          | Some (_, best) when best.arrival_out >= t.arrival_out -> acc
+          | Some _ | None -> Some (c, t))
+        None fanin
+    in
+    let arrival_in, input_slew, critical_fanin, sources =
+      match critical with
+      | None ->
+        (0.0, None, None, scenario.Scenario.sources)
+      | Some (c, driver) ->
+        let slew = if driver.slew > 0.0 then driver.slew else default_slew in
+        let reshape (name, source) =
+          if String.equal name c.Timing_graph.input then (name, ramp_of ~slew source)
+          else if
+            List.exists
+              (fun (c' : Timing_graph.connection) ->
+                String.equal c'.Timing_graph.input name)
+              fanin
+          then (name, settled source)
+          else (name, source)
+        in
+        ( driver.arrival_out,
+          Some slew,
+          Some c.Timing_graph.from_stage,
+          List.map reshape scenario.Scenario.sources )
+    in
+    let scenario = { scenario with Scenario.sources } in
+    let report = Tqwm_core.Qwm.run ~model ~config scenario in
+    let out_crossing =
+      match report.Tqwm_core.Qwm.delay with
+      | Some d -> d
+      | None ->
+        raise
+          (Analysis_failure
+             (Printf.sprintf "stage %s: output never crosses 50%%"
+                scenario.Scenario.name))
+    in
+    (* the stage delay is measured from the input's own 50 % crossing *)
+    let input_mid = match input_slew with None -> 0.0 | Some s -> s /. 2.0 in
+    let delay = Float.max (out_crossing -. input_mid) 0.0 in
+    let slew = Option.value report.Tqwm_core.Qwm.slew ~default:0.0 in
+    {
+      id;
+      arrival_in;
+      delay;
+      slew;
+      arrival_out = arrival_in +. delay;
+      critical_fanin;
+    }
+  in
+  List.iter (fun id -> timings.(id) <- Some (evaluate id)) (Timing_graph.topological_order graph);
+  let timings = Array.map (fun t -> Option.get t) timings in
+  let worst =
+    Array.fold_left
+      (fun acc t -> match acc with
+        | Some best when best.arrival_out >= t.arrival_out -> acc
+        | Some _ | None -> Some t)
+      None timings
+  in
+  match worst with
+  | None -> { timings; critical_path = []; worst_arrival = 0.0 }
+  | Some sink ->
+    let rec walk t acc =
+      match t.critical_fanin with
+      | None -> t.id :: acc
+      | Some prev -> walk timings.(prev) (t.id :: acc)
+    in
+    {
+      timings;
+      critical_path = walk sink [];
+      worst_arrival = sink.arrival_out;
+    }

@@ -1,0 +1,50 @@
+(** Arrival-time propagation: waveform-based static timing analysis with
+    QWM as the per-stage evaluation engine.
+
+    Each stage is evaluated with its switching input shaped as a ramp
+    matching the driving stage's output slew (waveform information the
+    paper argues plain delay/slope STA loses); arrival times accumulate
+    along the worst path. *)
+
+exception Analysis_failure of string
+
+type stage_timing = {
+  id : Timing_graph.stage_id;
+  arrival_in : float;  (** 50 % crossing time of the switching input *)
+  delay : float;  (** stage 50 %-to-50 % delay *)
+  slew : float;  (** output 10-90 % transition time *)
+  arrival_out : float;
+  critical_fanin : Timing_graph.stage_id option;
+      (** driver that set [arrival_in]; [None] at primary inputs *)
+}
+
+type analysis = {
+  timings : stage_timing array;  (** indexed by stage id *)
+  critical_path : Timing_graph.stage_id list;  (** source to sink *)
+  worst_arrival : float;
+}
+
+val propagate :
+  model:Tqwm_device.Device_model.t ->
+  ?config:Tqwm_core.Config.t ->
+  ?default_slew:float ->
+  Timing_graph.t ->
+  analysis
+(** @raise Analysis_failure when a stage's output never crosses 50 %.
+    [default_slew] (default 20 ps) shapes inputs whose driver reports no
+    slew. *)
+
+(** {2 Required times and slack} *)
+
+type slack_report = {
+  required : float array;
+      (** latest allowed output arrival per stage (backward-propagated
+          from [clock_period] at the sinks) *)
+  slack : float array;  (** [required - arrival_out]; negative = violation *)
+  worst_slack : float;
+}
+
+val slacks : Timing_graph.t -> analysis -> clock_period:float -> slack_report
+(** Standard required-time/slack computation over an existing forward
+    analysis: sinks must settle by [clock_period]; upstream required
+    times subtract the downstream stage delays along each fanout. *)

@@ -1,0 +1,26 @@
+open Tqwm_circuit
+
+let ps x = x *. 1e12
+
+let print fmt graph analysis =
+  Format.fprintf fmt "%-16s %12s %12s %12s %12s@\n" "stage" "arrival_in" "delay" "slew"
+    "arrival_out";
+  Array.iter
+    (fun (t : Arrival.stage_timing) ->
+      let name = (Timing_graph.scenario graph t.Arrival.id).Scenario.name in
+      Format.fprintf fmt "%-16s %10.2fps %10.2fps %10.2fps %10.2fps@\n" name
+        (ps t.Arrival.arrival_in) (ps t.Arrival.delay) (ps t.Arrival.slew)
+        (ps t.Arrival.arrival_out))
+    analysis.Arrival.timings;
+  Format.fprintf fmt "critical path: %s@\n"
+    (String.concat " -> "
+       (List.map
+          (fun id -> (Timing_graph.scenario graph id).Scenario.name)
+          analysis.Arrival.critical_path));
+  Format.fprintf fmt "worst arrival: %.2f ps@\n" (ps analysis.Arrival.worst_arrival)
+
+let critical_path_string graph analysis =
+  String.concat " -> "
+    (List.map
+       (fun id -> (Timing_graph.scenario graph id).Scenario.name)
+       analysis.Arrival.critical_path)

@@ -1,0 +1,8 @@
+(** Human-readable timing reports. *)
+
+val print : Format.formatter -> Timing_graph.t -> Arrival.analysis -> unit
+(** Per-stage table (arrival, delay, slew) followed by the critical path
+    and the worst arrival time. *)
+
+val critical_path_string : Timing_graph.t -> Arrival.analysis -> string
+(** "stageA -> stageB -> ..." *)

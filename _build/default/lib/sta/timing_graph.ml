@@ -1,0 +1,65 @@
+type stage_id = int
+
+type connection = { from_stage : stage_id; to_stage : stage_id; input : string }
+
+type t = {
+  mutable stages : Tqwm_circuit.Scenario.t list;  (** reversed *)
+  mutable count : int;
+  mutable connections : connection list;
+}
+
+let create () = { stages = []; count = 0; connections = [] }
+
+let add_stage t scenario =
+  let id = t.count in
+  t.count <- id + 1;
+  t.stages <- scenario :: t.stages;
+  id
+
+let num_stages t = t.count
+
+let scenario t id =
+  if id < 0 || id >= t.count then invalid_arg "Timing_graph.scenario: unknown stage";
+  List.nth t.stages (t.count - 1 - id)
+
+let fanin t id = List.filter (fun c -> c.to_stage = id) t.connections
+
+let fanout t id = List.filter (fun c -> c.from_stage = id) t.connections
+
+let topological_order t =
+  let indegree = Array.make t.count 0 in
+  List.iter (fun c -> indegree.(c.to_stage) <- indegree.(c.to_stage) + 1) t.connections;
+  let ready = Queue.create () in
+  Array.iteri (fun id d -> if d = 0 then Queue.add id ready) indegree;
+  let rec drain acc =
+    if Queue.is_empty ready then List.rev acc
+    else begin
+      let id = Queue.pop ready in
+      List.iter
+        (fun c ->
+          if c.from_stage = id then begin
+            indegree.(c.to_stage) <- indegree.(c.to_stage) - 1;
+            if indegree.(c.to_stage) = 0 then Queue.add c.to_stage ready
+          end)
+        t.connections;
+      drain (id :: acc)
+    end
+  in
+  let order = drain [] in
+  if List.length order <> t.count then
+    invalid_arg "Timing_graph.topological_order: cycle detected";
+  order
+
+let connect t ~from_stage ~to_stage ~input =
+  if from_stage < 0 || from_stage >= t.count || to_stage < 0 || to_stage >= t.count then
+    invalid_arg "Timing_graph.connect: unknown stage";
+  let target = scenario t to_stage in
+  if not (List.mem_assoc input target.Tqwm_circuit.Scenario.sources) then
+    invalid_arg "Timing_graph.connect: unknown input";
+  let edge = { from_stage; to_stage; input } in
+  t.connections <- edge :: t.connections;
+  match topological_order t with
+  | (_ : stage_id list) -> ()
+  | exception Invalid_argument _ ->
+    t.connections <- List.filter (fun c -> c <> edge) t.connections;
+    invalid_arg "Timing_graph.connect: cycle detected"

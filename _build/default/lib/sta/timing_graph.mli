@@ -1,0 +1,36 @@
+(** Stage-level timing graphs.
+
+    Vertices are switching scenarios (a logic stage with its worst-case
+    input configuration); a directed edge records that the source stage's
+    output drives one named input of the target stage. Static timing
+    analysis propagates arrival times and slews topologically through
+    this graph, evaluating each stage with QWM. *)
+
+type stage_id = int
+
+type connection = {
+  from_stage : stage_id;
+  to_stage : stage_id;
+  input : string;  (** which input of [to_stage] the source output drives *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_stage : t -> Tqwm_circuit.Scenario.t -> stage_id
+
+val connect : t -> from_stage:stage_id -> to_stage:stage_id -> input:string -> unit
+(** @raise Invalid_argument on unknown stages, an unknown input name, or
+    when the edge would create a combinational cycle. *)
+
+val num_stages : t -> int
+
+val scenario : t -> stage_id -> Tqwm_circuit.Scenario.t
+
+val fanin : t -> stage_id -> connection list
+
+val fanout : t -> stage_id -> connection list
+
+val topological_order : t -> stage_id list
+(** Primary-input stages first. *)

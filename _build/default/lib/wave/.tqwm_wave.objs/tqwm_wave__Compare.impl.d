@@ -1,0 +1,1 @@
+lib/wave/compare.ml: Array Float Waveform

@@ -1,0 +1,1 @@
+lib/wave/compare.mli: Waveform

@@ -1,0 +1,1 @@
+lib/wave/measure.ml: Array Float Option Waveform

@@ -1,0 +1,1 @@
+lib/wave/measure.mli: Waveform

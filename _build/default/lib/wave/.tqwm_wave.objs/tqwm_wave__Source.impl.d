@@ -1,0 +1,1 @@
+lib/wave/source.ml: Array Float Waveform

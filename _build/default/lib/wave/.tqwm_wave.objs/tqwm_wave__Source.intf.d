@@ -1,0 +1,1 @@
+lib/wave/source.mli: Waveform

@@ -1,0 +1,1 @@
+lib/wave/waveform.ml: Array Float List Option Seq Tqwm_num

@@ -1,0 +1,1 @@
+lib/wave/waveform.mli:

@@ -1,0 +1,32 @@
+type report = {
+  rms_error : float;
+  max_error : float;
+  rms_percent_of_swing : float;
+}
+
+let waveforms ?(samples = 200) ~reference w =
+  let t0 = Float.max (Waveform.start_time reference) (Waveform.start_time w) in
+  let t1 = Float.min (Waveform.end_time reference) (Waveform.end_time w) in
+  if t1 <= t0 then invalid_arg "Compare.waveforms: disjoint spans";
+  let lo, hi =
+    Array.fold_left
+      (fun (lo, hi) (_, v) -> (Float.min lo v, Float.max hi v))
+      (infinity, neg_infinity)
+      (Waveform.samples reference)
+  in
+  let swing = Float.max (hi -. lo) 1e-12 in
+  let sum_sq = ref 0.0 and max_err = ref 0.0 in
+  for i = 0 to samples - 1 do
+    let t = t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (samples - 1)) in
+    let err = Float.abs (Waveform.value_at reference t -. Waveform.value_at w t) in
+    sum_sq := !sum_sq +. (err *. err);
+    max_err := Float.max !max_err err
+  done;
+  let rms = sqrt (!sum_sq /. float_of_int samples) in
+  { rms_error = rms; max_error = !max_err; rms_percent_of_swing = 100.0 *. rms /. swing }
+
+let delay_error_percent ~reference d =
+  if reference <= 0.0 then invalid_arg "Compare.delay_error_percent: bad reference";
+  100.0 *. Float.abs (d -. reference) /. reference
+
+let accuracy_percent ~reference d = 100.0 -. delay_error_percent ~reference d

@@ -1,0 +1,20 @@
+(** Waveform and delay accuracy metrics (paper §V-C reports per-circuit
+    delay error percentages and an average "accuracy" of ~99 %). *)
+
+type report = {
+  rms_error : float;  (** RMS voltage difference over the overlap window *)
+  max_error : float;  (** max absolute voltage difference *)
+  rms_percent_of_swing : float;
+}
+
+val waveforms : ?samples:int -> reference:Waveform.t -> Waveform.t -> report
+(** Compare over the intersection of the two time spans, resampling both
+    on [samples] uniform points (default 200).
+    @raise Invalid_argument if the spans do not overlap. *)
+
+val delay_error_percent : reference:float -> float -> float
+(** [100 * |d - reference| / reference].
+    @raise Invalid_argument on a non-positive reference delay. *)
+
+val accuracy_percent : reference:float -> float -> float
+(** The paper's headline metric: [100 - delay_error_percent]. *)

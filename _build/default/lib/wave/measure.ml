@@ -1,0 +1,44 @@
+type edge = Rising | Falling
+
+let direction_of_edge = function Rising -> `Rising | Falling -> `Falling
+
+let delay ~vdd ~input ~output ~output_edge =
+  let level = vdd /. 2.0 in
+  match Waveform.first_crossing input ~level ~direction:`Any with
+  | None -> None
+  | Some t_in ->
+    Waveform.first_crossing output ~level ~direction:(direction_of_edge output_edge)
+    |> Option.map (fun t_out -> t_out -. t_in)
+
+let delay_from ~t0 ~vdd ~output ~output_edge =
+  Waveform.first_crossing output ~level:(vdd /. 2.0)
+    ~direction:(direction_of_edge output_edge)
+  |> Option.map (fun t -> t -. t0)
+
+let slew ~vdd w edge =
+  let lo = 0.1 *. vdd and hi = 0.9 *. vdd in
+  match edge with
+  | Rising ->
+    (match
+       ( Waveform.first_crossing w ~level:lo ~direction:`Rising,
+         Waveform.first_crossing w ~level:hi ~direction:`Rising )
+     with
+    | Some t1, Some t2 when t2 >= t1 -> Some (t2 -. t1)
+    | _ -> None)
+  | Falling ->
+    (match
+       ( Waveform.first_crossing w ~level:hi ~direction:`Falling,
+         Waveform.first_crossing w ~level:lo ~direction:`Falling )
+     with
+    | Some t1, Some t2 when t2 >= t1 -> Some (t2 -. t1)
+    | _ -> None)
+
+let quadratic_delay_from ~t0 ~vdd q ~output_edge =
+  Waveform.quadratic_first_crossing q ~level:(vdd /. 2.0)
+    ~direction:(direction_of_edge output_edge)
+  |> Option.map (fun t -> t -. t0)
+
+let swing w =
+  Array.fold_left
+    (fun (lo, hi) (_, v) -> (Float.min lo v, Float.max hi v))
+    (infinity, neg_infinity) (Waveform.samples w)

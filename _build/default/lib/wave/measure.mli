@@ -1,0 +1,28 @@
+(** Timing metrics extracted from waveforms. *)
+
+type edge = Rising | Falling
+
+val delay :
+  vdd:float ->
+  input:Waveform.t ->
+  output:Waveform.t ->
+  output_edge:edge ->
+  float option
+(** 50 %-to-50 % propagation delay: time between the input's first 50 %
+    crossing (any direction) and the output's first 50 % crossing in the
+    given direction. [None] when either crossing is missing. *)
+
+val delay_from : t0:float -> vdd:float -> output:Waveform.t -> output_edge:edge -> float option
+(** Delay measured from a known input switching instant [t0] (ideal step
+    inputs). *)
+
+val slew : vdd:float -> Waveform.t -> edge -> float option
+(** 10 %-to-90 % transition time of the first transition in the given
+    direction. *)
+
+val quadratic_delay_from :
+  t0:float -> vdd:float -> Waveform.quadratic -> output_edge:edge -> float option
+(** Analytic 50 % delay of a piecewise-quadratic waveform. *)
+
+val swing : Waveform.t -> float * float
+(** (min, max) values. *)

@@ -1,0 +1,45 @@
+type shape =
+  | Constant of float
+  | Step of { t0 : float; low : float; high : float }
+  | Ramp of { t0 : float; low : float; high : float; rise_time : float }
+
+type t = shape
+
+let step ?(t0 = 0.0) ~low ~high () = Step { t0; low; high }
+
+let ramp ?(t0 = 0.0) ~low ~high ~rise_time () =
+  if rise_time <= 0.0 then invalid_arg "Source.ramp: rise_time <= 0";
+  Ramp { t0; low; high; rise_time }
+
+let constant v = Constant v
+
+let falling_step ?(t0 = 0.0) ~high ~low () = Step { t0; low = high; high = low }
+
+let value s t =
+  match s with
+  | Constant v -> v
+  | Step { t0; low; high } -> if t < t0 then low else high
+  | Ramp { t0; low; high; rise_time } ->
+    if t <= t0 then low
+    else if t >= t0 +. rise_time then high
+    else low +. ((high -. low) *. (t -. t0) /. rise_time)
+
+let derivative s t =
+  match s with
+  | Constant _ | Step _ -> 0.0
+  | Ramp { t0; low; high; rise_time } ->
+    if t <= t0 || t >= t0 +. rise_time then 0.0 else (high -. low) /. rise_time
+
+let is_step = function Step _ -> true | Constant _ | Ramp _ -> false
+
+let transition_time = function
+  | Constant _ -> None
+  | Step { t0; _ } | Ramp { t0; _ } -> Some t0
+
+let to_waveform s ~t_end ~dt =
+  if dt <= 0.0 || t_end <= 0.0 then invalid_arg "Source.to_waveform: bad range";
+  let steps = int_of_float (Float.ceil (t_end /. dt)) in
+  Waveform.of_samples
+    (Array.init (steps + 1) (fun i ->
+         let t = float_of_int i *. dt in
+         (t, value s t)))

@@ -1,0 +1,28 @@
+(** Input (gate-drive) waveforms.
+
+    Analytic time functions with the derivative available — the QWM region
+    solver needs dG/dt for ramp inputs in its Jacobian. *)
+
+type t
+
+val step : ?t0:float -> low:float -> high:float -> unit -> t
+(** Ideal step from [low] to [high] at [t0] (default 0). *)
+
+val ramp : ?t0:float -> low:float -> high:float -> rise_time:float -> unit -> t
+(** Linear transition starting at [t0] over [rise_time].
+    @raise Invalid_argument if [rise_time <= 0]. *)
+
+val constant : float -> t
+
+val falling_step : ?t0:float -> high:float -> low:float -> unit -> t
+
+val value : t -> float -> float
+
+val derivative : t -> float -> float
+
+val is_step : t -> bool
+
+val transition_time : t -> float option
+(** Start of the transition, if any. *)
+
+val to_waveform : t -> t_end:float -> dt:float -> Waveform.t

@@ -1,0 +1,149 @@
+module Quad = Tqwm_num.Quad
+
+type t = { times : float array; values : float array }
+
+let of_samples pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Waveform.of_samples: empty";
+  let times = Array.map fst pts and values = Array.map snd pts in
+  for i = 1 to n - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Waveform.of_samples: times must be strictly increasing"
+  done;
+  { times; values }
+
+let samples w = Array.map2 (fun t v -> (t, v)) w.times w.values
+
+let start_time w = w.times.(0)
+
+let end_time w = w.times.(Array.length w.times - 1)
+
+(* index of the last sample with time <= t, or -1 *)
+let locate w t =
+  let n = Array.length w.times in
+  if t < w.times.(0) then -1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if w.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    if w.times.(!hi) <= t then !hi else !lo
+  end
+
+let value_at w t =
+  let n = Array.length w.times in
+  let i = locate w t in
+  if i < 0 then w.values.(0)
+  else if i >= n - 1 then w.values.(n - 1)
+  else begin
+    let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+    let frac = (t -. t0) /. (t1 -. t0) in
+    w.values.(i) +. (frac *. (w.values.(i + 1) -. w.values.(i)))
+  end
+
+let map_values f w = { w with values = Array.map f w.values }
+
+let crossings w ~level =
+  let acc = ref [] in
+  for i = 0 to Array.length w.times - 2 do
+    let v0 = w.values.(i) -. level and v1 = w.values.(i + 1) -. level in
+    if (v0 < 0.0 && v1 >= 0.0) || (v0 >= 0.0 && v1 < 0.0) then begin
+      let frac = if v1 = v0 then 0.0 else -.v0 /. (v1 -. v0) in
+      let t = w.times.(i) +. (frac *. (w.times.(i + 1) -. w.times.(i))) in
+      let dir = if v1 > v0 then `Rising else `Falling in
+      acc := (t, dir) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let first_crossing w ~level ~direction =
+  let matches (_, dir) =
+    match direction with
+    | `Any -> true
+    | (`Rising | `Falling) as d -> d = dir
+  in
+  crossings w ~level |> List.find_opt matches |> Option.map fst
+
+type piece = { t0 : float; dt : float; v0 : float; dv : float; ddv : float }
+
+type quadratic = piece array
+
+let piece_value p t =
+  let x = t -. p.t0 in
+  p.v0 +. (p.dv *. x) +. (0.5 *. p.ddv *. x *. x)
+
+let quadratic_of_pieces pieces =
+  if pieces = [] then invalid_arg "Waveform.quadratic_of_pieces: empty";
+  let arr = Array.of_list pieces in
+  Array.iteri
+    (fun i p ->
+      if p.dt <= 0.0 then invalid_arg "Waveform.quadratic_of_pieces: non-positive dt";
+      if i > 0 then begin
+        let prev = arr.(i - 1) in
+        if Float.abs (prev.t0 +. prev.dt -. p.t0) > 1e-15 then
+          invalid_arg "Waveform.quadratic_of_pieces: non-contiguous pieces"
+      end)
+    arr;
+  arr
+
+let quadratic_pieces q = Array.to_list q
+
+let quadratic_value_at q t =
+  let n = Array.length q in
+  if t <= q.(0).t0 then q.(0).v0
+  else begin
+    let last = q.(n - 1) in
+    if t >= last.t0 +. last.dt then piece_value last (last.t0 +. last.dt)
+    else begin
+      (* pieces are few (one per region); linear scan is fine *)
+      let rec find i =
+        let p = q.(i) in
+        if t <= p.t0 +. p.dt || i = n - 1 then piece_value p t else find (i + 1)
+      in
+      find 0
+    end
+  end
+
+let quadratic_end_value q =
+  let last = q.(Array.length q - 1) in
+  piece_value last (last.t0 +. last.dt)
+
+let quadratic_first_crossing q ~level ~direction =
+  let piece_crossing p =
+    (* roots of v0 + dv x + ddv/2 x^2 = level within [0, dt] *)
+    let roots = Quad.roots ~a:(0.5 *. p.ddv) ~b:p.dv ~c:(p.v0 -. level) in
+    let ok x =
+      if x < -1e-18 || x > p.dt +. 1e-18 then None
+      else begin
+        let slope = p.dv +. (p.ddv *. x) in
+        let dir_ok =
+          match direction with
+          | `Any -> true
+          | `Rising -> slope > 0.0
+          | `Falling -> slope < 0.0
+        in
+        if dir_ok then Some (p.t0 +. Float.max x 0.0) else None
+      end
+    in
+    List.filter_map ok roots |> function [] -> None | t :: _ -> Some t
+  in
+  Array.to_seq q |> Seq.filter_map piece_crossing |> Seq.uncons |> Option.map fst
+
+let sample_quadratic q ~dt =
+  if dt <= 0.0 then invalid_arg "Waveform.sample_quadratic: dt <= 0";
+  let t_start = q.(0).t0 in
+  let last = q.(Array.length q - 1) in
+  let t_end = last.t0 +. last.dt in
+  let steps = int_of_float (Float.ceil ((t_end -. t_start) /. dt)) in
+  let pts =
+    Array.init (steps + 1) (fun i ->
+        let t = Float.min (t_start +. (float_of_int i *. dt)) t_end in
+        (t, quadratic_value_at q t))
+  in
+  (* guard against a duplicated final sample when the span divides evenly *)
+  let n = Array.length pts in
+  let pts =
+    if n >= 2 && fst pts.(n - 1) <= fst pts.(n - 2) then Array.sub pts 0 (n - 1) else pts
+  in
+  of_samples pts

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Capacitance Device Device_model Filename Float Fun Lazy List Models Mosfet Printf QCheck2 QCheck_alcotest Sys Table_model Tech Tqwm_device Tqwm_num

@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Array Awe Float List Pi_model QCheck2 QCheck_alcotest Random Rc_tree Switch_level Tqwm_circuit Tqwm_device Tqwm_interconnect

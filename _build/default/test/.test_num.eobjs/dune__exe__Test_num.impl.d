@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Array Bordered Float Interp List Lu Mat Newton Ode Polyfit QCheck2 QCheck_alcotest Quad Random Sherman_morrison Stats Tqwm_num Tridiag Vec

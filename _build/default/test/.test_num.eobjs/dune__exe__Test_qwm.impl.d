@@ -1,0 +1,1 @@
+test/test_qwm.ml: Alcotest Array Builders Chain Device Float Lazy List Models Path Printf Random Random_circuits Scenario Stage Tech Tqwm_circuit Tqwm_core Tqwm_device Tqwm_spice Tqwm_wave

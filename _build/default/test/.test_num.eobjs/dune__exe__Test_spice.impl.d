@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Builders Capacitance Chain Device Float List Models Scenario Stage Tech Tqwm_circuit Tqwm_device Tqwm_spice Tqwm_wave

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Buffer Float Format Lazy List Models Scenario String Tech Tqwm_circuit Tqwm_device Tqwm_num Tqwm_sta

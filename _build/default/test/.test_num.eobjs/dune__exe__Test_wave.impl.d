@@ -1,0 +1,1 @@
+test/test_wave.ml: Alcotest Compare Float Measure QCheck2 QCheck_alcotest Source Tqwm_wave Waveform

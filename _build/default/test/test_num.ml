@@ -1,0 +1,415 @@
+(* Unit and property tests for the numeric kernels. *)
+
+open Tqwm_num
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------- Vec ---------- *)
+
+let test_vec_basic () =
+  let v = Vec.of_list [ 1.0; 2.0; 3.0 ] in
+  check_float "dot" 14.0 (Vec.dot v v);
+  check_float "norm2" (sqrt 14.0) (Vec.norm2 v);
+  check_float "norm_inf" 3.0 (Vec.norm_inf v);
+  let w = Vec.sub (Vec.add v v) v in
+  check_float "add/sub roundtrip" 0.0 (Vec.max_abs_diff v w);
+  let y = Vec.copy v in
+  Vec.axpy 2.0 v y;
+  check_float "axpy" 9.0 y.(2)
+
+let test_vec_errors () =
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)")
+    (fun () -> ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+(* ---------- Mat ---------- *)
+
+let test_mat_mul () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Mat.identity 2 in
+  check_float "a*i = a" 0.0 (Mat.max_abs_diff a (Mat.mul a i));
+  let b = Mat.mul a a in
+  check_float "mul(0,0)" 7.0 (Mat.get b 0 0);
+  check_float "mul(1,1)" 22.0 (Mat.get b 1 1);
+  let t = Mat.transpose a in
+  check_float "transpose" 2.0 (Mat.get t 1 0)
+
+let test_mat_vec () =
+  let a = Mat.of_rows [| [| 2.0; 0.0 |]; [| 1.0; 3.0 |] |] in
+  let y = Mat.mul_vec a [| 1.0; 2.0 |] in
+  check_float "mul_vec 0" 2.0 y.(0);
+  check_float "mul_vec 1" 7.0 y.(1)
+
+(* ---------- Lu ---------- *)
+
+let test_lu_solve () =
+  let a = Mat.of_rows [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Lu.solve a [| 1.0; 2.0 |] in
+  check_close "x0" (1.0 /. 11.0) x.(0);
+  check_close "x1" (7.0 /. 11.0) x.(1)
+
+let test_lu_det_inverse () =
+  let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  check_close "det" 3.0 (Lu.det a);
+  let inv = Lu.inverse a in
+  check_float "a * a^-1 = i" 0.0 (Mat.max_abs_diff (Mat.identity 2) (Mat.mul a inv))
+
+let test_lu_singular () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  (match Lu.factorize a with
+  | exception Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular");
+  check_float "det singular" 0.0 (Lu.det a)
+
+let random_spd_system rng n =
+  (* diagonally dominant => well-conditioned, solvable *)
+  let a =
+    Mat.init n n (fun i j ->
+        let v = QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-1.0) 1.0) in
+        if i = j then 4.0 +. Float.abs v else v /. float_of_int n)
+  in
+  let x = Array.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-5.0) 5.0)) in
+  (a, x)
+
+let prop_lu_roundtrip =
+  QCheck2.Test.make ~name:"lu solve recovers solution" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let a, x = random_spd_system rng n in
+      let b = Mat.mul_vec a x in
+      let x' = Lu.solve a b in
+      Vec.max_abs_diff x x' < 1e-8)
+
+(* ---------- Tridiag ---------- *)
+
+let random_tridiag rng n =
+  let gen = QCheck2.Gen.float_range (-1.0) 1.0 in
+  let g () = QCheck2.Gen.generate1 ~rand:rng gen in
+  Tridiag.make
+    ~lower:(Array.init n (fun i -> if i = 0 then 0.0 else g ()))
+    ~diag:(Array.init n (fun _ -> 4.0 +. Float.abs (g ())))
+    ~upper:(Array.init n (fun i -> if i = n - 1 then 0.0 else g ()))
+
+let prop_tridiag_vs_lu =
+  QCheck2.Test.make ~name:"tridiagonal solve matches dense LU" ~count:100
+    QCheck2.Gen.(pair (int_range 1 15) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 17 |] in
+      let t = random_tridiag rng n in
+      let b = Array.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0)) in
+      let x_t = Tridiag.solve t b in
+      let x_d = Lu.solve (Tridiag.to_mat t) b in
+      Vec.max_abs_diff x_t x_d < 1e-8)
+
+let test_tridiag_mul_vec () =
+  let t =
+    Tridiag.make ~lower:[| 0.0; 1.0; 1.0 |] ~diag:[| 2.0; 2.0; 2.0 |]
+      ~upper:[| 1.0; 1.0; 0.0 |]
+  in
+  let y = Tridiag.mul_vec t [| 1.0; 1.0; 1.0 |] in
+  check_float "row 0" 3.0 y.(0);
+  check_float "row 1" 4.0 y.(1);
+  check_float "row 2" 3.0 y.(2)
+
+let test_tridiag_of_mat_roundtrip () =
+  let t =
+    Tridiag.make ~lower:[| 0.0; -1.0 |] ~diag:[| 3.0; 5.0 |] ~upper:[| 2.0; 0.0 |]
+  in
+  let t' = Tridiag.of_mat (Tridiag.to_mat t) in
+  check_float "roundtrip" 0.0 (Mat.max_abs_diff (Tridiag.to_mat t) (Tridiag.to_mat t'))
+
+(* ---------- Bordered and Sherman-Morrison ---------- *)
+
+let random_bordered rng n =
+  let gen = QCheck2.Gen.float_range (-1.0) 1.0 in
+  let g () = QCheck2.Gen.generate1 ~rand:rng gen in
+  {
+    Bordered.core = random_tridiag rng n;
+    last_col = Array.init n (fun _ -> g ());
+    last_row = Array.init n (fun _ -> g ());
+    corner = 5.0 +. Float.abs (g ());
+  }
+
+let prop_bordered_vs_lu =
+  QCheck2.Test.make ~name:"bordered solve matches dense LU" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 23 |] in
+      let sys = random_bordered rng n in
+      let b =
+        Array.init (n + 1) (fun _ ->
+            QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0))
+      in
+      let x_b = Bordered.solve sys b in
+      let x_d = Lu.solve (Bordered.to_mat sys) b in
+      Vec.max_abs_diff x_b x_d < 1e-7)
+
+let prop_sherman_morrison =
+  QCheck2.Test.make ~name:"sherman-morrison matches dense rank-1 update" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 31 |] in
+      let t = random_tridiag rng n in
+      let gen = QCheck2.Gen.float_range (-0.3) 0.3 in
+      let g () = QCheck2.Gen.generate1 ~rand:rng gen in
+      let u = Array.init n (fun _ -> g ()) and v = Array.init n (fun _ -> g ()) in
+      let b = Array.init n (fun _ -> g ()) in
+      let x_sm = Sherman_morrison.solve_tridiag t ~u ~v b in
+      let dense =
+        Mat.init n n (fun i j -> Mat.get (Tridiag.to_mat t) i j +. (u.(i) *. v.(j)))
+      in
+      let x_d = Lu.solve dense b in
+      Vec.max_abs_diff x_sm x_d < 1e-7)
+
+let test_bordered_dim_zero () =
+  let sys =
+    { Bordered.core = Tridiag.make ~lower:[||] ~diag:[||] ~upper:[||];
+      last_col = [||]; last_row = [||]; corner = 2.0 }
+  in
+  let x = Bordered.solve sys [| 4.0 |] in
+  check_float "corner-only" 2.0 x.(0)
+
+(* ---------- Newton ---------- *)
+
+let test_newton_scalar () =
+  let problem =
+    {
+      Newton.residual = (fun x -> [| (x.(0) *. x.(0)) -. 4.0 |]);
+      solve_linearized = (fun x f -> [| f.(0) /. (2.0 *. x.(0)) |]);
+    }
+  in
+  let out = Newton.solve problem [| 1.0 |] in
+  Alcotest.(check bool) "converged" true out.Newton.converged;
+  check_close "root" 2.0 out.Newton.x.(0)
+
+let test_newton_2d () =
+  (* x^2 + y^2 = 2, x = y -> (1, 1) *)
+  let residual x = [| (x.(0) *. x.(0)) +. (x.(1) *. x.(1)) -. 2.0; x.(0) -. x.(1) |] in
+  let solve_linearized x f =
+    let j = Mat.of_rows [| [| 2.0 *. x.(0); 2.0 *. x.(1) |]; [| 1.0; -1.0 |] |] in
+    Lu.solve j f
+  in
+  let out = Newton.solve { Newton.residual; solve_linearized } [| 2.0; 0.5 |] in
+  Alcotest.(check bool) "converged" true out.Newton.converged;
+  check_close "x" 1.0 out.Newton.x.(0);
+  check_close "y" 1.0 out.Newton.x.(1)
+
+let test_newton_failure_reported () =
+  (* no real root of x^2 + 1 *)
+  let problem =
+    {
+      Newton.residual = (fun x -> [| (x.(0) *. x.(0)) +. 1.0 |]);
+      solve_linearized = (fun x f -> [| f.(0) /. (2.0 *. x.(0) +. 1e-9) |]);
+    }
+  in
+  let out =
+    Newton.solve ~config:{ Newton.default_config with max_iterations = 25 } problem
+      [| 3.0 |]
+  in
+  Alcotest.(check bool) "not converged" false out.Newton.converged
+
+(* ---------- Polyfit ---------- *)
+
+let prop_polyfit_recovers =
+  QCheck2.Test.make ~name:"polyfit recovers exact polynomials" ~count:100
+    QCheck2.Gen.(pair (int_range 0 3) (int_bound 10000))
+    (fun (degree, seed) ->
+      let rng = Random.State.make [| seed; 41 |] in
+      let coeffs =
+        Array.init (degree + 1) (fun _ ->
+            QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-2.0) 2.0))
+      in
+      let pts =
+        Array.init (degree + 4) (fun i ->
+            let x = float_of_int i /. 2.0 in
+            (x, Polyfit.eval coeffs x))
+      in
+      let fitted = Polyfit.fit ~degree pts in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) coeffs fitted)
+
+let test_polyfit_wrappers () =
+  let pts = [| (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) |] in
+  let intercept, slope = Polyfit.linear pts in
+  check_close "intercept" 1.0 intercept;
+  check_close "slope" 2.0 slope;
+  let c0, c1, c2 = Polyfit.quadratic [| (0.0, 0.0); (1.0, 1.0); (2.0, 4.0); (3.0, 9.0) |] in
+  check_close "c0" 0.0 ~eps:1e-7 c0;
+  check_close "c1" 0.0 ~eps:1e-7 c1;
+  check_close "c2" 1.0 c2;
+  check_close "deriv" 4.0 (Polyfit.eval_deriv [| 0.0; 0.0; 1.0 |] 2.0)
+
+let test_polyfit_errors () =
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Polyfit.fit: not enough points") (fun () ->
+      ignore (Polyfit.fit ~degree:2 [| (0.0, 0.0) |]))
+
+let test_polyfit_max_residual () =
+  let pts = [| (0.0, 0.0); (1.0, 1.1) |] in
+  let r = Polyfit.max_residual [| 0.0; 1.0 |] pts in
+  check_close "residual" 0.1 r
+
+(* ---------- Interp ---------- *)
+
+let test_interp_linear () =
+  let ax = Interp.axis ~start:0.0 ~stop:2.0 ~count:3 in
+  let samples = [| 0.0; 10.0; 40.0 |] in
+  check_close "knot value" 10.0 (Interp.linear ax samples 1.0);
+  check_close "between" 5.0 (Interp.linear ax samples 0.5);
+  check_close "extrapolate" 55.0 (Interp.linear ax samples 2.5)
+
+let test_interp_bilinear () =
+  let ax = Interp.axis ~start:0.0 ~stop:1.0 ~count:2 in
+  let table = Mat.of_rows [| [| 0.0; 1.0 |]; [| 2.0; 3.0 |] |] in
+  check_close "corner" 3.0 (Interp.bilinear ax ax table 1.0 1.0);
+  check_close "center" 1.5 (Interp.bilinear ax ax table 0.5 0.5)
+
+let prop_interp_exact_at_knots =
+  QCheck2.Test.make ~name:"interpolation exact at grid knots" ~count:50
+    QCheck2.Gen.(int_bound 10000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 43 |] in
+      let n = 5 in
+      let ax = Interp.axis ~start:(-1.0) ~stop:1.0 ~count:n in
+      let samples =
+        Array.init n (fun _ ->
+            QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-4.0) 4.0))
+      in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Float.abs (Interp.linear ax samples (Interp.knot ax i) -. samples.(i)) > 1e-9
+        then ok := false
+      done;
+      !ok)
+
+let test_interp_errors () =
+  Alcotest.check_raises "bad axis" (Invalid_argument "Interp.axis: count < 2") (fun () ->
+      ignore (Interp.axis ~start:0.0 ~stop:1.0 ~count:1))
+
+let test_interp_nonuniform () =
+  let xs = [| 0.0; 1.0; 4.0; 10.0 |] in
+  let ys = [| 0.0; 2.0; 8.0; 20.0 |] in
+  check_close "at knot" 8.0 (Interp.piecewise_linear ~xs ~ys 4.0);
+  check_close "between" 5.0 (Interp.piecewise_linear ~xs ~ys 2.5);
+  check_close "extrapolates" 22.0 (Interp.piecewise_linear ~xs ~ys 11.0);
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Interp: axis must be strictly increasing") (fun () ->
+      ignore (Interp.piecewise_linear ~xs:[| 0.0; 0.0 |] ~ys:[| 1.0; 2.0 |] 0.5))
+
+let test_interp_table_lookup () =
+  let xs = [| 0.0; 2.0 |] and ys = [| 0.0; 1.0; 10.0 |] in
+  let table = Mat.of_rows [| [| 0.0; 1.0; 10.0 |]; [| 2.0; 3.0; 12.0 |] |] in
+  check_close "corner" 12.0 (Interp.table_lookup ~xs ~ys table 2.0 10.0);
+  check_close "center of first cell" 1.5 (Interp.table_lookup ~xs ~ys table 1.0 0.5);
+  check_close "non-uniform cell" 5.5 (Interp.table_lookup ~xs ~ys table 0.0 5.5)
+
+(* ---------- Quad ---------- *)
+
+let test_quad_roots () =
+  (match Quad.roots ~a:1.0 ~b:(-3.0) ~c:2.0 with
+  | [ r1; r2 ] ->
+    check_close "root 1" 1.0 r1;
+    check_close "root 2" 2.0 r2
+  | _ -> Alcotest.fail "expected two roots");
+  (match Quad.roots ~a:0.0 ~b:2.0 ~c:(-4.0) with
+  | [ r ] -> check_close "linear root" 2.0 r
+  | _ -> Alcotest.fail "expected one root");
+  Alcotest.(check (list (float 1e-9))) "no real roots" [] (Quad.roots ~a:1.0 ~b:0.0 ~c:1.0);
+  Alcotest.(check (list (float 1e-9))) "degenerate" [] (Quad.roots ~a:0.0 ~b:0.0 ~c:1.0)
+
+let prop_quad_roots_reconstruct =
+  QCheck2.Test.make ~name:"quadratic roots satisfy the polynomial" ~count:200
+    QCheck2.Gen.(triple (float_range (-5.0) 5.0) (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (a, b, c) ->
+      Quad.roots ~a ~b ~c
+      |> List.for_all (fun r -> Float.abs (Quad.eval ~a ~b ~c r) < 1e-6))
+
+let test_quad_smallest_positive () =
+  (match Quad.smallest_positive_root ~a:1.0 ~b:0.0 ~c:(-4.0) with
+  | Some r -> check_close "positive root" 2.0 r
+  | None -> Alcotest.fail "expected a root");
+  Alcotest.(check bool) "none positive" true
+    (Quad.smallest_positive_root ~a:1.0 ~b:3.0 ~c:2.0 = None)
+
+(* ---------- Ode ---------- *)
+
+let test_rk4_exponential () =
+  let f _ x = [| -.x.(0) |] in
+  let traj = Ode.rk4 ~f ~t0:0.0 ~x0:[| 1.0 |] ~t1:1.0 ~steps:100 in
+  let _, x_end = traj.(Array.length traj - 1) in
+  check_close ~eps:1e-6 "e^-1" (exp (-1.0)) x_end.(0)
+
+let test_rk4_errors () =
+  Alcotest.check_raises "steps" (Invalid_argument "Ode.rk4: steps < 1") (fun () ->
+      ignore (Ode.rk4 ~f:(fun _ x -> x) ~t0:0.0 ~x0:[| 1.0 |] ~t1:1.0 ~steps:0))
+
+(* ---------- Stats ---------- *)
+
+let test_stats () =
+  check_close "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_close "geomean" 2.0 (Stats.geometric_mean [ 1.0; 4.0 ]);
+  check_close "max_abs" 3.0 (Stats.max_abs [ -3.0; 2.0 ]);
+  check_close "rms" (sqrt 2.5) (Stats.rms [ 1.0; 2.0 ]);
+  check_close "rel err" 0.1 (Stats.relative_error ~reference:10.0 11.0);
+  check_close "percent" 12.0 (Stats.percent 0.12)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop p = QCheck_alcotest.to_alcotest p in
+  Alcotest.run "tqwm_num"
+    [
+      ("vec", [ quick "basic ops" test_vec_basic; quick "errors" test_vec_errors ]);
+      ("mat", [ quick "mul" test_mat_mul; quick "mul_vec" test_mat_vec ]);
+      ( "lu",
+        [
+          quick "solve 2x2" test_lu_solve;
+          quick "det and inverse" test_lu_det_inverse;
+          quick "singular" test_lu_singular;
+          prop prop_lu_roundtrip;
+        ] );
+      ( "tridiag",
+        [
+          prop prop_tridiag_vs_lu;
+          quick "mul_vec" test_tridiag_mul_vec;
+          quick "of_mat roundtrip" test_tridiag_of_mat_roundtrip;
+        ] );
+      ( "bordered",
+        [
+          prop prop_bordered_vs_lu;
+          prop prop_sherman_morrison;
+          quick "dim zero" test_bordered_dim_zero;
+        ] );
+      ( "newton",
+        [
+          quick "scalar" test_newton_scalar;
+          quick "2d" test_newton_2d;
+          quick "failure" test_newton_failure_reported;
+        ] );
+      ( "polyfit",
+        [
+          prop prop_polyfit_recovers;
+          quick "wrappers" test_polyfit_wrappers;
+          quick "errors" test_polyfit_errors;
+          quick "max_residual" test_polyfit_max_residual;
+        ] );
+      ( "interp",
+        [
+          quick "linear" test_interp_linear;
+          quick "bilinear" test_interp_bilinear;
+          prop prop_interp_exact_at_knots;
+          quick "errors" test_interp_errors;
+          quick "non-uniform 1d" test_interp_nonuniform;
+          quick "non-uniform table" test_interp_table_lookup;
+        ] );
+      ( "quad",
+        [
+          quick "roots" test_quad_roots;
+          prop prop_quad_roots_reconstruct;
+          quick "smallest positive" test_quad_smallest_positive;
+        ] );
+      ("ode", [ quick "exponential" test_rk4_exponential; quick "errors" test_rk4_errors ]);
+      ("stats", [ quick "all" test_stats ]);
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the static-timing-analysis layer. *)
+
+open Tqwm_device
+open Tqwm_circuit
+module Timing_graph = Tqwm_sta.Timing_graph
+module Arrival = Tqwm_sta.Arrival
+module Report = Tqwm_sta.Report
+
+let tech = Tech.cmosp35
+
+let table = lazy (Models.table tech)
+
+let inverter_pair () =
+  let graph = Timing_graph.create () in
+  let a = Timing_graph.add_stage graph (Scenario.inverter_falling ~load:8e-15 tech) in
+  let b = Timing_graph.add_stage graph (Scenario.nor_rising ~n:2 ~load:8e-15 tech) in
+  Timing_graph.connect graph ~from_stage:a ~to_stage:b ~input:"a1";
+  (graph, a, b)
+
+let test_topological_order () =
+  let graph, a, b = inverter_pair () in
+  Alcotest.(check (list int)) "driver first" [ a; b ] (Timing_graph.topological_order graph)
+
+let test_connect_validation () =
+  let graph = Timing_graph.create () in
+  let a = Timing_graph.add_stage graph (Scenario.inverter_falling tech) in
+  Alcotest.check_raises "unknown input"
+    (Invalid_argument "Timing_graph.connect: unknown input") (fun () ->
+      Timing_graph.connect graph ~from_stage:a ~to_stage:a ~input:"nope");
+  Alcotest.check_raises "self cycle"
+    (Invalid_argument "Timing_graph.connect: cycle detected") (fun () ->
+      Timing_graph.connect graph ~from_stage:a ~to_stage:a ~input:"a1")
+
+let test_cycle_rejected () =
+  let graph, a, b = inverter_pair () in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Timing_graph.connect: cycle detected") (fun () ->
+      Timing_graph.connect graph ~from_stage:b ~to_stage:a ~input:"a1")
+
+let test_fan_queries () =
+  let graph, a, b = inverter_pair () in
+  Alcotest.(check int) "fanout of a" 1 (List.length (Timing_graph.fanout graph a));
+  Alcotest.(check int) "fanin of b" 1 (List.length (Timing_graph.fanin graph b));
+  Alcotest.(check int) "fanin of a" 0 (List.length (Timing_graph.fanin graph a))
+
+let test_propagate_accumulates () =
+  let graph, a, b = inverter_pair () in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+  let ta = analysis.Arrival.timings.(a) and tb = analysis.Arrival.timings.(b) in
+  Alcotest.(check (float 1e-15)) "primary input arrival 0" 0.0 ta.Arrival.arrival_in;
+  Alcotest.(check bool) "positive stage delays" true
+    (ta.Arrival.delay > 0.0 && tb.Arrival.delay > 0.0);
+  Alcotest.(check (float 1e-15)) "arrival chains" ta.Arrival.arrival_out
+    tb.Arrival.arrival_in;
+  Alcotest.(check (float 1e-15)) "worst = sink arrival" tb.Arrival.arrival_out
+    analysis.Arrival.worst_arrival;
+  Alcotest.(check (list int)) "critical path" [ a; b ] analysis.Arrival.critical_path
+
+let test_critical_fanin_selection () =
+  (* two drivers into one nand2: the slower one must define the arrival *)
+  let graph = Timing_graph.create () in
+  let fast = Timing_graph.add_stage graph (Scenario.inverter_falling ~load:4e-15 tech) in
+  let slow = Timing_graph.add_stage graph (Scenario.nand_falling ~n:4 ~load:40e-15 tech) in
+  let sink = Timing_graph.add_stage graph (Scenario.nand_falling ~n:2 ~load:10e-15 tech) in
+  Timing_graph.connect graph ~from_stage:fast ~to_stage:sink ~input:"a2";
+  Timing_graph.connect graph ~from_stage:slow ~to_stage:sink ~input:"a1";
+  let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+  let t_sink = analysis.Arrival.timings.(sink) in
+  Alcotest.(check (option int)) "slower driver wins" (Some slow)
+    t_sink.Arrival.critical_fanin;
+  Alcotest.(check (float 1e-15)) "arrival from slow driver"
+    analysis.Arrival.timings.(slow).Arrival.arrival_out t_sink.Arrival.arrival_in
+
+let test_slew_shapes_downstream_delay () =
+  (* the same sink driven by a slow (large-load) driver must see a larger
+     stage delay than when driven by a fast driver: slews propagate *)
+  let run load =
+    let graph = Timing_graph.create () in
+    let drv = Timing_graph.add_stage graph (Scenario.inverter_falling ~load tech) in
+    let sink = Timing_graph.add_stage graph (Scenario.nand_falling ~n:2 tech) in
+    Timing_graph.connect graph ~from_stage:drv ~to_stage:sink ~input:"a1";
+    let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+    analysis.Arrival.timings.(sink).Arrival.delay
+  in
+  let fast = run 4e-15 and slow = run 60e-15 in
+  Alcotest.(check bool) "slower input slew -> larger stage delay" true (slow > fast)
+
+let test_slack_computation () =
+  let graph, a, b = inverter_pair () in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+  let clock_period = 1e-9 in
+  let report = Arrival.slacks graph analysis ~clock_period in
+  (* sink: required = clock period *)
+  Alcotest.(check (float 1e-18)) "sink required" clock_period report.Arrival.required.(b);
+  (* driver: required shrinks by the sink's stage delay *)
+  Alcotest.(check (float 1e-15)) "driver required"
+    (clock_period -. analysis.Arrival.timings.(b).Arrival.delay)
+    report.Arrival.required.(a);
+  (* slack identity and consistency: both stages on one path share slack *)
+  Alcotest.(check (float 1e-15)) "slack identity"
+    (report.Arrival.required.(b) -. analysis.Arrival.timings.(b).Arrival.arrival_out)
+    report.Arrival.slack.(b);
+  Alcotest.(check (float 1e-12)) "single path: equal slacks"
+    report.Arrival.slack.(a) report.Arrival.slack.(b);
+  Alcotest.(check (float 1e-12)) "worst slack" report.Arrival.slack.(b)
+    report.Arrival.worst_slack;
+  (* a tight clock must go negative *)
+  let tight = Arrival.slacks graph analysis ~clock_period:1e-12 in
+  Alcotest.(check bool) "violation detected" true (tight.Arrival.worst_slack < 0.0)
+
+let test_report_rendering () =
+  let graph, _, _ = inverter_pair () in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+  let s = Report.critical_path_string graph analysis in
+  Alcotest.(check bool) "mentions both stages" true
+    (String.length s > 0
+    && String.split_on_char '>' s |> List.length = 2);
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Report.print fmt graph analysis;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "report mentions worst arrival" true
+    (Buffer.contents buf
+    |> String.split_on_char '\n'
+    |> List.exists (fun line ->
+           String.length line >= 13 && String.sub line 0 13 = "worst arrival"))
+
+(* ---------- cell characterization ---------- *)
+
+module Characterize = Tqwm_sta.Characterize
+
+let nand2_table =
+  lazy
+    (Characterize.characterize ~model:(Lazy.force table)
+       ~slews:[| 10e-12; 40e-12; 100e-12 |]
+       ~loads:[| 4e-15; 12e-15; 30e-15 |]
+       (fun ~load -> Scenario.nand_falling ~n:2 ~load tech))
+
+let test_characterize_monotone_in_load () =
+  let t = Lazy.force nand2_table in
+  for i = 0 to Array.length t.Characterize.slews - 1 do
+    for j = 1 to Array.length t.Characterize.loads - 1 do
+      let prev = Tqwm_num.Mat.get t.Characterize.delay i (j - 1) in
+      let here = Tqwm_num.Mat.get t.Characterize.delay i j in
+      if here <= prev then
+        Alcotest.failf "delay not increasing in load at (%d, %d)" i j
+    done
+  done
+
+let test_characterize_grid_exact () =
+  let t = Lazy.force nand2_table in
+  (* querying exactly on a grid point returns the stored value *)
+  let stored = Tqwm_num.Mat.get t.Characterize.delay 1 1 in
+  Alcotest.(check (float 1e-18)) "grid point exact" stored
+    (Characterize.delay_at t ~slew:40e-12 ~load:12e-15)
+
+let test_characterize_interpolation_bounded () =
+  let t = Lazy.force nand2_table in
+  let d = Characterize.delay_at t ~slew:25e-12 ~load:8e-15 in
+  let lo = Tqwm_num.Mat.get t.Characterize.delay 0 0 in
+  let hi = Tqwm_num.Mat.get t.Characterize.delay 2 2 in
+  Alcotest.(check bool) "between corner values" true (d > Float.min lo hi /. 2.0 && d < hi);
+  let s = Characterize.slew_at t ~slew:25e-12 ~load:8e-15 in
+  Alcotest.(check bool) "output slew positive" true (s > 0.0)
+
+let test_characterize_validation () =
+  match
+    Characterize.characterize ~model:(Lazy.force table) ~slews:[| 1e-12 |]
+      (fun ~load -> Scenario.nand_falling ~n:2 ~load tech)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for 1-point axis"
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "tqwm_sta"
+    [
+      ( "graph",
+        [
+          quick "topological order" test_topological_order;
+          quick "connect validation" test_connect_validation;
+          quick "cycle rejected" test_cycle_rejected;
+          quick "fan queries" test_fan_queries;
+        ] );
+      ( "arrival",
+        [
+          slow "accumulates" test_propagate_accumulates;
+          slow "critical fanin" test_critical_fanin_selection;
+          slow "slew propagation" test_slew_shapes_downstream_delay;
+          slow "slack computation" test_slack_computation;
+        ] );
+      ("report", [ slow "rendering" test_report_rendering ]);
+      ( "characterize",
+        [
+          slow "monotone in load" test_characterize_monotone_in_load;
+          slow "grid exact" test_characterize_grid_exact;
+          slow "interpolation bounded" test_characterize_interpolation_bounded;
+          quick "validation" test_characterize_validation;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* Tests for waveform representations, sources and timing metrics. *)
+
+open Tqwm_wave
+module Waveform = Waveform
+module Source = Source
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------- sampled waveforms ---------- *)
+
+let ramp_down = Waveform.of_samples [| (0.0, 3.3); (1.0, 3.3); (2.0, 0.0); (3.0, 0.0) |]
+
+let test_of_samples_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Waveform.of_samples: empty")
+    (fun () -> ignore (Waveform.of_samples [||]));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Waveform.of_samples: times must be strictly increasing") (fun () ->
+      ignore (Waveform.of_samples [| (0.0, 1.0); (0.0, 2.0) |]))
+
+let test_value_at () =
+  check_close "on sample" 3.3 (Waveform.value_at ramp_down 1.0);
+  check_close "interpolated" 1.65 (Waveform.value_at ramp_down 1.5);
+  check_close "before start" 3.3 (Waveform.value_at ramp_down (-1.0));
+  check_close "after end" 0.0 (Waveform.value_at ramp_down 10.0)
+
+let test_crossings () =
+  (match Waveform.crossings ramp_down ~level:1.65 with
+  | [ (t, `Falling) ] -> check_close "crossing time" 1.5 t
+  | _ -> Alcotest.fail "expected one falling crossing");
+  (match Waveform.first_crossing ramp_down ~level:1.65 ~direction:`Rising with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no rising crossing expected")
+
+let test_map_values () =
+  let inverted = Waveform.map_values (fun v -> 3.3 -. v) ramp_down in
+  check_close "mapped" 3.3 (Waveform.value_at inverted 2.5)
+
+(* ---------- piecewise-quadratic waveforms ---------- *)
+
+let quad_fall =
+  (* v(t) = 3.3 - t^2 on [0, 1], then linear slope -2 down to 0.3 at t=2 *)
+  Waveform.quadratic_of_pieces
+    [
+      { Waveform.t0 = 0.0; dt = 1.0; v0 = 3.3; dv = 0.0; ddv = -2.0 };
+      { Waveform.t0 = 1.0; dt = 1.0; v0 = 2.3; dv = -2.0; ddv = 0.0 };
+    ]
+
+let test_quadratic_eval () =
+  check_close "start" 3.3 (Waveform.quadratic_value_at quad_fall 0.0);
+  check_close "mid piece 1" (3.3 -. 0.25) (Waveform.quadratic_value_at quad_fall 0.5);
+  check_close "joint" 2.3 (Waveform.quadratic_value_at quad_fall 1.0);
+  check_close "mid piece 2" 1.3 (Waveform.quadratic_value_at quad_fall 1.5);
+  check_close "end value" 0.3 (Waveform.quadratic_end_value quad_fall);
+  check_close "beyond end clamps" 0.3 (Waveform.quadratic_value_at quad_fall 5.0)
+
+let test_quadratic_validation () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Waveform.quadratic_of_pieces: empty") (fun () ->
+      ignore (Waveform.quadratic_of_pieces []));
+  Alcotest.check_raises "gap"
+    (Invalid_argument "Waveform.quadratic_of_pieces: non-contiguous pieces") (fun () ->
+      ignore
+        (Waveform.quadratic_of_pieces
+           [
+             { Waveform.t0 = 0.0; dt = 1.0; v0 = 0.0; dv = 0.0; ddv = 0.0 };
+             { Waveform.t0 = 2.0; dt = 1.0; v0 = 0.0; dv = 0.0; ddv = 0.0 };
+           ]))
+
+let test_quadratic_crossing_analytic () =
+  (* 3.3 - t^2 = 2.9  =>  t = 0.632... *)
+  (match Waveform.quadratic_first_crossing quad_fall ~level:2.9 ~direction:`Falling with
+  | Some t -> check_close ~eps:1e-9 "crossing in quadratic piece" (sqrt 0.4) t
+  | None -> Alcotest.fail "crossing expected");
+  (* 2.3 - 2(t-1) = 1.0 => t = 1.65 *)
+  (match Waveform.quadratic_first_crossing quad_fall ~level:1.0 ~direction:`Falling with
+  | Some t -> check_close "crossing in linear piece" 1.65 t
+  | None -> Alcotest.fail "crossing expected")
+
+let prop_quadratic_crossing_vs_sampled =
+  QCheck2.Test.make ~name:"analytic crossing agrees with dense sampling" ~count:100
+    QCheck2.Gen.(float_range 0.5 3.2)
+    (fun level ->
+      match Waveform.quadratic_first_crossing quad_fall ~level ~direction:`Falling with
+      | None -> level > 3.3 || level < 0.3
+      | Some t_exact ->
+        let sampled = Waveform.sample_quadratic quad_fall ~dt:1e-4 in
+        (match Waveform.first_crossing sampled ~level ~direction:`Falling with
+        | Some t_s -> Float.abs (t_s -. t_exact) < 1e-3
+        | None -> false))
+
+let test_sample_quadratic () =
+  let w = Waveform.sample_quadratic quad_fall ~dt:0.25 in
+  check_close "sampled start" 3.3 (Waveform.value_at w 0.0);
+  check_close ~eps:0.05 "sampled mid" (3.3 -. 0.25) (Waveform.value_at w 0.5);
+  check_close "span end" 2.0 (Waveform.end_time w)
+
+(* ---------- sources ---------- *)
+
+let test_step_source () =
+  let s = Source.step ~t0:1.0 ~low:0.0 ~high:3.3 () in
+  check_close "before" 0.0 (Source.value s 0.5);
+  check_close "after" 3.3 (Source.value s 1.5);
+  check_close "derivative" 0.0 (Source.derivative s 1.5);
+  Alcotest.(check bool) "is_step" true (Source.is_step s);
+  Alcotest.(check (option (float 1e-12))) "transition" (Some 1.0) (Source.transition_time s)
+
+let test_ramp_source () =
+  let s = Source.ramp ~t0:0.0 ~low:0.0 ~high:3.3 ~rise_time:1.0 () in
+  check_close "mid" 1.65 (Source.value s 0.5);
+  check_close "slope" 3.3 (Source.derivative s 0.5);
+  check_close "after" 3.3 (Source.value s 2.0);
+  check_close "slope after" 0.0 (Source.derivative s 2.0);
+  Alcotest.check_raises "bad rise" (Invalid_argument "Source.ramp: rise_time <= 0")
+    (fun () -> ignore (Source.ramp ~low:0.0 ~high:1.0 ~rise_time:0.0 ()))
+
+let test_falling_step () =
+  let s = Source.falling_step ~t0:0.0 ~high:3.3 ~low:0.0 () in
+  check_close "before" 3.3 (Source.value s (-0.1));
+  check_close "after" 0.0 (Source.value s 0.1)
+
+let test_source_to_waveform () =
+  let s = Source.ramp ~t0:0.0 ~low:0.0 ~high:1.0 ~rise_time:1.0 () in
+  let w = Source.to_waveform s ~t_end:2.0 ~dt:0.1 in
+  check_close ~eps:1e-6 "sampled value" 0.5 (Waveform.value_at w 0.5)
+
+(* ---------- measurements ---------- *)
+
+let test_delay () =
+  let input = Waveform.of_samples [| (0.0, 0.0); (0.1, 3.3); (3.0, 3.3) |] in
+  let d =
+    Measure.delay ~vdd:3.3 ~input ~output:ramp_down ~output_edge:Measure.Falling
+  in
+  (match d with
+  | Some d -> check_close ~eps:1e-6 "delay" (1.5 -. 0.05) d
+  | None -> Alcotest.fail "delay expected");
+  (match Measure.delay_from ~t0:0.0 ~vdd:3.3 ~output:ramp_down ~output_edge:Measure.Falling with
+  | Some d -> check_close "delay_from" 1.5 d
+  | None -> Alcotest.fail "delay expected")
+
+let test_slew () =
+  (* falls 3.3 -> 0 linearly between t=1 and t=2: 90%..10% spans 0.8 time *)
+  match Measure.slew ~vdd:3.3 ramp_down Measure.Falling with
+  | Some s -> check_close ~eps:1e-6 "slew" 0.8 s
+  | None -> Alcotest.fail "slew expected"
+
+let test_swing () =
+  let lo, hi = Measure.swing ramp_down in
+  check_close "lo" 0.0 lo;
+  check_close "hi" 3.3 hi
+
+let test_quadratic_delay () =
+  match
+    Measure.quadratic_delay_from ~t0:0.0 ~vdd:3.3 quad_fall ~output_edge:Measure.Falling
+  with
+  | Some d -> check_close "50% crossing" (1.0 +. (2.3 -. 1.65) /. 2.0) d
+  | None -> Alcotest.fail "delay expected"
+
+(* ---------- comparison ---------- *)
+
+let test_compare_identical () =
+  let r = Compare.waveforms ~reference:ramp_down ramp_down in
+  check_close "rms zero" 0.0 r.Compare.rms_error;
+  check_close "max zero" 0.0 r.Compare.max_error
+
+let test_compare_offset () =
+  let shifted = Waveform.map_values (fun v -> v +. 0.33) ramp_down in
+  let r = Compare.waveforms ~reference:ramp_down shifted in
+  check_close ~eps:1e-6 "rms = offset" 0.33 r.Compare.rms_error;
+  check_close ~eps:1e-6 "10% of swing" 10.0 r.Compare.rms_percent_of_swing
+
+let test_delay_error_metrics () =
+  check_close "error" 10.0 (Compare.delay_error_percent ~reference:100e-12 110e-12);
+  check_close "accuracy" 90.0 (Compare.accuracy_percent ~reference:100e-12 110e-12);
+  Alcotest.check_raises "bad reference"
+    (Invalid_argument "Compare.delay_error_percent: bad reference") (fun () ->
+      ignore (Compare.delay_error_percent ~reference:0.0 1.0))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop p = QCheck_alcotest.to_alcotest p in
+  Alcotest.run "tqwm_wave"
+    [
+      ( "sampled",
+        [
+          quick "validation" test_of_samples_validation;
+          quick "value_at" test_value_at;
+          quick "crossings" test_crossings;
+          quick "map_values" test_map_values;
+        ] );
+      ( "quadratic",
+        [
+          quick "eval" test_quadratic_eval;
+          quick "validation" test_quadratic_validation;
+          quick "crossing analytic" test_quadratic_crossing_analytic;
+          prop prop_quadratic_crossing_vs_sampled;
+          quick "sampling" test_sample_quadratic;
+        ] );
+      ( "source",
+        [
+          quick "step" test_step_source;
+          quick "ramp" test_ramp_source;
+          quick "falling step" test_falling_step;
+          quick "to_waveform" test_source_to_waveform;
+        ] );
+      ( "measure",
+        [
+          quick "delay" test_delay;
+          quick "slew" test_slew;
+          quick "swing" test_swing;
+          quick "quadratic delay" test_quadratic_delay;
+        ] );
+      ( "compare",
+        [
+          quick "identical" test_compare_identical;
+          quick "offset" test_compare_offset;
+          quick "delay metrics" test_delay_error_metrics;
+        ] );
+    ]
