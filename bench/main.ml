@@ -8,11 +8,13 @@
 
      dune exec bench/main.exe -- --table I
      dune exec bench/main.exe -- --table II
+     dune exec bench/main.exe -- --table parallel
      dune exec bench/main.exe -- --figure 5|7|8|9|10
      dune exec bench/main.exe -- --table ablation-linsolve
      dune exec bench/main.exe -- --table ablation-sc
      dune exec bench/main.exe -- --table ablation-grid
      dune exec bench/main.exe -- --bechamel
+     dune exec bench/main.exe -- --smoke        # bounded CI smoke run
 
    Absolute runtimes differ from the paper (SUN Blade 1000 + Hspice/BSIM3
    there; this machine + our analytic golden engine here); the shape of
@@ -400,6 +402,104 @@ let ablation_waveform () =
         (err (run scenario Config.Linear sparse)))
     scenarios
 
+(* ---------- Parallel STA: level-parallel propagation + stage cache ---------- *)
+
+module Timing_graph = Tqwm_sta.Timing_graph
+module Arrival = Tqwm_sta.Arrival
+module Parallel = Tqwm_sta.Parallel
+module Stage_cache = Tqwm_sta.Stage_cache
+module Workloads = Tqwm_sta.Workloads
+
+let same_analysis (a : Arrival.analysis) (b : Arrival.analysis) =
+  a.Arrival.timings = b.Arrival.timings
+  && a.Arrival.critical_path = b.Arrival.critical_path
+  && a.Arrival.worst_arrival = b.Arrival.worst_arrival
+
+let sta_parallel ?(smoke = false) () =
+  let model = Lazy.force table_model in
+  let repeat = if smoke then 1 else 3 in
+  let domains = 4 in
+  let workloads =
+    if smoke then
+      [
+        ("decoder-tree", Workloads.decoder_tree ~fanout:3 ~depth:2 tech);
+        ("random-stacks", Workloads.random_stacks ~width:4 ~depth:2 tech);
+      ]
+    else
+      [
+        ("decoder-tree", Workloads.decoder_tree ~fanout:4 ~depth:3 tech);
+        ("random-stacks", Workloads.random_stacks ~width:12 ~depth:4 tech);
+      ]
+  in
+  Printf.printf
+    "\n=== Parallel STA propagation: %d domains vs sequential, stage cache ===\n"
+    domains;
+  let cores = Parallel.default_domains () in
+  Printf.printf "(machine reports %d available core%s%s)\n" cores
+    (if cores = 1 then "" else "s")
+    (if cores < domains then
+       " — wall-clock speedup is bounded by the hardware, not the engine"
+     else "");
+  Printf.printf "%-14s %7s %10s %10s %8s %10s %8s %7s %10s\n" "workload" "stages"
+    "seq" "par" "speedup" "identical" "hits" "solves" "warm";
+  List.iter
+    (fun (name, graph) ->
+      (* freeze outside the timed region: measured time is propagation *)
+      ignore (Timing_graph.freeze graph);
+      let t_seq =
+        time_median ~repeat (fun () -> Parallel.propagate ~model ~domains:1 graph)
+      in
+      let t_par =
+        time_median ~repeat (fun () -> Parallel.propagate ~model ~domains graph)
+      in
+      let identical =
+        let seq = Parallel.propagate ~model ~domains:1 graph in
+        let par = Parallel.propagate ~model ~domains graph in
+        let cache_seq = Stage_cache.create () in
+        let cseq = Parallel.propagate ~model ~cache:cache_seq ~domains:1 graph in
+        let cache_par = Stage_cache.create () in
+        let cpar = Parallel.propagate ~model ~cache:cache_par ~domains graph in
+        same_analysis seq par && same_analysis cseq cpar
+      in
+      let cache = Stage_cache.create () in
+      let (_ : Arrival.analysis) = Parallel.propagate ~model ~cache ~domains graph in
+      (* snapshot before the warm-cache timing below inflates the counters *)
+      let stats = Stage_cache.stats cache in
+      let cold_hit_rate =
+        let total = stats.Stage_cache.hits + stats.Stage_cache.misses in
+        if total = 0 then 0.0
+        else float_of_int stats.Stage_cache.hits /. float_of_int total
+      in
+      (* warm cache: every stage hits, leaving only scheduling overhead *)
+      let t_warm =
+        time_median ~repeat (fun () -> Parallel.propagate ~model ~cache ~domains graph)
+      in
+      Printf.printf
+        "%-14s %7d %8.1fms %8.1fms %7.2fx %10s %7.0f%% %7d %8.2fms\n" name
+        (Timing_graph.num_stages graph) (t_seq *. 1e3) (t_par *. 1e3)
+        (t_seq /. t_par)
+        (if identical then "yes" else "NO")
+        (100.0 *. cold_hit_rate)
+        stats.Stage_cache.misses (t_warm *. 1e3))
+    workloads;
+  Printf.printf
+    "(identical = parallel timings bit-equal to sequential, cached and uncached;\n\
+    \ solves = QWM runs through a cold shared cache; warm = propagation with a\n\
+    \ fully warm cache, i.e. pure scheduling overhead)\n"
+
+let smoke () =
+  (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
+  let scenario = Scenario.nand_falling ~n:2 tech in
+  let reference = (run_spice ~dt:10e-12 scenario).Engine.delay in
+  let qwm_delay = (run_qwm scenario).Qwm.delay in
+  (match (reference, qwm_delay) with
+  | Some a, Some b ->
+    Printf.printf "smoke: nand2 delay qwm %.2f ps vs spice(10ps) %.2f ps (%.2f%% apart)\n"
+      (b *. ps) (a *. ps)
+      (100.0 *. Float.abs (b -. a) /. a)
+  | (Some _ | None), _ -> failwith "smoke: missing delay");
+  sta_parallel ~smoke:true ()
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
 let bechamel () =
@@ -463,12 +563,15 @@ let all () =
   ablation_sc ();
   ablation_grid ();
   ablation_waveform ();
+  sta_parallel ();
   bechamel ()
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--table" :: "I" :: _ -> table1 ()
   | _ :: "--table" :: "II" :: _ -> table2 ()
+  | _ :: "--table" :: "parallel" :: _ -> sta_parallel ()
+  | _ :: "--smoke" :: _ -> smoke ()
   | _ :: "--table" :: "ablation-linsolve" :: _ -> ablation_linsolve ()
   | _ :: "--table" :: "ablation-sc" :: _ -> ablation_sc ()
   | _ :: "--table" :: "ablation-grid" :: _ -> ablation_grid ()
@@ -482,6 +585,6 @@ let () =
   | [ _ ] -> all ()
   | _ ->
     prerr_endline
-      "usage: main.exe [--table I|II|ablation-linsolve|ablation-sc|ablation-grid] \
-       [--figure 5|7|8|9|10] [--bechamel]";
+      "usage: main.exe [--table I|II|parallel|ablation-linsolve|ablation-sc|ablation-grid] \
+       [--figure 5|7|8|9|10] [--bechamel] [--smoke]";
     exit 1

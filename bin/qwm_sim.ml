@@ -1,5 +1,6 @@
 (* qwm_sim: simulate a logic stage with the QWM engine, the SPICE-like
-   reference engine, or both, and report delay/slew/accuracy. *)
+   reference engine, or both, and report delay/slew/accuracy; or run a
+   multi-stage STA propagation over a fan-out tree of the stage. *)
 
 open Tqwm_device
 open Tqwm_circuit
@@ -8,6 +9,11 @@ module Engine = Tqwm_spice.Engine
 module Transient = Tqwm_spice.Transient
 module Measure = Tqwm_wave.Measure
 module Waveform = Tqwm_wave.Waveform
+module Timing_graph = Tqwm_sta.Timing_graph
+module Parallel = Tqwm_sta.Parallel
+module Stage_cache = Tqwm_sta.Stage_cache
+module Workloads = Tqwm_sta.Workloads
+module Report = Tqwm_sta.Report
 
 let ps = 1e12
 
@@ -47,6 +53,38 @@ let run_qwm ~model ~waveform scenario =
     print_waveform_samples "qwm.out" (Qwm.output_waveform report ~dt:2e-12) ~count:60;
   report
 
+(* --sta: propagate arrivals over a fan-out tree of the selected stage *)
+let run_sta ~tech ~depth ~fanout ~domains ~use_cache scenario =
+  if fanout < 1 then (
+    Printf.eprintf "qwm_sim: --fanout must be >= 1 (got %d)\n" fanout;
+    exit 2);
+  let domains = max 1 domains in
+  let model = Models.table tech in
+  let graph = Workloads.fanout_tree ~fanout ~depth scenario in
+  ignore (Timing_graph.freeze graph);
+  let cache = if use_cache then Some (Stage_cache.create ()) else None in
+  let t0 = Unix.gettimeofday () in
+  let analysis = Parallel.propagate ~model ?cache ~domains graph in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "sta: %d copies of %s (fan-out %d, depth %d), %d domain%s: %.3f ms\n"
+    (Timing_graph.num_stages graph) scenario.Scenario.name fanout depth domains
+    (if domains = 1 then "" else "s")
+    (elapsed *. 1e3);
+  if Timing_graph.num_stages graph <= 16 then
+    Report.print Format.std_formatter graph analysis
+  else
+    Printf.printf "worst arrival %.2f ps over a %d-stage critical path\n"
+      (analysis.Tqwm_sta.Arrival.worst_arrival *. ps)
+      (List.length analysis.Tqwm_sta.Arrival.critical_path);
+  (match cache with
+  | None -> ()
+  | Some c ->
+    let s = Stage_cache.stats c in
+    Printf.printf "cache: %d solves, %d hits (%.0f%% hit rate)\n"
+      s.Stage_cache.misses s.Stage_cache.hits (100.0 *. Stage_cache.hit_rate c));
+  0
+
 (* --partition: parse a netlist deck and report its logic stages *)
 let partition_netlist path =
   let tech = Tech.cmosp35 in
@@ -77,7 +115,8 @@ let partition_netlist path =
       extraction.Ccc.instances;
     0
 
-let main circuit engine dt_ps waveform ramp_ps partition =
+let main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
+    domains no_cache =
   match partition with
   | Some path -> partition_netlist path
   | None ->
@@ -93,6 +132,12 @@ let main circuit engine dt_ps waveform ramp_ps partition =
       | None -> scenario
       | Some r -> Scenario.with_ramp_input ~rise_time:(r *. 1e-12) scenario
     in
+    match sta_depth with
+    | Some depth ->
+      let domains = Option.value domains ~default:(Parallel.default_domains ()) in
+      run_sta ~tech ~depth ~fanout:sta_fanout ~domains ~use_cache:(not no_cache)
+        scenario
+    | None ->
     Printf.printf "circuit %s: %d nodes, %d edges, window %.0f ps\n"
       scenario.Scenario.name scenario.Scenario.stage.Stage.num_nodes
       (Array.length scenario.Scenario.stage.Stage.edges)
@@ -141,10 +186,28 @@ let partition =
   let doc = "Parse a SPICE-flavoured netlist file and print its channel-connected logic stages instead of simulating." in
   Arg.(value & opt (some file) None & info [ "p"; "partition" ] ~docv:"FILE" ~doc)
 
+let sta_depth =
+  let doc = "Instead of a single solve, run static timing analysis over a fan-out tree of DEPTH levels of copies of the circuit." in
+  Arg.(value & opt (some int) None & info [ "sta" ] ~docv:"DEPTH" ~doc)
+
+let sta_fanout =
+  let doc = "Fan-out per tree level in --sta mode." in
+  Arg.(value & opt int 2 & info [ "fanout" ] ~docv:"K" ~doc)
+
+let domains =
+  let doc = "Domains used by --sta propagation (default: the recommended domain count of this machine)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let no_cache =
+  let doc = "Disable stage-result memoization in --sta mode." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
 let cmd =
   let doc = "transistor-level timing analysis by piecewise quadratic waveform matching" in
   Cmd.v
     (Cmd.info "qwm_sim" ~version:"1.0.0" ~doc)
-    Term.(const main $ circuit $ engine $ dt $ waveform $ ramp $ partition)
+    Term.(
+      const main $ circuit $ engine $ dt $ waveform $ ramp $ partition $ sta_depth
+      $ sta_fanout $ domains $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,6 +5,9 @@ module Capacitance = Tqwm_device.Capacitance
 module Pi_model = Tqwm_interconnect.Pi_model
 module Rc_tree = Tqwm_interconnect.Rc_tree
 
+(* Deeply immutable by construction (see the interface): reports are
+   shared across domains by the STA stage cache, so no field — including
+   anything reachable through [lowering] or [stats] — may be mutable. *)
 type report = {
   scenario : Scenario.t;
   lowering : Path.lowering;

@@ -4,6 +4,11 @@
 open Tqwm_circuit
 open Tqwm_wave
 
+(** A report is deeply immutable — scenarios, lowerings, quadratics and
+    solver stats are all plain data with no mutable fields — so one
+    report may be shared freely across OCaml 5 domains. The STA layer's
+    stage cache ([Tqwm_sta.Stage_cache]) hands the same report to every
+    domain that hits; keep this invariant when extending the record. *)
 type report = {
   scenario : Scenario.t;
   lowering : Path.lowering;  (** the chain actually solved *)

@@ -37,94 +37,100 @@ type slack_report = {
 }
 
 let slacks graph analysis ~clock_period =
+  let frozen = Timing_graph.freeze graph in
   let n = Array.length analysis.timings in
   let required = Array.make n clock_period in
   (* reverse topological order: children are processed before parents *)
-  let order = List.rev (Timing_graph.topological_order graph) in
-  List.iter
-    (fun id ->
-      List.iter
-        (fun (c : Timing_graph.connection) ->
-          let downstream = c.Timing_graph.to_stage in
-          let budget = required.(downstream) -. analysis.timings.(downstream).delay in
-          if budget < required.(id) then required.(id) <- budget)
-        (Timing_graph.fanout graph id))
-    order;
+  for i = Array.length frozen.Timing_graph.order - 1 downto 0 do
+    let id = frozen.Timing_graph.order.(i) in
+    Array.iter
+      (fun (c : Timing_graph.connection) ->
+        let downstream = c.Timing_graph.to_stage in
+        let budget = required.(downstream) -. analysis.timings.(downstream).delay in
+        if budget < required.(id) then required.(id) <- budget)
+      frozen.Timing_graph.fanout.(id)
+  done;
   let slack = Array.mapi (fun i r -> r -. analysis.timings.(i).arrival_out) required in
   let worst_slack = Array.fold_left Float.min infinity slack in
   { required; slack; worst_slack }
 
-let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12) graph =
-  let n = Timing_graph.num_stages graph in
-  let timings = Array.make n None in
+let evaluate_stage ~model ~config ~default_slew ?cache
+    (frozen : Timing_graph.frozen) timings id =
   let timing_exn id =
     match timings.(id) with
     | Some t -> t
     | None -> raise (Analysis_failure "fanin stage not yet timed")
   in
-  let evaluate id =
-    let scenario = Timing_graph.scenario graph id in
-    let fanin = Timing_graph.fanin graph id in
-    (* the latest-arriving driver defines the switching input *)
-    let critical =
-      List.fold_left
-        (fun acc (c : Timing_graph.connection) ->
-          let t = timing_exn c.Timing_graph.from_stage in
-          match acc with
-          | Some (_, best) when best.arrival_out >= t.arrival_out -> acc
-          | Some _ | None -> Some (c, t))
-        None fanin
-    in
-    let arrival_in, input_slew, critical_fanin, sources =
-      match critical with
-      | None ->
-        (0.0, None, None, scenario.Scenario.sources)
-      | Some (c, driver) ->
-        let slew = if driver.slew > 0.0 then driver.slew else default_slew in
-        let reshape (name, source) =
-          if String.equal name c.Timing_graph.input then (name, ramp_of ~slew source)
-          else if
-            List.exists
-              (fun (c' : Timing_graph.connection) ->
-                String.equal c'.Timing_graph.input name)
-              fanin
-          then (name, settled source)
-          else (name, source)
-        in
-        ( driver.arrival_out,
-          Some slew,
-          Some c.Timing_graph.from_stage,
-          List.map reshape scenario.Scenario.sources )
-    in
-    let scenario = { scenario with Scenario.sources } in
-    let report = Tqwm_core.Qwm.run ~model ~config scenario in
-    let out_crossing =
-      match report.Tqwm_core.Qwm.delay with
-      | Some d -> d
-      | None ->
-        raise
-          (Analysis_failure
-             (Printf.sprintf "stage %s: output never crosses 50%%"
-                scenario.Scenario.name))
-    in
-    (* the stage delay is measured from the input's own 50 % crossing *)
-    let input_mid = match input_slew with None -> 0.0 | Some s -> s /. 2.0 in
-    let delay = Float.max (out_crossing -. input_mid) 0.0 in
-    let slew = Option.value report.Tqwm_core.Qwm.slew ~default:0.0 in
-    {
-      id;
-      arrival_in;
-      delay;
-      slew;
-      arrival_out = arrival_in +. delay;
-      critical_fanin;
-    }
+  let scenario = frozen.Timing_graph.scenarios.(id) in
+  let fanin = frozen.Timing_graph.fanin.(id) in
+  (* the latest-arriving driver defines the switching input *)
+  let critical =
+    Array.fold_left
+      (fun acc (c : Timing_graph.connection) ->
+        let t = timing_exn c.Timing_graph.from_stage in
+        match acc with
+        | Some (_, best) when best.arrival_out >= t.arrival_out -> acc
+        | Some _ | None -> Some (c, t))
+      None fanin
   in
-  List.iter (fun id -> timings.(id) <- Some (evaluate id)) (Timing_graph.topological_order graph);
-  let timings = Array.map (fun t -> Option.get t) timings in
+  let arrival_in, input_slew, critical_fanin, sources =
+    match critical with
+    | None -> (0.0, None, None, scenario.Scenario.sources)
+    | Some (c, driver) ->
+      let slew = if driver.slew > 0.0 then driver.slew else default_slew in
+      (* bucket before shaping the ramp so the cached solve and the
+         waveform actually used agree exactly *)
+      let slew =
+        match cache with None -> slew | Some c -> Stage_cache.bucket_slew c slew
+      in
+      let reshape (name, source) =
+        if String.equal name c.Timing_graph.input then (name, ramp_of ~slew source)
+        else if
+          Array.exists
+            (fun (c' : Timing_graph.connection) ->
+              String.equal c'.Timing_graph.input name)
+            fanin
+        then (name, settled source)
+        else (name, source)
+      in
+      ( driver.arrival_out,
+        Some slew,
+        Some c.Timing_graph.from_stage,
+        List.map reshape scenario.Scenario.sources )
+  in
+  let scenario = { scenario with Scenario.sources } in
+  let report =
+    match cache with
+    | None -> Tqwm_core.Qwm.run ~model ~config scenario
+    | Some c -> Stage_cache.run c ~model ~config scenario
+  in
+  let out_crossing =
+    match report.Tqwm_core.Qwm.delay with
+    | Some d -> d
+    | None ->
+      raise
+        (Analysis_failure
+           (Printf.sprintf "stage %s: output never crosses 50%%"
+              scenario.Scenario.name))
+  in
+  (* the stage delay is measured from the input's own 50 % crossing *)
+  let input_mid = match input_slew with None -> 0.0 | Some s -> s /. 2.0 in
+  let delay = Float.max (out_crossing -. input_mid) 0.0 in
+  let slew = Option.value report.Tqwm_core.Qwm.slew ~default:0.0 in
+  {
+    id;
+    arrival_in;
+    delay;
+    slew;
+    arrival_out = arrival_in +. delay;
+    critical_fanin;
+  }
+
+let analysis_of_timings timings =
   let worst =
     Array.fold_left
-      (fun acc t -> match acc with
+      (fun acc t ->
+        match acc with
         | Some best when best.arrival_out >= t.arrival_out -> acc
         | Some _ | None -> Some t)
       None timings
@@ -137,8 +143,15 @@ let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-1
       | None -> t.id :: acc
       | Some prev -> walk timings.(prev) (t.id :: acc)
     in
-    {
-      timings;
-      critical_path = walk sink [];
-      worst_arrival = sink.arrival_out;
-    }
+    { timings; critical_path = walk sink []; worst_arrival = sink.arrival_out }
+
+let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12)
+    ?cache graph =
+  let frozen = Timing_graph.freeze graph in
+  let n = Array.length frozen.Timing_graph.scenarios in
+  let timings = Array.make n None in
+  Array.iter
+    (fun id ->
+      timings.(id) <- Some (evaluate_stage ~model ~config ~default_slew ?cache frozen timings id))
+    frozen.Timing_graph.order;
+  analysis_of_timings (Array.map Option.get timings)

@@ -4,7 +4,9 @@
     Each stage is evaluated with its switching input shaped as a ramp
     matching the driving stage's output slew (waveform information the
     paper argues plain delay/slope STA loses); arrival times accumulate
-    along the worst path. *)
+    along the worst path. Propagation runs over the graph's frozen
+    indexed form; {!Parallel.propagate} evaluates topological levels
+    concurrently and produces identical results. *)
 
 exception Analysis_failure of string
 
@@ -28,11 +30,35 @@ val propagate :
   model:Tqwm_device.Device_model.t ->
   ?config:Tqwm_core.Config.t ->
   ?default_slew:float ->
+  ?cache:Stage_cache.t ->
   Timing_graph.t ->
   analysis
 (** @raise Analysis_failure when a stage's output never crosses 50 %.
     [default_slew] (default 20 ps) shapes inputs whose driver reports no
-    slew. *)
+    slew. When [cache] is given, per-stage QWM solves are memoized and
+    driving slews are quantized to the cache's bucket (see
+    {!Stage_cache.bucket_slew}), so repeated gates are solved once. *)
+
+(** {2 Building blocks shared with the parallel engine} *)
+
+val evaluate_stage :
+  model:Tqwm_device.Device_model.t ->
+  config:Tqwm_core.Config.t ->
+  default_slew:float ->
+  ?cache:Stage_cache.t ->
+  Timing_graph.frozen ->
+  stage_timing option array ->
+  Timing_graph.stage_id ->
+  stage_timing
+(** Time one stage of a frozen graph given the (already computed) timings
+    of its fanin stages. Pure with respect to [timings] — it only reads
+    fanin entries — so stages of one topological level may be evaluated
+    concurrently in any order with identical results.
+    @raise Analysis_failure if a fanin stage has no timing yet. *)
+
+val analysis_of_timings : stage_timing array -> analysis
+(** Worst arrival and critical-path walk over completed per-stage
+    timings (indexed by stage id). *)
 
 (** {2 Required times and slack} *)
 

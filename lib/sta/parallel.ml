@@ -1,0 +1,101 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Shared scheduler state. [remaining], [ready], [pending] and [failed]
+   are only touched under [mutex]; per-stage timing slots are written by
+   exactly one worker and only read by workers that popped a dependent
+   stage from the queue afterwards, so the mutex orders every cross-domain
+   read after its write. *)
+type shared = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  ready : Timing_graph.stage_id Queue.t;
+  remaining : int array;  (** un-timed fanin stages per stage *)
+  mutable pending : int;  (** stages not yet timed *)
+  mutable failed : exn option;
+}
+
+let worker ~eval (frozen : Timing_graph.frozen)
+    (timings : Arrival.stage_timing option array) s =
+  let rec take () =
+    (* called with the mutex held *)
+    if s.failed <> None || s.pending = 0 then None
+    else if Queue.is_empty s.ready then begin
+      Condition.wait s.cond s.mutex;
+      take ()
+    end
+    else Some (Queue.pop s.ready)
+  in
+  let rec loop () =
+    Mutex.lock s.mutex;
+    match take () with
+    | None ->
+      Condition.broadcast s.cond;
+      Mutex.unlock s.mutex
+    | Some id ->
+      Mutex.unlock s.mutex;
+      (match eval id with
+      | exception e ->
+        Mutex.lock s.mutex;
+        if s.failed = None then s.failed <- Some e;
+        Condition.broadcast s.cond;
+        Mutex.unlock s.mutex
+      | t ->
+        timings.(id) <- Some t;
+        Mutex.lock s.mutex;
+        s.pending <- s.pending - 1;
+        let released = ref 0 in
+        Array.iter
+          (fun (c : Timing_graph.connection) ->
+            let j = c.Timing_graph.to_stage in
+            s.remaining.(j) <- s.remaining.(j) - 1;
+            if s.remaining.(j) = 0 then begin
+              Queue.push j s.ready;
+              incr released
+            end)
+          frozen.Timing_graph.fanout.(id);
+        (* wake exactly as many sleepers as there is new work for; the
+           final completion must wake everyone so the team can retire *)
+        if s.pending = 0 then Condition.broadcast s.cond
+        else for _ = 1 to !released do Condition.signal s.cond done;
+        Mutex.unlock s.mutex;
+        loop ())
+  in
+  loop ()
+
+let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12)
+    ?cache ?domains graph =
+  let domains =
+    match domains with Some d -> max d 1 | None -> default_domains ()
+  in
+  if domains = 1 then Arrival.propagate ~model ~config ~default_slew ?cache graph
+  else begin
+    let frozen = Timing_graph.freeze graph in
+    let n = Array.length frozen.Timing_graph.scenarios in
+    let timings = Array.make n None in
+    let eval id =
+      Arrival.evaluate_stage ~model ~config ~default_slew ?cache frozen timings id
+    in
+    let s =
+      {
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        ready = Queue.create ();
+        remaining = Array.init n (fun i -> Array.length frozen.Timing_graph.fanin.(i));
+        pending = n;
+        failed = None;
+      }
+    in
+    Array.iter (fun i -> if s.remaining.(i) = 0 then Queue.push i s.ready)
+      frozen.Timing_graph.order;
+    (* one worker team for the whole propagation — domains are spawned
+       once, not per level; readiness is tracked per stage, so a long
+       solve in one branch never stalls independent work elsewhere *)
+    let team =
+      Array.init (min (domains - 1) (max (n - 1) 0)) (fun _ ->
+          Domain.spawn (fun () -> worker ~eval frozen timings s))
+    in
+    worker ~eval frozen timings s;
+    Array.iter Domain.join team;
+    (match s.failed with Some e -> raise e | None -> ());
+    Arrival.analysis_of_timings (Array.map Option.get timings)
+  end

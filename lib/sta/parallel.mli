@@ -1,0 +1,33 @@
+(** Multi-domain arrival propagation.
+
+    Stages with no path between them need no ordering, so their QWM
+    solves are independent — the same coarse-grain parallelism
+    transistor-level simulators exploit when partitioning a design into
+    channel-connected sub-structures. One team of OCaml 5 domains is
+    spawned per propagation and fed from a shared ready queue driven by
+    per-stage fanin counters: a stage becomes ready the moment its last
+    fanin is timed, so the schedule is at least as parallel as the
+    topological level schedule and load-balances unequal stage costs
+    without per-level barriers or repeated domain spawns.
+
+    Determinism: a stage's timing depends only on its fanin timings (see
+    {!Arrival.evaluate_stage}), so results are bit-identical to
+    sequential {!Arrival.propagate} for every domain count, with or
+    without a shared {!Stage_cache}. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val propagate :
+  model:Tqwm_device.Device_model.t ->
+  ?config:Tqwm_core.Config.t ->
+  ?default_slew:float ->
+  ?cache:Stage_cache.t ->
+  ?domains:int ->
+  Timing_graph.t ->
+  Arrival.analysis
+(** Like {!Arrival.propagate}, evaluated concurrently by [domains]
+    domains in total, the calling one included (default
+    {!default_domains}; values [<= 1] fall back to the sequential path).
+    A given [cache] is shared by the whole team. The first exception
+    raised by any worker is re-raised after the team is joined. *)

@@ -1,0 +1,74 @@
+module Qwm = Tqwm_core.Qwm
+
+type stats = { hits : int; misses : int; entries : int }
+
+type t = {
+  slew_bucket : float;
+  table : (string, Qwm.report) Hashtbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(slew_bucket = 1e-12) () =
+  if slew_bucket <= 0.0 then invalid_arg "Stage_cache.create: slew_bucket <= 0";
+  {
+    slew_bucket;
+    table = Hashtbl.create 256;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let slew_bucket t = t.slew_bucket
+
+let bucket_slew t s =
+  if s <= 0.0 then s
+  else Float.max t.slew_bucket (Float.round (s /. t.slew_bucket) *. t.slew_bucket)
+
+(* A scenario is pure data (stage arrays, source shapes, floats), as is a
+   config, so marshalling yields a canonical byte string covering stage
+   topology, device sizes, loads, initial biases and (pre-bucketed) input
+   source shapes. Device models contain closures and cannot be marshalled;
+   only the model name enters the key, so a cache must not be shared
+   between models that answer differently under the same name. *)
+let fingerprint ~model ~config scenario =
+  Digest.string
+    (Marshal.to_string (model.Tqwm_device.Device_model.name, config, scenario) [])
+
+let run t ~model ~config scenario =
+  let key = fingerprint ~model ~config scenario in
+  let cached = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key) in
+  match cached with
+  | Some report ->
+    Atomic.incr t.hits;
+    report
+  | None ->
+    let report = Qwm.run ~model ~config scenario in
+    Atomic.incr t.misses;
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some first ->
+          (* another domain solved the same stage concurrently; keep the
+             first stored report so every caller shares one value *)
+          first
+        | None ->
+          Hashtbl.add t.table key report;
+          report)
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    entries = Mutex.protect t.lock (fun () -> Hashtbl.length t.table);
+  }
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let clear t =
+  Mutex.protect t.lock (fun () -> Hashtbl.reset t.table);
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0

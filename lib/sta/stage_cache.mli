@@ -1,0 +1,61 @@
+(** Memoization of per-stage QWM solves.
+
+    Large timing graphs repeat gates: a decoder fan-out tree instantiates
+    the same stage (same topology, device sizes, load) hundreds of times,
+    and after slew bucketing their switching inputs coincide too. The
+    cache keys each {!Tqwm_core.Qwm.run} on a canonical fingerprint of
+    the full scenario — stage topology, device geometry, external loads,
+    initial node biases and input source shapes — so every repeated gate
+    is solved exactly once.
+
+    Thread-safety: the table is mutex-protected and the counters are
+    atomic, so one cache may be shared by all domains of the
+    {!Parallel} engine. Cached reports are immutable and safe to share
+    across domains. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;  (** actual QWM solves performed through the cache *)
+  entries : int;
+}
+
+val create : ?slew_bucket:float -> unit -> t
+(** [slew_bucket] (default 1 ps, must be positive) quantizes input slews
+    before they are used as cache keys — see {!bucket_slew}. *)
+
+val slew_bucket : t -> float
+
+val bucket_slew : t -> float -> float
+(** Round a positive slew to the nearest bucket multiple (at least one
+    bucket); non-positive slews pass through. Arrival propagation buckets
+    the driving slew {e before} shaping a stage's input ramp, so the
+    cached solve and the waveform actually used agree exactly and results
+    are deterministic regardless of hit order. The default 1 ps bucket
+    perturbs delays well below the QWM-vs-reference model error. *)
+
+val fingerprint :
+  model:Tqwm_device.Device_model.t ->
+  config:Tqwm_core.Config.t ->
+  Tqwm_circuit.Scenario.t ->
+  string
+(** Canonical digest of (model name, config, scenario). Device models
+    are identified by name only — do not share one cache between models
+    that answer differently under the same name. *)
+
+val run :
+  t ->
+  model:Tqwm_device.Device_model.t ->
+  config:Tqwm_core.Config.t ->
+  Tqwm_circuit.Scenario.t ->
+  Tqwm_core.Qwm.report
+(** [Qwm.run] through the cache. On a hit the stored report is returned
+    (its [runtime_seconds] is the original solve's). *)
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 when the cache is unused. *)
+
+val clear : t -> unit

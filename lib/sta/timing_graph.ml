@@ -2,53 +2,83 @@ type stage_id = int
 
 type connection = { from_stage : stage_id; to_stage : stage_id; input : string }
 
-type t = {
-  mutable stages : Tqwm_circuit.Scenario.t list;  (** reversed *)
-  mutable count : int;
-  mutable connections : connection list;
+type frozen = {
+  scenarios : Tqwm_circuit.Scenario.t array;
+  fanin : connection array array;
+  fanout : connection array array;
+  order : stage_id array;
+  levels : stage_id array array;
 }
 
-let create () = { stages = []; count = 0; connections = [] }
+type t = {
+  mutable stages : Tqwm_circuit.Scenario.t option array;  (** backing store, length >= count *)
+  mutable count : int;
+  (* per-stage adjacency, newest edge first; kept incrementally so fan
+     queries and cycle checks never scan the whole edge set *)
+  mutable fanin_rev : connection list array;
+  mutable fanout_rev : connection list array;
+  mutable num_connections : int;
+  mutable cache : frozen option;  (** invalidated by any mutation *)
+}
+
+let create () =
+  {
+    stages = [||];
+    count = 0;
+    fanin_rev = [||];
+    fanout_rev = [||];
+    num_connections = 0;
+    cache = None;
+  }
+
+let invalidate t = t.cache <- None
+
+let ensure_capacity t =
+  let cap = Array.length t.stages in
+  if t.count >= cap then begin
+    let cap' = max 8 (2 * cap) in
+    let grow a empty =
+      let a' = Array.make cap' empty in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.stages <- grow t.stages None;
+    t.fanin_rev <- grow t.fanin_rev [];
+    t.fanout_rev <- grow t.fanout_rev []
+  end
 
 let add_stage t scenario =
+  ensure_capacity t;
   let id = t.count in
+  t.stages.(id) <- Some scenario;
   t.count <- id + 1;
-  t.stages <- scenario :: t.stages;
+  invalidate t;
   id
 
 let num_stages t = t.count
 
+let num_connections t = t.num_connections
+
 let scenario t id =
   if id < 0 || id >= t.count then invalid_arg "Timing_graph.scenario: unknown stage";
-  List.nth t.stages (t.count - 1 - id)
+  Option.get t.stages.(id)
 
-let fanin t id = List.filter (fun c -> c.to_stage = id) t.connections
+let fanin t id = if id < 0 || id >= t.count then [] else List.rev t.fanin_rev.(id)
 
-let fanout t id = List.filter (fun c -> c.from_stage = id) t.connections
+let fanout t id = if id < 0 || id >= t.count then [] else List.rev t.fanout_rev.(id)
 
-let topological_order t =
-  let indegree = Array.make t.count 0 in
-  List.iter (fun c -> indegree.(c.to_stage) <- indegree.(c.to_stage) + 1) t.connections;
-  let ready = Queue.create () in
-  Array.iteri (fun id d -> if d = 0 then Queue.add id ready) indegree;
-  let rec drain acc =
-    if Queue.is_empty ready then List.rev acc
+(* would [dst] be reachable from [src] through existing fanout edges? *)
+let reaches t ~src ~dst =
+  let seen = Array.make t.count false in
+  let rec go id =
+    if id = dst then true
+    else if seen.(id) then false
     else begin
-      let id = Queue.pop ready in
-      List.iter
-        (fun c ->
-          if c.from_stage = id then begin
-            indegree.(c.to_stage) <- indegree.(c.to_stage) - 1;
-            if indegree.(c.to_stage) = 0 then Queue.add c.to_stage ready
-          end)
-        t.connections;
-      drain (id :: acc)
+      seen.(id) <- true;
+      List.exists (fun c -> go c.to_stage) t.fanout_rev.(id)
     end
   in
-  let order = drain [] in
-  if List.length order <> t.count then
-    invalid_arg "Timing_graph.topological_order: cycle detected";
-  order
+  go src
 
 let connect t ~from_stage ~to_stage ~input =
   if from_stage < 0 || from_stage >= t.count || to_stage < 0 || to_stage >= t.count then
@@ -56,10 +86,60 @@ let connect t ~from_stage ~to_stage ~input =
   let target = scenario t to_stage in
   if not (List.mem_assoc input target.Tqwm_circuit.Scenario.sources) then
     invalid_arg "Timing_graph.connect: unknown input";
+  (* the new edge closes a cycle iff [from_stage] is already reachable from
+     [to_stage]; checking before insertion means no rollback is needed, so
+     pre-existing parallel duplicates of the edge are never disturbed *)
+  if reaches t ~src:to_stage ~dst:from_stage then
+    invalid_arg "Timing_graph.connect: cycle detected";
   let edge = { from_stage; to_stage; input } in
-  t.connections <- edge :: t.connections;
-  match topological_order t with
-  | (_ : stage_id list) -> ()
-  | exception Invalid_argument _ ->
-    t.connections <- List.filter (fun c -> c <> edge) t.connections;
-    invalid_arg "Timing_graph.connect: cycle detected"
+  t.fanout_rev.(from_stage) <- edge :: t.fanout_rev.(from_stage);
+  t.fanin_rev.(to_stage) <- edge :: t.fanin_rev.(to_stage);
+  t.num_connections <- t.num_connections + 1;
+  invalidate t
+
+let freeze t =
+  match t.cache with
+  | Some f -> f
+  | None ->
+    let n = t.count in
+    let scenarios = Array.init n (fun i -> Option.get t.stages.(i)) in
+    let fanin = Array.init n (fun i -> Array.of_list (List.rev t.fanin_rev.(i))) in
+    let fanout = Array.init n (fun i -> Array.of_list (List.rev t.fanout_rev.(i))) in
+    (* Kahn's algorithm by waves: each wave is one topological level whose
+       stages depend only on earlier waves and are mutually independent.
+       Ids within a wave ascend, making the schedule deterministic. *)
+    let indegree = Array.init n (fun i -> Array.length fanin.(i)) in
+    let wave = ref [] in
+    for i = n - 1 downto 0 do
+      if indegree.(i) = 0 then wave := i :: !wave
+    done;
+    let levels_rev = ref [] in
+    let scheduled = ref 0 in
+    while !wave <> [] do
+      let level = Array.of_list !wave in
+      levels_rev := level :: !levels_rev;
+      scheduled := !scheduled + Array.length level;
+      let next = ref [] in
+      Array.iter
+        (fun id ->
+          Array.iter
+            (fun c ->
+              let d = indegree.(c.to_stage) - 1 in
+              indegree.(c.to_stage) <- d;
+              if d = 0 then next := c.to_stage :: !next)
+            fanout.(id))
+        level;
+      wave := List.sort compare !next
+    done;
+    if !scheduled <> n then
+      (* unreachable as long as [connect] rejects cycles *)
+      invalid_arg "Timing_graph.freeze: cycle detected";
+    let levels = Array.of_list (List.rev !levels_rev) in
+    let order = Array.concat (Array.to_list levels) in
+    let f = { scenarios; fanin; fanout; order; levels } in
+    t.cache <- Some f;
+    f
+
+let topological_order t = Array.to_list (freeze t).order
+
+let levels t = (freeze t).levels

@@ -4,7 +4,14 @@
     input configuration); a directed edge records that the source stage's
     output drives one named input of the target stage. Static timing
     analysis propagates arrival times and slews topologically through
-    this graph, evaluating each stage with QWM. *)
+    this graph, evaluating each stage with QWM.
+
+    The graph is built incrementally ({!add_stage} / {!connect}) and then
+    {!freeze}-dried into an indexed form — scenario array, fanin/fanout
+    adjacency arrays and a topological level schedule — that propagation
+    engines (sequential {!Arrival} and multi-domain {!Parallel}) consume
+    without any list scans. Freezing is memoized: the frozen view is
+    rebuilt only after a mutation. *)
 
 type stage_id = int
 
@@ -12,6 +19,22 @@ type connection = {
   from_stage : stage_id;
   to_stage : stage_id;
   input : string;  (** which input of [to_stage] the source output drives *)
+}
+
+(** Immutable indexed snapshot of a graph. All arrays are indexed by
+    [stage_id]; a frozen value is never mutated and is safe to share
+    across domains. *)
+type frozen = {
+  scenarios : Tqwm_circuit.Scenario.t array;
+  fanin : connection array array;  (** edges into each stage, insertion order *)
+  fanout : connection array array;  (** edges out of each stage, insertion order *)
+  order : stage_id array;  (** topological order, primary-input stages first *)
+  levels : stage_id array array;
+      (** topological level schedule: [levels.(k)] holds the stages whose
+          longest fanin path has exactly [k] edges. Stages within a level
+          are mutually independent — the unit of parallelism — and ids
+          within a level ascend. [order] is the concatenation of the
+          levels. *)
 }
 
 type t
@@ -22,15 +45,29 @@ val add_stage : t -> Tqwm_circuit.Scenario.t -> stage_id
 
 val connect : t -> from_stage:stage_id -> to_stage:stage_id -> input:string -> unit
 (** @raise Invalid_argument on unknown stages, an unknown input name, or
-    when the edge would create a combinational cycle. *)
+    when the edge would create a combinational cycle. A rejected edge
+    leaves the graph untouched (in particular, pre-existing parallel
+    duplicates of the same edge survive). *)
 
 val num_stages : t -> int
 
+val num_connections : t -> int
+
 val scenario : t -> stage_id -> Tqwm_circuit.Scenario.t
+(** O(1). @raise Invalid_argument on an unknown stage. *)
 
 val fanin : t -> stage_id -> connection list
+(** Edges into a stage, in insertion order; O(fanin degree). *)
 
 val fanout : t -> stage_id -> connection list
+(** Edges out of a stage, in insertion order; O(fanout degree). *)
+
+val freeze : t -> frozen
+(** Indexed snapshot of the current graph. Memoized until the next
+    mutation; amortized O(V + E) overall. *)
 
 val topological_order : t -> stage_id list
-(** Primary-input stages first. *)
+(** Primary-input stages first (the frozen [order]). *)
+
+val levels : t -> stage_id array array
+(** The frozen level schedule. *)

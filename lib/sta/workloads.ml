@@ -1,0 +1,77 @@
+open Tqwm_circuit
+
+let switching_input (scenario : Scenario.t) =
+  match
+    List.find_opt
+      (fun (_, s) -> Tqwm_wave.Source.transition_time s <> None)
+      scenario.Scenario.sources
+  with
+  | Some (name, _) -> name
+  | None -> invalid_arg "Workloads.switching_input: scenario has no switching source"
+
+let fanout_tree ~fanout ~depth scenario =
+  if fanout < 1 then invalid_arg "Workloads.fanout_tree: fanout < 1";
+  if depth < 0 then invalid_arg "Workloads.fanout_tree: depth < 0";
+  let graph = Timing_graph.create () in
+  let input = switching_input scenario in
+  let root = Timing_graph.add_stage graph scenario in
+  let rec expand parent level =
+    if level < depth then
+      for _ = 1 to fanout do
+        let child = Timing_graph.add_stage graph scenario in
+        Timing_graph.connect graph ~from_stage:parent ~to_stage:child ~input;
+        expand child (level + 1)
+      done
+  in
+  expand root 0;
+  graph
+
+let decoder_tree ?(fanout = 4) ?(depth = 3) ?(levels = 2) tech =
+  fanout_tree ~fanout ~depth (Scenario.decoder ~levels tech)
+
+let chain ~n ?(load = 8e-15) tech =
+  if n < 1 then invalid_arg "Workloads.chain: n < 1";
+  let graph = Timing_graph.create () in
+  let prev = ref (Timing_graph.add_stage graph (Scenario.inverter_falling ~load tech)) in
+  for _ = 2 to n do
+    let next = Timing_graph.add_stage graph (Scenario.inverter_falling ~load tech) in
+    Timing_graph.connect graph ~from_stage:!prev ~to_stage:next ~input:"a1";
+    prev := next
+  done;
+  graph
+
+let diamond tech =
+  let graph = Timing_graph.create () in
+  let src = Timing_graph.add_stage graph (Scenario.inverter_falling ~load:6e-15 tech) in
+  let fast = Timing_graph.add_stage graph (Scenario.nand_falling ~n:2 ~load:8e-15 tech) in
+  let slow = Timing_graph.add_stage graph (Scenario.nand_falling ~n:4 ~load:30e-15 tech) in
+  let sink = Timing_graph.add_stage graph (Scenario.nand_falling ~n:2 ~load:10e-15 tech) in
+  Timing_graph.connect graph ~from_stage:src ~to_stage:fast ~input:"a1";
+  Timing_graph.connect graph ~from_stage:src ~to_stage:slow ~input:"a1";
+  Timing_graph.connect graph ~from_stage:fast ~to_stage:sink ~input:"a1";
+  Timing_graph.connect graph ~from_stage:slow ~to_stage:sink ~input:"a2";
+  graph
+
+let random_stacks ?(width = 8) ?(depth = 4) ?(seed = 0) tech =
+  if width < 1 then invalid_arg "Workloads.random_stacks: width < 1";
+  if depth < 1 then invalid_arg "Workloads.random_stacks: depth < 1";
+  let graph = Timing_graph.create () in
+  let layer d =
+    Array.init width (fun i ->
+        let k = seed + (d * width) + i in
+        let len = 5 + (k mod 6) in
+        Timing_graph.add_stage graph (Random_circuits.stack_scenario tech ~len ~seed:k))
+  in
+  let prev = ref (layer 0) in
+  for d = 1 to depth - 1 do
+    let current = layer d in
+    Array.iteri
+      (fun i id ->
+        (* rotate drivers layer to layer so the graph is not a set of
+           disjoint chains *)
+        let driver = !prev.((i + d) mod width) in
+        Timing_graph.connect graph ~from_stage:driver ~to_stage:id ~input:"g1")
+      current;
+    prev := current
+  done;
+  graph

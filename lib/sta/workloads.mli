@@ -1,0 +1,39 @@
+(** Synthetic timing-graph workloads shared by the benchmark harness,
+    the CLI and the test suite. *)
+
+val switching_input : Tqwm_circuit.Scenario.t -> string
+(** Name of the scenario's switching (non-constant) source — the input a
+    driving stage connects to.
+    @raise Invalid_argument if every source is constant. *)
+
+val fanout_tree :
+  fanout:int -> depth:int -> Tqwm_circuit.Scenario.t -> Timing_graph.t
+(** Balanced tree of identical stages: one root plus [fanout^1 + ... +
+    fanout^depth] copies, each driven on the scenario's switching input.
+    Level [k] holds [fanout^k] mutually independent stages — wide
+    parallelism — and, the stages being identical, a shared
+    {!Stage_cache} collapses each level to at most one solve. *)
+
+val decoder_tree :
+  ?fanout:int -> ?depth:int -> ?levels:int -> Tqwm_device.Tech.t -> Timing_graph.t
+(** The paper's Fig. 10 stage replicated as a fan-out tree (defaults:
+    fanout 4, depth 3, decoder [levels] 2) — the repeated-gate workload
+    used by the bench harness. *)
+
+val chain : n:int -> ?load:float -> Tqwm_device.Tech.t -> Timing_graph.t
+(** [n] identical inverters in series: one stage per topological level
+    (no parallelism — the sequential-floor baseline). *)
+
+val diamond : Tqwm_device.Tech.t -> Timing_graph.t
+(** Four stages, two independent middle branches of different speed
+    re-converging on one sink: the smallest graph whose parallel
+    schedule differs from the sequential one and whose sink has a
+    non-trivial critical-fanin choice. Stage ids are 0 (source), 1
+    (fast branch), 2 (slow branch), 3 (sink). *)
+
+val random_stacks :
+  ?width:int -> ?depth:int -> ?seed:int -> Tqwm_device.Tech.t -> Timing_graph.t
+(** [depth] layers of [width] randomly generated transistor stacks
+    (Table II population, lengths 5-10, seeded and reproducible), each
+    layer driven by a rotation of the previous one — a deep graph of
+    distinct stages, so cache hits come only from genuine repeats. *)

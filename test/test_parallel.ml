@@ -1,0 +1,174 @@
+(* Tests for the parallel propagation engine, the frozen graph form and
+   the stage cache: multi-domain runs must be bit-identical to
+   sequential propagation, with and without memoization. *)
+
+open Tqwm_device
+open Tqwm_circuit
+module Timing_graph = Tqwm_sta.Timing_graph
+module Arrival = Tqwm_sta.Arrival
+module Parallel = Tqwm_sta.Parallel
+module Stage_cache = Tqwm_sta.Stage_cache
+module Workloads = Tqwm_sta.Workloads
+
+let tech = Tech.cmosp35
+
+let table = lazy (Models.table tech)
+
+let check_identical what (a : Arrival.analysis) (b : Arrival.analysis) =
+  Alcotest.(check int)
+    (what ^ ": same stage count")
+    (Array.length a.Arrival.timings)
+    (Array.length b.Arrival.timings);
+  Array.iteri
+    (fun i (ta : Arrival.stage_timing) ->
+      let tb = b.Arrival.timings.(i) in
+      if ta <> tb then
+        Alcotest.failf
+          "%s: stage %d differs (arrival_out %.17g vs %.17g, delay %.17g vs %.17g)"
+          what i ta.Arrival.arrival_out tb.Arrival.arrival_out ta.Arrival.delay
+          tb.Arrival.delay)
+    a.Arrival.timings;
+  Alcotest.(check (list int))
+    (what ^ ": critical path")
+    a.Arrival.critical_path b.Arrival.critical_path;
+  Alcotest.(check bool)
+    (what ^ ": worst arrival bit-equal")
+    true
+    (a.Arrival.worst_arrival = b.Arrival.worst_arrival)
+
+let propagate ?cache ~domains graph =
+  Parallel.propagate ~model:(Lazy.force table) ?cache ~domains graph
+
+(* ---------- frozen graph form ---------- *)
+
+let test_freeze_levels () =
+  let graph = Workloads.diamond tech in
+  let frozen = Timing_graph.freeze graph in
+  Alcotest.(check int) "level count" 3 (Array.length frozen.Timing_graph.levels);
+  Alcotest.(check (array (array int)))
+    "level schedule"
+    [| [| 0 |]; [| 1; 2 |]; [| 3 |] |]
+    frozen.Timing_graph.levels;
+  Alcotest.(check (list int)) "order is level concatenation" [ 0; 1; 2; 3 ]
+    (Timing_graph.topological_order graph);
+  Alcotest.(check int) "fanin of sink" 2 (Array.length frozen.Timing_graph.fanin.(3));
+  Alcotest.(check int) "fanout of source" 2
+    (Array.length frozen.Timing_graph.fanout.(0));
+  (* freezing is memoized until the graph mutates *)
+  Alcotest.(check bool) "memoized" true (Timing_graph.freeze graph == frozen);
+  let extra = Timing_graph.add_stage graph (Scenario.inverter_falling tech) in
+  Timing_graph.connect graph ~from_stage:3 ~to_stage:extra ~input:"a1";
+  Alcotest.(check bool) "invalidated by mutation" true
+    (Timing_graph.freeze graph != frozen);
+  Alcotest.(check int) "new level appears" 4
+    (Array.length (Timing_graph.levels graph))
+
+let test_connect_keeps_parallel_duplicates () =
+  (* a rejected (cycle-creating) edge must leave previously inserted
+     edges alone, including structural duplicates of itself *)
+  let graph = Timing_graph.create () in
+  let a = Timing_graph.add_stage graph (Scenario.inverter_falling tech) in
+  let b = Timing_graph.add_stage graph (Scenario.nand_falling ~n:2 tech) in
+  Timing_graph.connect graph ~from_stage:a ~to_stage:b ~input:"a1";
+  Timing_graph.connect graph ~from_stage:a ~to_stage:b ~input:"a1";
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Timing_graph.connect: cycle detected") (fun () ->
+      Timing_graph.connect graph ~from_stage:b ~to_stage:a ~input:"a1");
+  Alcotest.(check int) "both duplicate edges survive" 2
+    (List.length (Timing_graph.fanin graph b));
+  Alcotest.(check int) "connection count intact" 2 (Timing_graph.num_connections graph)
+
+(* ---------- parallel vs sequential ---------- *)
+
+let test_parallel_identical_diamond () =
+  let graph = Workloads.diamond tech in
+  let seq = propagate ~domains:1 graph in
+  check_identical "diamond, 2 domains" seq (propagate ~domains:2 graph);
+  check_identical "diamond, 4 domains" seq (propagate ~domains:4 graph);
+  (* sanity: the slow branch must define the sink's arrival *)
+  Alcotest.(check (option int)) "slow branch critical" (Some 2)
+    seq.Arrival.timings.(3).Arrival.critical_fanin
+
+let test_parallel_identical_decoder_tree () =
+  let graph = Workloads.decoder_tree ~fanout:2 ~depth:2 ~levels:2 tech in
+  Alcotest.(check int) "tree size" 7 (Timing_graph.num_stages graph);
+  let seq = propagate ~domains:1 graph in
+  check_identical "decoder tree, 2 domains" seq (propagate ~domains:2 graph);
+  check_identical "decoder tree, 4 domains" seq (propagate ~domains:4 graph)
+
+let test_parallel_identical_with_cache () =
+  let graph = Workloads.fanout_tree ~fanout:2 ~depth:2 (Scenario.nand_falling ~n:3 tech) in
+  (* fresh caches per run: hit patterns differ between domain counts but
+     results may not *)
+  let run domains =
+    let cache = Stage_cache.create () in
+    let analysis = propagate ~cache ~domains graph in
+    (analysis, Stage_cache.stats cache)
+  in
+  let seq, seq_stats = run 1 in
+  let par2, _ = run 2 in
+  let par4, par4_stats = run 4 in
+  check_identical "cached, 2 domains" seq par2;
+  check_identical "cached, 4 domains" seq par4;
+  Alcotest.(check bool) "repeated gates hit the cache" true
+    (seq_stats.Stage_cache.hits > 0 && par4_stats.Stage_cache.hits > 0);
+  Alcotest.(check bool) "fewer solves than stages" true
+    (seq_stats.Stage_cache.misses < Timing_graph.num_stages graph);
+  (* cached and uncached propagation agree to within the slew bucket's
+     perturbation; with the bucket at 1 ps the delays stay within a few
+     tenths of a picosecond *)
+  let uncached = propagate ~domains:1 graph in
+  Alcotest.(check bool) "bucketing perturbs arrivals by < 1 ps" true
+    (Float.abs (uncached.Arrival.worst_arrival -. seq.Arrival.worst_arrival)
+    < 1e-12)
+
+let test_cache_bucketing () =
+  let cache = Stage_cache.create ~slew_bucket:2e-12 () in
+  Alcotest.(check (float 1e-18)) "rounds to bucket" 42e-12
+    (Stage_cache.bucket_slew cache 41.3e-12);
+  Alcotest.(check (float 1e-18)) "never below one bucket" 2e-12
+    (Stage_cache.bucket_slew cache 0.4e-12);
+  Alcotest.(check (float 0.0)) "non-positive passes through" 0.0
+    (Stage_cache.bucket_slew cache 0.0);
+  let model = Lazy.force table in
+  let config = Tqwm_core.Config.default in
+  let a = Stage_cache.fingerprint ~model ~config (Scenario.nand_falling ~n:2 tech) in
+  let b =
+    Stage_cache.fingerprint ~model ~config (Scenario.nand_falling ~n:2 ~load:9e-15 tech)
+  in
+  Alcotest.(check bool) "load changes the fingerprint" true (a <> b);
+  Alcotest.(check bool) "fingerprint is deterministic" true
+    (String.equal a
+       (Stage_cache.fingerprint ~model ~config (Scenario.nand_falling ~n:2 tech)))
+
+(* ---------- slack over a chain ---------- *)
+
+let test_chain_slack_identity () =
+  let graph = Workloads.chain ~n:3 tech in
+  let analysis = propagate ~domains:2 graph in
+  let clock_period = 1e-9 in
+  let report = Arrival.slacks graph analysis ~clock_period in
+  Alcotest.(check (float 1e-15)) "worst slack = clock_period - worst_arrival"
+    (clock_period -. analysis.Arrival.worst_arrival)
+    report.Arrival.worst_slack
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "tqwm_parallel"
+    [
+      ( "frozen graph",
+        [
+          quick "level schedule" test_freeze_levels;
+          quick "rejected edge keeps duplicates" test_connect_keeps_parallel_duplicates;
+        ] );
+      ( "parallel engine",
+        [
+          slow "diamond bit-identical" test_parallel_identical_diamond;
+          slow "decoder tree bit-identical" test_parallel_identical_decoder_tree;
+          slow "cached runs bit-identical" test_parallel_identical_with_cache;
+        ] );
+      ( "stage cache",
+        [ quick "bucketing and fingerprints" test_cache_bucketing ] );
+      ("slack", [ slow "chain identity" test_chain_slack_identity ]);
+    ]
