@@ -409,6 +409,8 @@ module Arrival = Tqwm_sta.Arrival
 module Parallel = Tqwm_sta.Parallel
 module Stage_cache = Tqwm_sta.Stage_cache
 module Workloads = Tqwm_sta.Workloads
+module Metrics = Tqwm_obs.Metrics
+module Json = Tqwm_obs.Json
 
 let same_analysis (a : Arrival.analysis) (b : Arrival.analysis) =
   a.Arrival.timings = b.Arrival.timings
@@ -442,8 +444,10 @@ let sta_parallel ?(smoke = false) () =
      else "");
   Printf.printf "%-14s %7s %10s %10s %8s %10s %8s %7s %10s\n" "workload" "stages"
     "seq" "par" "speedup" "identical" "hits" "solves" "warm";
-  List.iter
-    (fun (name, graph) ->
+  Metrics.reset ();
+  let rows =
+    List.map
+      (fun (name, graph) ->
       (* freeze outside the timed region: measured time is propagation *)
       ignore (Timing_graph.freeze graph);
       let t_seq =
@@ -480,12 +484,41 @@ let sta_parallel ?(smoke = false) () =
         (t_seq /. t_par)
         (if identical then "yes" else "NO")
         (100.0 *. cold_hit_rate)
-        stats.Stage_cache.misses (t_warm *. 1e3))
-    workloads;
+        stats.Stage_cache.misses (t_warm *. 1e3);
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("stages", Json.Int (Timing_graph.num_stages graph));
+          ("seq_ms", Json.Float (t_seq *. 1e3));
+          ("par_ms", Json.Float (t_par *. 1e3));
+          ("speedup", Json.Float (t_seq /. t_par));
+          ("identical", Json.Bool identical);
+          ( "cache",
+            Json.Obj
+              [
+                ("hits", Json.Int stats.Stage_cache.hits);
+                ("misses", Json.Int stats.Stage_cache.misses);
+                ("hit_rate", Json.Float cold_hit_rate);
+              ] );
+          ("warm_ms", Json.Float (t_warm *. 1e3));
+        ])
+      workloads
+  in
   Printf.printf
     "(identical = parallel timings bit-equal to sequential, cached and uncached;\n\
     \ solves = QWM runs through a cold shared cache; warm = propagation with a\n\
-    \ fully warm cache, i.e. pure scheduling overhead)\n"
+    \ fully warm cache, i.e. pure scheduling overhead)\n";
+  Json.Obj
+    [
+      ("schema", Json.String "tqwm-bench-parallel/1");
+      ("smoke", Json.Bool smoke);
+      ("domains", Json.Int domains);
+      ("available_cores", Json.Int cores);
+      ("workloads", Json.List rows);
+      (* cumulative solver/cache telemetry over every run above — the
+         absolute values scale with [repeat], so compare like runs only *)
+      ("metrics", Metrics.snapshot ());
+    ]
 
 let smoke () =
   (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
@@ -499,6 +532,21 @@ let smoke () =
       (100.0 *. Float.abs (b -. a) /. a)
   | (Some _ | None), _ -> failwith "smoke: missing delay");
   sta_parallel ~smoke:true ()
+
+(* Write the parallel-table JSON document produced by [sta_parallel] when
+   the invocation carried [--json FILE]; experiments without a
+   machine-readable form ignore the flag with a note. *)
+let write_json json_path doc =
+  match json_path with
+  | None -> ()
+  | Some path ->
+    (match doc with
+    | Some doc ->
+      Json.write_file path doc;
+      Printf.printf "bench: wrote JSON results to %s\n" path
+    | None ->
+      Printf.eprintf
+        "bench: --json is only produced by --table parallel and --smoke; ignoring\n")
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
@@ -563,28 +611,42 @@ let all () =
   ablation_sc ();
   ablation_grid ();
   ablation_waveform ();
-  sta_parallel ();
+  ignore (sta_parallel ());
   bechamel ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--table" :: "I" :: _ -> table1 ()
-  | _ :: "--table" :: "II" :: _ -> table2 ()
-  | _ :: "--table" :: "parallel" :: _ -> sta_parallel ()
-  | _ :: "--smoke" :: _ -> smoke ()
-  | _ :: "--table" :: "ablation-linsolve" :: _ -> ablation_linsolve ()
-  | _ :: "--table" :: "ablation-sc" :: _ -> ablation_sc ()
-  | _ :: "--table" :: "ablation-grid" :: _ -> ablation_grid ()
-  | _ :: "--table" :: "ablation-waveform" :: _ -> ablation_waveform ()
-  | _ :: "--figure" :: "5" :: _ -> figure5 ()
-  | _ :: "--figure" :: "7" :: _ -> figure7 ()
-  | _ :: "--figure" :: "8" :: _ -> figure8 ()
-  | _ :: "--figure" :: "9" :: _ -> figure9 ()
-  | _ :: "--figure" :: "10" :: _ -> figure10 ()
-  | _ :: "--bechamel" :: _ -> bechamel ()
-  | [ _ ] -> all ()
-  | _ ->
-    prerr_endline
-      "usage: main.exe [--table I|II|parallel|ablation-linsolve|ablation-sc|ablation-grid] \
-       [--figure 5|7|8|9|10] [--bechamel] [--smoke]";
-    exit 1
+  (* peel "--json FILE" off anywhere in the command line before dispatch *)
+  let rec strip_json = function
+    | "--json" :: path :: rest ->
+      let json, rest = strip_json rest in
+      (Some (Option.value json ~default:path), rest)
+    | arg :: rest ->
+      let json, rest = strip_json rest in
+      (json, arg :: rest)
+    | [] -> (None, [])
+  in
+  let json_path, argv = strip_json (Array.to_list Sys.argv) in
+  let doc =
+    match argv with
+    | _ :: "--table" :: "I" :: _ -> table1 (); None
+    | _ :: "--table" :: "II" :: _ -> table2 (); None
+    | _ :: "--table" :: "parallel" :: _ -> Some (sta_parallel ())
+    | _ :: "--smoke" :: _ -> Some (smoke ())
+    | _ :: "--table" :: "ablation-linsolve" :: _ -> ablation_linsolve (); None
+    | _ :: "--table" :: "ablation-sc" :: _ -> ablation_sc (); None
+    | _ :: "--table" :: "ablation-grid" :: _ -> ablation_grid (); None
+    | _ :: "--table" :: "ablation-waveform" :: _ -> ablation_waveform (); None
+    | _ :: "--figure" :: "5" :: _ -> figure5 (); None
+    | _ :: "--figure" :: "7" :: _ -> figure7 (); None
+    | _ :: "--figure" :: "8" :: _ -> figure8 (); None
+    | _ :: "--figure" :: "9" :: _ -> figure9 (); None
+    | _ :: "--figure" :: "10" :: _ -> figure10 (); None
+    | _ :: "--bechamel" :: _ -> bechamel (); None
+    | [ _ ] -> all (); None
+    | _ :: _ :: _ | [] ->
+      prerr_endline
+        "usage: main.exe [--table I|II|parallel|ablation-linsolve|ablation-sc|ablation-grid] \
+         [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE]";
+      exit 1
+  in
+  write_json json_path doc

@@ -14,6 +14,9 @@ module Parallel = Tqwm_sta.Parallel
 module Stage_cache = Tqwm_sta.Stage_cache
 module Workloads = Tqwm_sta.Workloads
 module Report = Tqwm_sta.Report
+module Metrics = Tqwm_obs.Metrics
+module Trace = Tqwm_obs.Trace
+module Json = Tqwm_obs.Json
 
 let ps = 1e12
 
@@ -54,7 +57,7 @@ let run_qwm ~model ~waveform scenario =
   report
 
 (* --sta: propagate arrivals over a fan-out tree of the selected stage *)
-let run_sta ~tech ~depth ~fanout ~domains ~use_cache scenario =
+let run_sta ~tech ~depth ~fanout ~domains ~use_cache ~json_file scenario =
   if fanout < 1 then (
     Printf.eprintf "qwm_sim: --fanout must be >= 1 (got %d)\n" fanout;
     exit 2);
@@ -83,6 +86,11 @@ let run_sta ~tech ~depth ~fanout ~domains ~use_cache scenario =
     let s = Stage_cache.stats c in
     Printf.printf "cache: %d solves, %d hits (%.0f%% hit rate)\n"
       s.Stage_cache.misses s.Stage_cache.hits (100.0 *. Stage_cache.hit_rate c));
+  (match json_file with
+  | None -> ()
+  | Some path ->
+    Json.write_file path (Report.to_json graph analysis);
+    Printf.printf "sta: wrote JSON report to %s\n" path);
   0
 
 (* --partition: parse a netlist deck and report its logic stages *)
@@ -115,8 +123,8 @@ let partition_netlist path =
       extraction.Ccc.instances;
     0
 
-let main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
-    domains no_cache =
+let run_main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
+    domains no_cache json_file =
   match partition with
   | Some path -> partition_netlist path
   | None ->
@@ -136,7 +144,7 @@ let main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
     | Some depth ->
       let domains = Option.value domains ~default:(Parallel.default_domains ()) in
       run_sta ~tech ~depth ~fanout:sta_fanout ~domains ~use_cache:(not no_cache)
-        scenario
+        ~json_file scenario
     | None ->
     Printf.printf "circuit %s: %d nodes, %d edges, window %.0f ps\n"
       scenario.Scenario.name scenario.Scenario.stage.Stage.num_nodes
@@ -157,6 +165,26 @@ let main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
           (sp.Engine.runtime_seconds /. qw.Qwm.runtime_seconds)
       | (Some _ | None), _ -> ()));
     0
+
+let main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
+    domains no_cache json_file trace_file metrics_file =
+  if trace_file <> None then Trace.enable ();
+  let code =
+    run_main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
+      domains no_cache json_file
+  in
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+    Trace.write_file path;
+    Printf.printf "trace: wrote Chrome trace events to %s (open in chrome://tracing or ui.perfetto.dev)\n"
+      path);
+  (match metrics_file with
+  | None -> ()
+  | Some path ->
+    Metrics.write_file path;
+    Printf.printf "metrics: wrote counters and histograms to %s\n" path);
+  code
 
 open Cmdliner
 
@@ -202,12 +230,24 @@ let no_cache =
   let doc = "Disable stage-result memoization in --sta mode." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let json_file =
+  let doc = "In --sta mode, write the machine-readable analysis (per-stage timings, critical path) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let trace_file =
+  let doc = "Record Chrome trace events (per-stage spans, per-domain workers, QWM regions) and write them to $(docv); load in chrome://tracing or ui.perfetto.dev." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_file =
+  let doc = "Write a JSON snapshot of telemetry counters and histograms (solver regions/iterations, cache hits, SPICE steps) to $(docv) on exit." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "transistor-level timing analysis by piecewise quadratic waveform matching" in
   Cmd.v
     (Cmd.info "qwm_sim" ~version:"1.0.0" ~doc)
     Term.(
       const main $ circuit $ engine $ dt $ waveform $ ramp $ partition $ sta_depth
-      $ sta_fanout $ domains $ no_cache)
+      $ sta_fanout $ domains $ no_cache $ json_file $ trace_file $ metrics_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -145,7 +145,8 @@ let run_on_lowering ~model ?(config = Config.default) ~scenario lowering =
 
 let run ~model ?(config = Config.default) scenario =
   let lowering = lower_scenario ~model ~config scenario in
-  run_on_lowering ~model ~config ~scenario lowering
+  Tqwm_obs.Trace.with_span ~name:("qwm:" ^ scenario.Scenario.name) ~cat:"qwm"
+    (fun () -> run_on_lowering ~model ~config ~scenario lowering)
 
 let output_waveform report ~dt = Waveform.sample_quadratic report.output ~dt
 

@@ -7,6 +7,26 @@ module Bordered = Tqwm_num.Bordered
 module Sherman_morrison = Tqwm_num.Sherman_morrison
 module Lu = Tqwm_num.Lu
 module Mat = Tqwm_num.Mat
+module Metrics = Tqwm_obs.Metrics
+module Trace = Tqwm_obs.Trace
+module Json = Tqwm_obs.Json
+
+(* Global solver telemetry; one atomic add per counter per solve. *)
+let c_solves = Metrics.counter "qwm.solves"
+let c_regions = Metrics.counter "qwm.regions"
+let c_turn_ons = Metrics.counter "qwm.turn_ons"
+let c_newton = Metrics.counter "qwm.newton_iterations"
+let c_linear_solves = Metrics.counter "qwm.linear_solves"
+let c_bisections = Metrics.counter "qwm.bisections"
+let c_failures = Metrics.counter "qwm.failures"
+
+let h_regions_per_solve =
+  Metrics.histogram "qwm.regions_per_solve"
+    ~bounds:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+
+let h_newton_per_region =
+  Metrics.histogram "qwm.newton_per_region"
+    ~bounds:[| 1.0; 2.0; 3.0; 5.0; 8.0; 13.0; 21.0; 34.0 |]
 
 type stats = {
   regions : int;
@@ -561,6 +581,39 @@ let commit p st { alpha; delta; ok; iters = _ } =
 
 let debug = ref false
 
+let target_label = function
+  | Turn_on k -> Printf.sprintf "turnon%d" k
+  | Level { node; value } -> Printf.sprintf "level(%d,%.3f)" node value
+
+(* Structured per-region diagnostics, replacing the old stderr printf:
+   an instant trace event carrying the state the printf used to dump.
+   The deprecated [debug] flag routes events to the stderr line sink
+   when no other sink is installed, so old invocations keep a per-region
+   stderr trace (now as JSON). *)
+let trace_region p st target sol =
+  if !debug && not (Trace.enabled ()) then Trace.enable_stderr ();
+  if Trace.enabled () then begin
+    let f, _, _ = region_residual p st target sol.alpha sol.delta in
+    let floats xs =
+      Json.List (List.map (fun v -> Json.Float v) (Array.to_list xs))
+    in
+    Trace.instant ~name:"qwm.region" ~cat:"qwm"
+      ~args:
+        [
+          ("t_ps", Json.Float (st.t *. 1e12));
+          ("active", Json.Int st.active);
+          ("target", Json.String (target_label target));
+          ("ok", Json.Bool sol.ok);
+          ("iters", Json.Int sol.iters);
+          ("delta_ps", Json.Float (sol.delta *. 1e12));
+          ("merit", Json.Float (merit p f));
+          ("v", floats st.v);
+          ("i", floats st.i);
+          ("alpha", floats sol.alpha);
+        ]
+      ()
+  end
+
 (* Attempt a region. Escalation ladder on Newton failure: retry from an
    explicit-Euler warm start; bisect the target voltage; finally take a
    short fixed-length current-matching step so the state always advances
@@ -578,22 +631,8 @@ let rec advance p st target depth =
         if retry.ok then retry else first
       | None -> first
   in
-  if !debug then begin
-    let f, _, _ = region_residual p st target sol.alpha sol.delta in
-    Printf.eprintf
-      "[qwm] t=%.2fps m=%d target=%s ok=%b iters=%d delta=%.3fps merit=%.3g v=[%s] i=[%s] alpha=[%s]\n%!"
-      (st.t *. 1e12) st.active
-      (match target with
-      | Turn_on k -> Printf.sprintf "turnon%d" k
-      | Level { node; value } -> Printf.sprintf "level(%d,%.3f)" node value)
-      sol.ok sol.iters (sol.delta *. 1e12) (merit p f)
-      (String.concat ","
-         (List.map (fun v -> Printf.sprintf "%.3f" v) (Array.to_list st.v)))
-      (String.concat ","
-         (List.map (fun v -> Printf.sprintf "%.2e" v) (Array.to_list st.i)))
-      (String.concat ","
-         (List.map (fun v -> Printf.sprintf "%.2e" v) (Array.to_list sol.alpha)))
-  end;
+  if !debug || Trace.enabled () then trace_region p st target sol;
+  Metrics.observe h_newton_per_region (float_of_int sol.iters);
   if sol.ok && plausible p st sol then commit p st sol
   else begin
     let node, goal =
@@ -655,6 +694,14 @@ let find_gate_turn_on p k0 ~t_from =
   end
 
 let finalize p st =
+  Metrics.incr c_solves;
+  Metrics.add c_regions st.n_regions;
+  Metrics.add c_turn_ons st.n_turn_ons;
+  Metrics.add c_newton st.n_newton;
+  Metrics.add c_linear_solves st.n_solves;
+  Metrics.add c_bisections st.n_bisect;
+  Metrics.add c_failures st.n_fail;
+  Metrics.observe h_regions_per_solve (float_of_int st.n_regions);
   let k_total = chain_length p in
   let t_solved = Float.max st.t (p.t_end *. 1e-3) in
   let quads =

@@ -46,4 +46,9 @@ val solve :
     @raise Invalid_argument on malformed inputs. *)
 
 val debug : bool ref
-(** Emit a per-region trace on stderr (diagnostics only). *)
+(** @deprecated Alias for enabling the per-region trace: when set and no
+    {!Tqwm_obs.Trace} sink is installed, the stderr line sink is
+    enabled, so existing [debug := true] invocations keep producing a
+    per-region stderr trace — now as one [qwm.region] trace-event JSON
+    object per line. New code should call {!Tqwm_obs.Trace.enable} (or
+    [qwm_sim --trace FILE]) instead. *)

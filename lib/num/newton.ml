@@ -1,4 +1,10 @@
-type outcome = { x : Vec.t; iterations : int; residual_norm : float; converged : bool }
+type outcome = {
+  x : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+  stalled : bool;
+}
 
 type problem = {
   residual : Vec.t -> Vec.t;
@@ -34,12 +40,13 @@ let solve ?(config = default_config) problem x0 =
     let f = problem.residual x in
     let fnorm = Vec.norm_inf f in
     if fnorm <= config.residual_tolerance then
-      { x; iterations = iter; residual_norm = fnorm; converged = true }
+      { x; iterations = iter; residual_norm = fnorm; converged = true; stalled = false }
     else if iter >= config.max_iterations then
-      { x; iterations = iter; residual_norm = fnorm; converged = false }
+      { x; iterations = iter; residual_norm = fnorm; converged = false; stalled = false }
     else
       match problem.solve_linearized x f with
-      | exception _ -> { x; iterations = iter; residual_norm = fnorm; converged = false }
+      | exception _ ->
+        { x; iterations = iter; residual_norm = fnorm; converged = false; stalled = false }
       | dx ->
         let dx = clamp_step config.max_step dx in
         let step_norm = Vec.norm_inf dx in
@@ -47,6 +54,9 @@ let solve ?(config = default_config) problem x0 =
           Array.init (Array.length x) (fun i -> x.(i) -. (config.damping *. dx.(i)))
         in
         if step_norm <= config.step_tolerance then
+          (* the iteration can no longer move: accept at a deliberately
+             loosened tolerance, but flag the stall so callers (and
+             telemetry) can tell this apart from a clean convergence *)
           let f' = problem.residual x' in
           let fnorm' = Vec.norm_inf f' in
           {
@@ -54,6 +64,7 @@ let solve ?(config = default_config) problem x0 =
             iterations = iter + 1;
             residual_norm = fnorm';
             converged = fnorm' <= config.residual_tolerance *. 10.0;
+            stalled = true;
           }
         else loop x' (iter + 1)
   in

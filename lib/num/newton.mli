@@ -9,6 +9,13 @@ type outcome = {
   iterations : int;
   residual_norm : float;  (** inf-norm of F at the final iterate *)
   converged : bool;
+  stalled : bool;
+      (** The step-stall exit was taken: a Newton update fell below
+          [step_tolerance] before the residual reached
+          [residual_tolerance]. A stalled outcome reports
+          [converged = true] only under a deliberately loosened
+          acceptance of [residual_tolerance *. 10.0] — callers that care
+          about full-tolerance convergence must check this flag. *)
 }
 
 type problem = {

@@ -1,0 +1,35 @@
+(** A minimal JSON document: just enough to emit metrics snapshots,
+    Chrome trace files and machine-readable timing reports, and to parse
+    them back for validation — no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Non-finite floats are emitted
+    as [null] so the output is always valid JSON. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_channel : out_channel -> t -> unit
+
+val write_file : string -> t -> unit
+(** Serialize to a file, with a trailing newline. *)
+
+val of_string : string -> t
+(** Strict parser for the subset this module emits (all of standard
+    JSON except surrogate-pair [\u] escapes).
+    @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks a field up; [None] on non-objects. *)
+
+val to_list_opt : t -> t list option

@@ -1,0 +1,138 @@
+type counter = { name : string; value : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  bounds : float array;  (** strictly increasing upper bounds *)
+  counts : int Atomic.t array;  (** length = Array.length bounds + 1 (overflow) *)
+  sum : float Atomic.t;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+(* The registry is global: instruments are declared once at module
+   initialization and shared by every engine instance, so sequential and
+   parallel runs of the same work bump the same cells and their totals
+   can be compared directly. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let registry_lock = Mutex.create ()
+
+let counter name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some (Histogram _) ->
+        invalid_arg (Printf.sprintf "Metrics.counter: %s is a histogram" name)
+      | None ->
+        let c = { name; value = Atomic.make 0 } in
+        Hashtbl.add registry name (Counter c);
+        c)
+
+let histogram name ~bounds =
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bounds not strictly increasing")
+    bounds;
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> h
+      | Some (Counter _) ->
+        invalid_arg (Printf.sprintf "Metrics.histogram: %s is a counter" name)
+      | None ->
+        let h =
+          {
+            hname = name;
+            bounds = Array.copy bounds;
+            counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            sum = Atomic.make 0.0;
+          }
+        in
+        Hashtbl.add registry name (Histogram h);
+        h)
+
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.value n)
+
+let incr c = ignore (Atomic.fetch_and_add c.value 1)
+
+let value c = Atomic.get c.value
+
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+(* bucket i counts observations v with bounds.(i-1) < v <= bounds.(i);
+   the final bucket counts v > bounds.(last) *)
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec find i = if i >= n || v <= h.bounds.(i) then i else find (i + 1) in
+  find 0
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.counts.(bucket_index h v) 1);
+  atomic_add_float h.sum v
+
+let histogram_counts h = Array.map Atomic.get h.counts
+
+let histogram_total h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+let sorted_metrics () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters_alist () =
+  List.filter_map
+    (function name, Counter c -> Some (name, value c) | _, Histogram _ -> None)
+    (sorted_metrics ())
+
+let find_counter name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> Some (value c)
+      | Some (Histogram _) | None -> None)
+
+let snapshot () =
+  let metrics = sorted_metrics () in
+  let counters =
+    List.filter_map
+      (function
+        | name, Counter c -> Some (name, Json.Int (value c))
+        | _, Histogram _ -> None)
+      metrics
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | _, Counter _ -> None
+        | name, Histogram h ->
+          Some
+            ( name,
+              Json.Obj
+                [
+                  ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) h.bounds)));
+                  ( "counts",
+                    Json.List
+                      (Array.to_list
+                         (Array.map (fun c -> Json.Int (Atomic.get c)) h.counts)) );
+                  ("total", Json.Int (histogram_total h));
+                  ("sum", Json.Float (Atomic.get h.sum));
+                ] ))
+      metrics
+  in
+  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ]
+
+let write_file path = Json.write_file path (snapshot ())
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.value 0
+          | Histogram h ->
+            Array.iter (fun c -> Atomic.set c 0) h.counts;
+            Atomic.set h.sum 0.0)
+        registry)

@@ -1,0 +1,58 @@
+(** Global telemetry instruments: atomic counters and fixed-bucket
+    histograms, registered by name in one process-wide registry that
+    snapshots to a JSON document.
+
+    Instruments are declared once (typically in a top-level [let] of the
+    instrumented module) and shared by every engine instance and every
+    domain; updates are single atomic operations, cheap enough to leave
+    enabled unconditionally on hot paths. Because the registry is
+    global, a sequential and a parallel run of the same workload bump
+    the same cells and their totals can be compared directly (see
+    [test/test_obs.ml]). *)
+
+type counter
+
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter registered under this name.
+    @raise Invalid_argument if the name is registered as a histogram. *)
+
+val histogram : string -> bounds:float array -> histogram
+(** Get or create a histogram with the given strictly increasing upper
+    bounds. Bucket [i] counts observations [v] with
+    [bounds.(i-1) < v <= bounds.(i)]; one extra overflow bucket counts
+    [v > bounds.(last)]. An existing histogram is returned as-is (its
+    bounds are not checked against [bounds]).
+    @raise Invalid_argument on empty or non-increasing bounds, or if the
+    name is registered as a counter. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val observe : histogram -> float -> unit
+
+val histogram_counts : histogram -> int array
+(** Per-bucket counts, overflow bucket last. *)
+
+val histogram_total : histogram -> int
+
+val counters_alist : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name. *)
+
+val find_counter : string -> int option
+(** Current value of a counter by name; [None] if not registered. *)
+
+val snapshot : unit -> Json.t
+(** [{"counters": {...}, "histograms": {name: {bounds, counts, total,
+    sum}}}] — the metrics document written by [qwm_sim --metrics]. *)
+
+val write_file : string -> unit
+(** Write [snapshot ()] to a file. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations are kept). Intended
+    for tests and for delta measurements around a workload. *)

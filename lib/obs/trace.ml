@@ -1,0 +1,117 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts_us : float;
+  dur_us : float;  (** only meaningful for ph = 'X' *)
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type sink =
+  | Null
+  | Memory of event list ref  (** reversed; guarded by [lock] *)
+  | Stderr  (** one JSON object per line, for interactive diagnostics *)
+
+let lock = Mutex.create ()
+
+let sink = ref Null
+
+(* mirrors [sink <> Null]; a single mutable bool keeps the disabled
+   check on hot paths to one load + branch *)
+let on = ref false
+
+let enabled () = !on
+
+let epoch = Unix.gettimeofday ()
+
+let now () = Unix.gettimeofday ()
+
+let set s =
+  Mutex.protect lock (fun () ->
+      sink := s;
+      on := s <> Null)
+
+let enable () = set (Memory (ref []))
+
+let enable_stderr () = set Stderr
+
+let disable () = set Null
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      match !sink with Memory events -> events := [] | Null | Stderr -> ())
+
+let json_of_event e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String e.cat);
+      ("ph", Json.String (String.make 1 e.ph));
+      ("ts", Json.Float e.ts_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.tid);
+    ]
+  in
+  let base = if e.ph = 'X' then base @ [ ("dur", Json.Float e.dur_us) ] else base in
+  let base = if e.args = [] then base else base @ [ ("args", Json.Obj e.args) ] in
+  Json.Obj base
+
+let emit e =
+  Mutex.protect lock (fun () ->
+      match !sink with
+      | Null -> ()
+      | Memory events -> events := e :: !events
+      | Stderr -> Printf.eprintf "%s\n%!" (Json.to_string (json_of_event e)))
+
+let us_of_seconds t = (t -. epoch) *. 1e6
+
+let tid () = (Domain.self () :> int)
+
+let complete ?(args = []) ~name ~cat ~ts ~dur () =
+  if !on then
+    emit
+      {
+        name;
+        cat;
+        ph = 'X';
+        ts_us = us_of_seconds ts;
+        dur_us = dur *. 1e6;
+        tid = tid ();
+        args;
+      }
+
+let instant ?(args = []) ~name ~cat () =
+  if !on then
+    emit
+      {
+        name;
+        cat;
+        ph = 'i';
+        ts_us = us_of_seconds (now ());
+        dur_us = 0.0;
+        tid = tid ();
+        args;
+      }
+
+let with_span ?(args = []) ~name ~cat f =
+  if not !on then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () -> complete ~args ~name ~cat ~ts:t0 ~dur:(now () -. t0) ())
+      f
+  end
+
+let events () =
+  Mutex.protect lock (fun () ->
+      match !sink with Memory events -> List.rev !events | Null | Stderr -> [])
+
+let to_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map json_of_event (events ())));
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+let write_file path = Json.write_file path (to_json ())

@@ -1,0 +1,56 @@
+(** Timed spans and instant events in Chrome trace-event form.
+
+    Instrumented code emits through a process-global sink. The default
+    sink is null: [enabled] is a single mutable-bool load, [with_span]
+    calls its thunk directly and no clock is read, so instrumented hot
+    paths cost nothing when tracing is off. With the memory sink
+    enabled, events accumulate (mutex-guarded, safe from any domain)
+    and [write_file] produces a JSON document loadable by
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. The
+    stderr sink prints each event as a JSON line immediately — the
+    replacement for the old [Qwm_solver.debug] stderr dump.
+
+    Timestamps are microseconds relative to module initialization; the
+    thread id is the emitting domain's id, so parallel STA traces show
+    one lane per domain. *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Install the in-memory sink (empty). *)
+
+val enable_stderr : unit -> unit
+(** Install the line-per-event stderr sink. *)
+
+val disable : unit -> unit
+
+val clear : unit -> unit
+(** Drop buffered events (memory sink only). *)
+
+val now : unit -> float
+(** Wall-clock seconds; pair with {!complete} for hand-rolled spans
+    whose args are only known after the timed work ran. *)
+
+val complete :
+  ?args:(string * Json.t) list ->
+  name:string ->
+  cat:string ->
+  ts:float ->
+  dur:float ->
+  unit ->
+  unit
+(** A completed span: [ts] in seconds as returned by {!now}, [dur] in
+    seconds. No-op when disabled. *)
+
+val instant : ?args:(string * Json.t) list -> name:string -> cat:string -> unit -> unit
+(** A point-in-time event. No-op when disabled. *)
+
+val with_span : ?args:(string * Json.t) list -> name:string -> cat:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the span is emitted even if the thunk
+    raises. When disabled, the thunk runs with zero overhead. *)
+
+val to_json : unit -> Json.t
+(** [{"traceEvents": [...], ...}] from the memory sink's buffer (empty
+    for other sinks). *)
+
+val write_file : string -> unit

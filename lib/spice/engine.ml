@@ -12,7 +12,10 @@ type report = {
 
 let run ~model ?(config = Transient.default_config) (scenario : Scenario.t) =
   let t0 = Unix.gettimeofday () in
-  let result = Transient.simulate ~model ~config scenario in
+  let result =
+    Tqwm_obs.Trace.with_span ~name:("spice:" ^ scenario.Scenario.name) ~cat:"spice"
+      (fun () -> Transient.simulate ~model ~config scenario)
+  in
   let runtime_seconds = Unix.gettimeofday () -. t0 in
   let output = Transient.node_waveform result scenario.Scenario.output in
   let vdd = scenario.Scenario.tech.Tqwm_device.Tech.vdd in

@@ -3,6 +3,21 @@ module Vec = Tqwm_num.Vec
 module Mat = Tqwm_num.Mat
 module Lu = Tqwm_num.Lu
 module Waveform = Tqwm_wave.Waveform
+module Metrics = Tqwm_obs.Metrics
+module Trace = Tqwm_obs.Trace
+module Json = Tqwm_obs.Json
+
+(* Global reference-engine telemetry; bulk counters are settled once per
+   simulate call, only the per-step histogram updates inside the loop. *)
+let c_transients = Metrics.counter "spice.transients"
+let c_steps = Metrics.counter "spice.steps"
+let c_rejected = Metrics.counter "spice.rejected_steps"
+let c_newton = Metrics.counter "spice.newton_iterations"
+let c_stalled = Metrics.counter "spice.newton_stalled"
+
+let h_newton_per_step =
+  Metrics.histogram "spice.newton_per_step"
+    ~bounds:[| 1.0; 2.0; 3.0; 5.0; 8.0; 13.0; 21.0; 34.0 |]
 
 type solver = Newton_raphson | Successive_chord
 
@@ -47,6 +62,7 @@ type stats = {
   rejected_steps : int;
   nonlinear_iterations : int;
   max_step_iterations : int;
+  stalled_steps : int;
   converged : bool;
 }
 
@@ -167,7 +183,14 @@ let simulate ~model ~config (scenario : Scenario.t) =
   and max_iters = ref 0
   and accepted = ref 0
   and rejected = ref 0
+  and stalled = ref 0
   and all_converged = ref true in
+  let account (outcome : Tqwm_num.Newton.outcome) =
+    total_iters := !total_iters + outcome.Tqwm_num.Newton.iterations;
+    max_iters := max !max_iters outcome.Tqwm_num.Newton.iterations;
+    if outcome.Tqwm_num.Newton.stalled then incr stalled;
+    Metrics.observe h_newton_per_step (float_of_int outcome.Tqwm_num.Newton.iterations)
+  in
   let chord_cache = ref None in
   let chord_for dt =
     match config.solver with
@@ -200,8 +223,7 @@ let simulate ~model ~config (scenario : Scenario.t) =
         implicit_step ctx ~config ~caps ~chord:(chord_for config.dt) ~t_prev
           ~dt:config.dt !x
       in
-      total_iters := !total_iters + outcome.Tqwm_num.Newton.iterations;
-      max_iters := max !max_iters outcome.Tqwm_num.Newton.iterations;
+      account outcome;
       if not outcome.Tqwm_num.Newton.converged then all_converged := false;
       incr accepted;
       x := outcome.Tqwm_num.Newton.x;
@@ -215,8 +237,7 @@ let simulate ~model ~config (scenario : Scenario.t) =
         let dt = Float.min dt (scenario.t_end -. t) in
         let caps = caps_at x in
         let outcome = implicit_step ctx ~config ~caps ~chord:(chord_for dt) ~t_prev:t ~dt x in
-        total_iters := !total_iters + outcome.Tqwm_num.Newton.iterations;
-        max_iters := max !max_iters outcome.Tqwm_num.Newton.iterations;
+        account outcome;
         let x_new = outcome.Tqwm_num.Newton.x in
         let f_prev = Mna.out_currents ctx ~time:t x in
         let err = ref 0.0 in
@@ -242,6 +263,11 @@ let simulate ~model ~config (scenario : Scenario.t) =
       end
     in
     advance 0.0 x0 config.dt);
+  Metrics.incr c_transients;
+  Metrics.add c_steps !accepted;
+  Metrics.add c_rejected !rejected;
+  Metrics.add c_newton !total_iters;
+  Metrics.add c_stalled !stalled;
   {
     times = Array.of_list (List.rev !times);
     voltages = Array.of_list (List.rev !voltages);
@@ -253,6 +279,7 @@ let simulate ~model ~config (scenario : Scenario.t) =
         rejected_steps = !rejected;
         nonlinear_iterations = !total_iters;
         max_step_iterations = !max_iters;
+        stalled_steps = !stalled;
         converged = !all_converged;
       };
   }

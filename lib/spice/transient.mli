@@ -45,6 +45,9 @@ type stats = {
   rejected_steps : int;  (** adaptive retries *)
   nonlinear_iterations : int;  (** summed over all attempts *)
   max_step_iterations : int;
+  stalled_steps : int;
+      (** steps whose Newton solve took the step-stall exit (see
+          {!Tqwm_num.Newton.outcome}); accepted at loosened tolerance *)
   converged : bool;  (** false if any accepted step hit the iteration cap *)
 }
 

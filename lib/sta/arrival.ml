@@ -1,5 +1,10 @@
 open Tqwm_circuit
 module Source = Tqwm_wave.Source
+module Metrics = Tqwm_obs.Metrics
+module Trace = Tqwm_obs.Trace
+module Json = Tqwm_obs.Json
+
+let c_stages_timed = Metrics.counter "sta.stages_timed"
 
 exception Analysis_failure of string
 
@@ -54,7 +59,7 @@ let slacks graph analysis ~clock_period =
   let worst_slack = Array.fold_left Float.min infinity slack in
   { required; slack; worst_slack }
 
-let evaluate_stage ~model ~config ~default_slew ?cache
+let evaluate_stage_inner ~model ~config ~default_slew ?cache
     (frozen : Timing_graph.frozen) timings id =
   let timing_exn id =
     match timings.(id) with
@@ -125,6 +130,33 @@ let evaluate_stage ~model ~config ~default_slew ?cache
     arrival_out = arrival_in +. delay;
     critical_fanin;
   }
+
+(* Per-stage delay/slew spans: one trace slice per stage evaluation,
+   labelled with the stage's scenario name and carrying the timing it
+   produced. The counter feeds the sequential-vs-parallel equality check
+   in the telemetry tests. *)
+let evaluate_stage ~model ~config ~default_slew ?cache
+    (frozen : Timing_graph.frozen) timings id =
+  Metrics.incr c_stages_timed;
+  if not (Trace.enabled ()) then
+    evaluate_stage_inner ~model ~config ~default_slew ?cache frozen timings id
+  else begin
+    let t0 = Trace.now () in
+    let t = evaluate_stage_inner ~model ~config ~default_slew ?cache frozen timings id in
+    Trace.complete
+      ~name:frozen.Timing_graph.scenarios.(id).Scenario.name ~cat:"sta.stage" ~ts:t0
+      ~dur:(Trace.now () -. t0)
+      ~args:
+        [
+          ("stage", Json.Int id);
+          ("arrival_in_ps", Json.Float (t.arrival_in *. 1e12));
+          ("delay_ps", Json.Float (t.delay *. 1e12));
+          ("slew_ps", Json.Float (t.slew *. 1e12));
+          ("arrival_out_ps", Json.Float (t.arrival_out *. 1e12));
+        ]
+      ();
+    t
+  end
 
 let analysis_of_timings timings =
   let worst =

@@ -1,3 +1,19 @@
+module Metrics = Tqwm_obs.Metrics
+module Trace = Tqwm_obs.Trace
+module Json = Tqwm_obs.Json
+
+let c_propagations = Metrics.counter "sta.parallel_propagations"
+let c_wait_ns = Metrics.counter "sta.ready_wait_ns"
+
+(* stages-per-domain balance: each worker contributes one observation *)
+let h_worker_stages =
+  Metrics.histogram "sta.stages_per_worker"
+    ~bounds:[| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0 |]
+
+let h_wait_us =
+  Metrics.histogram "sta.ready_wait_us_per_worker"
+    ~bounds:[| 1.0; 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0; 1_000_000.0 |]
+
 let default_domains () = Domain.recommended_domain_count ()
 
 (* Shared scheduler state. [remaining], [ready], [pending] and [failed]
@@ -16,29 +32,50 @@ type shared = {
 
 let worker ~eval (frozen : Timing_graph.frozen)
     (timings : Arrival.stage_timing option array) s =
+  let t_start = Trace.now () in
+  let stages_done = ref 0 in
+  let wait_seconds = ref 0.0 in
   let rec take () =
     (* called with the mutex held *)
     if s.failed <> None || s.pending = 0 then None
     else if Queue.is_empty s.ready then begin
+      let t0 = Trace.now () in
       Condition.wait s.cond s.mutex;
+      wait_seconds := !wait_seconds +. (Trace.now () -. t0);
       take ()
     end
     else Some (Queue.pop s.ready)
+  in
+  let retire () =
+    Metrics.observe h_worker_stages (float_of_int !stages_done);
+    Metrics.observe h_wait_us (!wait_seconds *. 1e6);
+    Metrics.add c_wait_ns (int_of_float (!wait_seconds *. 1e9));
+    Trace.complete ~name:"sta.worker" ~cat:"sta" ~ts:t_start
+      ~dur:(Trace.now () -. t_start)
+      ~args:
+        [
+          ("stages", Json.Int !stages_done);
+          ("ready_wait_ms", Json.Float (!wait_seconds *. 1e3));
+        ]
+      ()
   in
   let rec loop () =
     Mutex.lock s.mutex;
     match take () with
     | None ->
       Condition.broadcast s.cond;
-      Mutex.unlock s.mutex
+      Mutex.unlock s.mutex;
+      retire ()
     | Some id ->
       Mutex.unlock s.mutex;
+      incr stages_done;
       (match eval id with
       | exception e ->
         Mutex.lock s.mutex;
         if s.failed = None then s.failed <- Some e;
         Condition.broadcast s.cond;
-        Mutex.unlock s.mutex
+        Mutex.unlock s.mutex;
+        retire ()
       | t ->
         timings.(id) <- Some t;
         Mutex.lock s.mutex;
@@ -87,15 +124,19 @@ let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-1
     in
     Array.iter (fun i -> if s.remaining.(i) = 0 then Queue.push i s.ready)
       frozen.Timing_graph.order;
-    (* one worker team for the whole propagation — domains are spawned
-       once, not per level; readiness is tracked per stage, so a long
-       solve in one branch never stalls independent work elsewhere *)
-    let team =
-      Array.init (min (domains - 1) (max (n - 1) 0)) (fun _ ->
-          Domain.spawn (fun () -> worker ~eval frozen timings s))
-    in
-    worker ~eval frozen timings s;
-    Array.iter Domain.join team;
-    (match s.failed with Some e -> raise e | None -> ());
-    Arrival.analysis_of_timings (Array.map Option.get timings)
+    Metrics.incr c_propagations;
+    Trace.with_span ~name:"sta.propagate" ~cat:"sta"
+      ~args:[ ("domains", Json.Int domains); ("stages", Json.Int n) ]
+      (fun () ->
+        (* one worker team for the whole propagation — domains are spawned
+           once, not per level; readiness is tracked per stage, so a long
+           solve in one branch never stalls independent work elsewhere *)
+        let team =
+          Array.init (min (domains - 1) (max (n - 1) 0)) (fun _ ->
+              Domain.spawn (fun () -> worker ~eval frozen timings s))
+        in
+        worker ~eval frozen timings s;
+        Array.iter Domain.join team;
+        (match s.failed with Some e -> raise e | None -> ());
+        Arrival.analysis_of_timings (Array.map Option.get timings))
   end

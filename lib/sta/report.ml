@@ -24,3 +24,34 @@ let critical_path_string graph analysis =
     (List.map
        (fun id -> (Timing_graph.scenario graph id).Scenario.name)
        analysis.Arrival.critical_path)
+
+let to_json graph analysis =
+  let module Json = Tqwm_obs.Json in
+  let stage_json (t : Arrival.stage_timing) =
+    Json.Obj
+      [
+        ("id", Json.Int t.Arrival.id);
+        ("name", Json.String (Timing_graph.scenario graph t.Arrival.id).Scenario.name);
+        ("arrival_in_ps", Json.Float (ps t.Arrival.arrival_in));
+        ("delay_ps", Json.Float (ps t.Arrival.delay));
+        ("slew_ps", Json.Float (ps t.Arrival.slew));
+        ("arrival_out_ps", Json.Float (ps t.Arrival.arrival_out));
+        ( "critical_fanin",
+          match t.Arrival.critical_fanin with
+          | None -> Json.Null
+          | Some id -> Json.Int id );
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "tqwm-sta-report/1");
+      ( "stages",
+        Json.List (Array.to_list (Array.map stage_json analysis.Arrival.timings)) );
+      ( "critical_path",
+        Json.List
+          (List.map
+             (fun id ->
+               Json.String (Timing_graph.scenario graph id).Scenario.name)
+             analysis.Arrival.critical_path) );
+      ("worst_arrival_ps", Json.Float (ps analysis.Arrival.worst_arrival));
+    ]

@@ -6,3 +6,8 @@ val print : Format.formatter -> Timing_graph.t -> Arrival.analysis -> unit
 
 val critical_path_string : Timing_graph.t -> Arrival.analysis -> string
 (** "stageA -> stageB -> ..." *)
+
+val to_json : Timing_graph.t -> Arrival.analysis -> Tqwm_obs.Json.t
+(** Machine-readable analysis: per-stage timings (picoseconds), the
+    critical path as stage names, and the worst arrival — the document
+    written by [qwm_sim --sta ... --json FILE]. *)

@@ -1,11 +1,26 @@
 module Qwm = Tqwm_core.Qwm
+module Metrics = Tqwm_obs.Metrics
+
+(* Process-wide totals across every cache instance, exported through the
+   metrics registry; the per-instance atomics below remain for
+   instance-scoped [stats]. *)
+let c_hits = Metrics.counter "stage_cache.hits"
+let c_misses = Metrics.counter "stage_cache.misses"
 
 type stats = { hits : int; misses : int; entries : int }
 
+(* Single-flight slots: the first domain to request a key claims it and
+   solves; later requesters block on [cond] until the report lands. This
+   keeps the miss count deterministic (one miss per distinct stage, the
+   same number a sequential run reports) and never burns two domains on
+   the same solve. *)
+type slot = Ready of Qwm.report | In_flight
+
 type t = {
   slew_bucket : float;
-  table : (string, Qwm.report) Hashtbl.t;
+  table : (string, slot) Hashtbl.t;
   lock : Mutex.t;
+  cond : Condition.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
 }
@@ -16,6 +31,7 @@ let create ?(slew_bucket = 1e-12) () =
     slew_bucket;
     table = Hashtbl.create 256;
     lock = Mutex.create ();
+    cond = Condition.create ();
     hits = Atomic.make 0;
     misses = Atomic.make 0;
   }
@@ -38,29 +54,53 @@ let fingerprint ~model ~config scenario =
 
 let run t ~model ~config scenario =
   let key = fingerprint ~model ~config scenario in
-  let cached = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key) in
-  match cached with
-  | Some report ->
+  Mutex.lock t.lock;
+  let rec claim () =
+    match Hashtbl.find_opt t.table key with
+    | Some (Ready report) -> `Hit report
+    | Some In_flight ->
+      (* another domain is already solving this stage: wait for its
+         report rather than duplicating the solve *)
+      Condition.wait t.cond t.lock;
+      claim ()
+    | None ->
+      Hashtbl.replace t.table key In_flight;
+      `Solve
+  in
+  let claimed = claim () in
+  Mutex.unlock t.lock;
+  match claimed with
+  | `Hit report ->
     Atomic.incr t.hits;
+    Metrics.incr c_hits;
     report
-  | None ->
-    let report = Qwm.run ~model ~config scenario in
-    Atomic.incr t.misses;
-    Mutex.protect t.lock (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some first ->
-          (* another domain solved the same stage concurrently; keep the
-             first stored report so every caller shares one value *)
-          first
-        | None ->
-          Hashtbl.add t.table key report;
-          report)
+  | `Solve ->
+    (match Qwm.run ~model ~config scenario with
+    | exception e ->
+      (* release the claim so waiters retry instead of hanging *)
+      Mutex.lock t.lock;
+      Hashtbl.remove t.table key;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      raise e
+    | report ->
+      Atomic.incr t.misses;
+      Metrics.incr c_misses;
+      Mutex.lock t.lock;
+      Hashtbl.replace t.table key (Ready report);
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      report)
 
 let stats t =
   {
     hits = Atomic.get t.hits;
     misses = Atomic.get t.misses;
-    entries = Mutex.protect t.lock (fun () -> Hashtbl.length t.table);
+    entries =
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.fold
+            (fun _ slot n -> match slot with Ready _ -> n + 1 | In_flight -> n)
+            t.table 0);
   }
 
 let hit_rate t =
@@ -69,6 +109,9 @@ let hit_rate t =
   if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
 
 let clear t =
-  Mutex.protect t.lock (fun () -> Hashtbl.reset t.table);
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      (* any domain waiting on an in-flight slot re-claims and solves *)
+      Condition.broadcast t.cond);
   Atomic.set t.hits 0;
   Atomic.set t.misses 0

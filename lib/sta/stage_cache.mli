@@ -10,8 +10,18 @@
 
     Thread-safety: the table is mutex-protected and the counters are
     atomic, so one cache may be shared by all domains of the
-    {!Parallel} engine. Cached reports are immutable and safe to share
-    across domains. *)
+    {!Parallel} engine. Lookups are single-flight: the first domain to
+    request a key solves it while concurrent requesters for the same key
+    block until the report lands, so a stage is never solved twice and
+    the miss count is deterministic — a parallel run reports exactly the
+    misses (one per distinct stage) of the sequential run. Cached
+    reports are immutable and safe to share across domains.
+
+    Telemetry: hits and misses are additionally accumulated across all
+    cache instances in the global {!Tqwm_obs.Metrics} registry as
+    [stage_cache.hits] / [stage_cache.misses], so metrics snapshots
+    ([qwm_sim --metrics]) carry cache effectiveness without a handle on
+    the cache value itself. *)
 
 type t
 

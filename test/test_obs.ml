@@ -1,0 +1,227 @@
+(* Tests for the observability library (Tqwm_obs) and its wiring into
+   the engines: exact histogram bucketing, JSON round-trips, trace
+   document shape, the Newton [stalled] flag, and — the load-bearing
+   property — solver counters identical between a sequential and a
+   4-domain parallel STA run of the same workload. *)
+
+open Tqwm_device
+module Json = Tqwm_obs.Json
+module Metrics = Tqwm_obs.Metrics
+module Trace = Tqwm_obs.Trace
+module Newton = Tqwm_num.Newton
+module Parallel = Tqwm_sta.Parallel
+module Stage_cache = Tqwm_sta.Stage_cache
+module Timing_graph = Tqwm_sta.Timing_graph
+module Workloads = Tqwm_sta.Workloads
+
+let tech = Tech.cmosp35
+
+let table = lazy (Models.table tech)
+
+(* ---------- JSON ---------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("tiny", Json.Float 1.25e-12);
+        ("string", Json.String "a\"b\\c\n\t\x01z");
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+      ]
+  in
+  Alcotest.(check bool)
+    "round-trip" true
+    (Json.of_string (Json.to_string doc) = doc);
+  (* non-finite floats must degrade to null, keeping the document valid *)
+  Alcotest.(check string)
+    "nan -> null" "[null,null,null]"
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity; Json.Float neg_infinity ]));
+  Alcotest.check_raises "trailing garbage rejected"
+    (Json.Parse_error "at offset 2: trailing garbage") (fun () ->
+      ignore (Json.of_string "{}x"))
+
+(* ---------- metrics ---------- *)
+
+let test_counter_registry () =
+  let a = Metrics.counter "test_obs.counter" in
+  let b = Metrics.counter "test_obs.counter" in
+  Metrics.incr a;
+  Metrics.add b 2;
+  Alcotest.(check int) "same cell" 3 (Metrics.value a);
+  Alcotest.(check (option int))
+    "visible by name" (Some 3)
+    (Metrics.find_counter "test_obs.counter");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.histogram: test_obs.counter is a counter")
+    (fun () -> ignore (Metrics.histogram "test_obs.counter" ~bounds:[| 1.0 |]))
+
+let test_histogram_boundaries () =
+  (* bucket i counts bounds.(i-1) < v <= bounds.(i); overflow last *)
+  let h = Metrics.histogram "test_obs.hist" ~bounds:[| 1.0; 2.0; 5.0 |] in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 2.5; 5.0; 6.0 ];
+  Alcotest.(check (array int))
+    "boundary values land in the lower bucket" [| 2; 2; 2; 1 |]
+    (Metrics.histogram_counts h);
+  Alcotest.(check int) "total" 7 (Metrics.histogram_total h);
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Metrics.histogram: bounds not strictly increasing")
+    (fun () -> ignore (Metrics.histogram "test_obs.bad" ~bounds:[| 1.0; 1.0 |]))
+
+let test_metrics_snapshot_parses () =
+  let c = Metrics.counter "test_obs.snap" in
+  Metrics.incr c;
+  let doc = Json.of_string (Json.to_string (Metrics.snapshot ())) in
+  let counters = Option.get (Json.member "counters" doc) in
+  Alcotest.(check bool)
+    "snapshot JSON round-trips with the counter present" true
+    (Json.member "test_obs.snap" counters = Some (Json.Int (Metrics.value c)));
+  match Json.member "histograms" doc with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "snapshot has no histograms object"
+
+(* ---------- trace sink ---------- *)
+
+let test_trace_document () =
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Trace.with_span ~name:"outer" ~cat:"test" (fun () ->
+          Trace.instant ~name:"tick" ~cat:"test"
+            ~args:[ ("k", Json.Int 7) ] ());
+      let doc = Json.of_string (Json.to_string (Trace.to_json ())) in
+      let events =
+        Option.get (Json.to_list_opt (Option.get (Json.member "traceEvents" doc)))
+      in
+      Alcotest.(check int) "two events" 2 (List.length events);
+      let phases =
+        List.filter_map (fun e -> Json.member "ph" e) events |> List.sort compare
+      in
+      Alcotest.(check bool)
+        "one complete span and one instant" true
+        (phases = [ Json.String "X"; Json.String "i" ]);
+      List.iter
+        (fun e ->
+          List.iter
+            (fun field ->
+              if Json.member field e = None then
+                Alcotest.failf "event lacks %S" field)
+            [ "name"; "cat"; "ts"; "pid"; "tid" ])
+        events)
+
+let test_trace_disabled_is_silent () =
+  Trace.disable ();
+  Trace.instant ~name:"dropped" ~cat:"test" ();
+  let r = Trace.with_span ~name:"dropped" ~cat:"test" (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk still runs" 42 r;
+  Alcotest.(check bool)
+    "no buffered events" true
+    (Json.member "traceEvents" (Trace.to_json ()) = Some (Json.List []))
+
+(* ---------- Newton stalled flag ---------- *)
+
+let test_newton_stalled () =
+  (* residual pinned high while the proposed step is microscopic: the
+     solver must take the step-stall exit and flag it *)
+  let stuck =
+    Newton.solve
+      {
+        Newton.residual = (fun _ -> [| 1.0 |]);
+        solve_linearized = (fun _ _ -> [| 1e-20 |]);
+      }
+      [| 0.0 |]
+  in
+  Alcotest.(check bool) "stalled" true stuck.Newton.stalled;
+  Alcotest.(check bool) "not converged" false stuck.Newton.converged;
+  (* a healthy linear solve converges without the flag *)
+  let ok =
+    Newton.solve
+      {
+        Newton.residual = (fun x -> [| x.(0) -. 2.0 |]);
+        solve_linearized = (fun x f -> [| f.(0) /. 1.0 |] |> fun d -> ignore x; d);
+      }
+      [| 0.0 |]
+  in
+  Alcotest.(check bool) "converged" true ok.Newton.converged;
+  Alcotest.(check bool) "not stalled" false ok.Newton.stalled
+
+(* ---------- sequential vs parallel counter equality ---------- *)
+
+let solver_counters () =
+  List.filter_map
+    (fun name -> Option.map (fun v -> (name, v)) (Metrics.find_counter name))
+    [
+      "qwm.solves";
+      "qwm.regions";
+      "qwm.turn_ons";
+      "qwm.newton_iterations";
+      "qwm.linear_solves";
+      "qwm.bisections";
+      "qwm.failures";
+      "sta.stages_timed";
+      "stage_cache.hits";
+      "stage_cache.misses";
+    ]
+
+let run_and_snapshot ~domains graph =
+  Metrics.reset ();
+  let cache = Stage_cache.create () in
+  let (_ : Tqwm_sta.Arrival.analysis) =
+    Parallel.propagate ~model:(Lazy.force table) ~cache ~domains graph
+  in
+  solver_counters ()
+
+let test_counters_seq_eq_par () =
+  let graph = Workloads.decoder_tree ~fanout:3 ~depth:2 tech in
+  ignore (Timing_graph.freeze graph);
+  let seq = run_and_snapshot ~domains:1 graph in
+  let par = run_and_snapshot ~domains:4 graph in
+  List.iter2
+    (fun (name, s) (name', p) ->
+      Alcotest.(check string) "same counter" name name';
+      if s <> p then
+        Alcotest.failf "%s: sequential %d vs 4-domain %d" name s p)
+    seq par;
+  (* the comparison must not be vacuous *)
+  List.iter
+    (fun name ->
+      match List.assoc_opt name seq with
+      | Some v when v > 0 -> ()
+      | Some v -> Alcotest.failf "%s unexpectedly %d" name v
+      | None -> Alcotest.failf "%s not registered" name)
+    [ "qwm.regions"; "qwm.newton_iterations"; "sta.stages_timed"; "stage_cache.misses" ];
+  (* single-flight cache: one miss per distinct stage in both modes *)
+  Alcotest.(check (option int))
+    "hits + misses = stages"
+    (Some (Timing_graph.num_stages graph))
+    (match (List.assoc_opt "stage_cache.hits" seq, List.assoc_opt "stage_cache.misses" seq) with
+    | Some h, Some m -> Some (h + m)
+    | _ -> None)
+
+let () =
+  Alcotest.run "tqwm_obs"
+    [
+      ( "json",
+        [ Alcotest.test_case "round-trip and errors" `Quick test_json_roundtrip ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter registry" `Quick test_counter_registry;
+          Alcotest.test_case "histogram boundaries" `Quick test_histogram_boundaries;
+          Alcotest.test_case "snapshot parses" `Quick test_metrics_snapshot_parses;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "document shape" `Quick test_trace_document;
+          Alcotest.test_case "disabled is silent" `Quick test_trace_disabled_is_silent;
+        ] );
+      ( "newton",
+        [ Alcotest.test_case "stalled flag" `Quick test_newton_stalled ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "sequential vs parallel counters" `Slow
+            test_counters_seq_eq_par;
+        ] );
+    ]
