@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --table I
      dune exec bench/main.exe -- --table II
      dune exec bench/main.exe -- --table parallel
+     dune exec bench/main.exe -- --table incr [--smoke]
      dune exec bench/main.exe -- --figure 5|7|8|9|10
      dune exec bench/main.exe -- --table ablation-linsolve
      dune exec bench/main.exe -- --table ablation-sc
@@ -520,6 +521,101 @@ let sta_parallel ?(smoke = false) () =
       ("metrics", Metrics.snapshot ());
     ]
 
+(* ---------- Incremental STA: full re-propagation vs edit-driven refresh ---------- *)
+
+module Edit = Tqwm_incr.Edit
+module Session = Tqwm_incr.Session
+
+let counter_value name =
+  Option.value (List.assoc_opt name (Metrics.counters_alist ())) ~default:0
+
+let sta_incr ?(smoke = false) () =
+  let model = Lazy.force table_model in
+  let fanout, depth = if smoke then (3, 2) else (4, 4) in
+  let graph = Workloads.decoder_tree ~fanout ~depth tech in
+  let n = Timing_graph.num_stages graph in
+  let edits = if smoke then 8 else 30 in
+  Printf.printf
+    "\n=== Incremental STA: decoder tree (fan-out %d, depth %d, %d stages), %d random \
+     single-stage edits ===\n"
+    fanout depth n edits;
+  let cache = Stage_cache.create () in
+  let session = Session.create ~model ~cache graph in
+  ignore (Session.analysis session);
+  (* the oracle keeps its own equally-warm cache: after each edit both
+     sides pay the same fresh solves for the affected cone, and the
+     measured difference is the full propagation's visit to every other
+     stage (cache lookups included) that the incremental engine skips *)
+  let scratch_cache = Stage_cache.create () in
+  ignore (Session.scratch_analysis ~cache:scratch_cache session);
+  let rng = Random.State.make [| 2003 |] in
+  let t_incr = ref 0.0 and t_full = ref 0.0 and reeval = ref 0 in
+  let identical = ref true in
+  for _ = 1 to edits do
+    let stage = Random.State.int rng n in
+    let scenario = Timing_graph.scenario graph stage in
+    let edge = Random.State.int rng (Array.length scenario.Scenario.stage.Stage.edges) in
+    let scale = 0.6 +. Random.State.float rng 1.2 in
+    ignore (Session.apply session (Edit.Resize_device { stage; edge; scale }));
+    let t0 = Unix.gettimeofday () in
+    reeval := !reeval + Session.recompute session;
+    let t1 = Unix.gettimeofday () in
+    let scratch = Session.scratch_analysis ~cache:scratch_cache session in
+    let t2 = Unix.gettimeofday () in
+    t_incr := !t_incr +. (t1 -. t0);
+    t_full := !t_full +. (t2 -. t1);
+    if not (same_analysis (Session.analysis session) scratch) then identical := false
+  done;
+  let frac = float_of_int !reeval /. float_of_int (edits * n) in
+  Printf.printf
+    "full   %8.2f ms/edit   (every one of %d stages re-timed)\n"
+    (!t_full /. float_of_int edits *. 1e3) n;
+  Printf.printf
+    "incr   %8.2f ms/edit   (avg %.1f stages re-timed = %.1f%% of the graph)\n"
+    (!t_incr /. float_of_int edits *. 1e3)
+    (float_of_int !reeval /. float_of_int edits)
+    (100.0 *. frac);
+  Printf.printf "speedup %7.1fx         identical to from-scratch: %s\n"
+    (!t_full /. !t_incr)
+    (if !identical then "yes" else "NO");
+  (* a timing-neutral edit (scale 1.0) must die at the edited stage: one
+     re-evaluation, one cutoff hit on the Tqwm_obs counter *)
+  let cutoff0 = counter_value "incr.cutoff_hits" in
+  ignore (Session.apply session (Edit.Resize_device { stage = 0; edge = 0; scale = 1.0 }));
+  let neutral_reeval = Session.recompute session in
+  let cutoff_delta = counter_value "incr.cutoff_hits" - cutoff0 in
+  Printf.printf "cutoff: neutral edit re-timed %d stage (%d cutoff hit)\n" neutral_reeval
+    cutoff_delta;
+  assert (neutral_reeval = 1 && cutoff_delta = 1);
+  assert (frac < 0.20);
+  assert !identical;
+  Json.Obj
+    [
+      ("schema", Json.String "tqwm-bench-incr/1");
+      ("smoke", Json.Bool smoke);
+      ( "workload",
+        Json.Obj
+          [
+            ("name", Json.String "decoder-tree");
+            ("fanout", Json.Int fanout);
+            ("depth", Json.Int depth);
+            ("stages", Json.Int n);
+          ] );
+      ("edits", Json.Int edits);
+      ("full_ms_per_edit", Json.Float (!t_full /. float_of_int edits *. 1e3));
+      ("incr_ms_per_edit", Json.Float (!t_incr /. float_of_int edits *. 1e3));
+      ("speedup", Json.Float (!t_full /. !t_incr));
+      ("stages_reeval_avg", Json.Float (float_of_int !reeval /. float_of_int edits));
+      ("reeval_fraction", Json.Float frac);
+      ("identical", Json.Bool !identical);
+      ( "cutoff",
+        Json.Obj
+          [
+            ("neutral_edit_reeval", Json.Int neutral_reeval);
+            ("cutoff_hits", Json.Int cutoff_delta);
+          ] );
+    ]
+
 let smoke () =
   (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
   let scenario = Scenario.nand_falling ~n:2 tech in
@@ -533,20 +629,50 @@ let smoke () =
   | (Some _ | None), _ -> failwith "smoke: missing delay");
   sta_parallel ~smoke:true ()
 
-(* Write the parallel-table JSON document produced by [sta_parallel] when
-   the invocation carried [--json FILE]; experiments without a
-   machine-readable form ignore the flag with a note. *)
+(* Append the JSON document produced by a machine-readable experiment to
+   the file named by [--json FILE]. The file holds a JSON array of dated
+   run records — a trajectory, one element per invocation — so repeated
+   runs accumulate instead of overwriting; a pre-existing single-object
+   file (the old overwrite format) becomes the array's first element. *)
 let write_json json_path doc =
   match json_path with
   | None -> ()
   | Some path ->
     (match doc with
     | Some doc ->
-      Json.write_file path doc;
-      Printf.printf "bench: wrote JSON results to %s\n" path
+      let date =
+        let tm = Unix.gmtime (Unix.gettimeofday ()) in
+        Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+          tm.Unix.tm_sec
+      in
+      let record =
+        match doc with
+        | Json.Obj fields -> Json.Obj (("date", Json.String date) :: fields)
+        | other -> other
+      in
+      let history =
+        if not (Sys.file_exists path) then []
+        else
+          let ic = open_in path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Json.of_string text with
+          | Json.List records -> records
+          | single -> [ single ]
+          | exception Json.Parse_error _ ->
+            Printf.eprintf "bench: %s is not JSON; starting a fresh history\n" path;
+            []
+      in
+      let history = history @ [ record ] in
+      Json.write_file path (Json.List history);
+      Printf.printf "bench: appended JSON results to %s (%d run record%s)\n" path
+        (List.length history)
+        (if List.length history = 1 then "" else "s")
     | None ->
       Printf.eprintf
-        "bench: --json is only produced by --table parallel and --smoke; ignoring\n")
+        "bench: --json is only produced by --table parallel, --table incr and --smoke; \
+         ignoring\n")
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
@@ -612,6 +738,7 @@ let all () =
   ablation_grid ();
   ablation_waveform ();
   ignore (sta_parallel ());
+  ignore (sta_incr ());
   bechamel ()
 
 let () =
@@ -631,6 +758,7 @@ let () =
     | _ :: "--table" :: "I" :: _ -> table1 (); None
     | _ :: "--table" :: "II" :: _ -> table2 (); None
     | _ :: "--table" :: "parallel" :: _ -> Some (sta_parallel ())
+    | _ :: "--table" :: "incr" :: rest -> Some (sta_incr ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--smoke" :: _ -> Some (smoke ())
     | _ :: "--table" :: "ablation-linsolve" :: _ -> ablation_linsolve (); None
     | _ :: "--table" :: "ablation-sc" :: _ -> ablation_sc (); None
@@ -645,7 +773,7 @@ let () =
     | [ _ ] -> all (); None
     | _ :: _ :: _ | [] ->
       prerr_endline
-        "usage: main.exe [--table I|II|parallel|ablation-linsolve|ablation-sc|ablation-grid] \
+        "usage: main.exe [--table I|II|parallel|incr|ablation-linsolve|ablation-sc|ablation-grid] \
          [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE]";
       exit 1
   in

@@ -93,6 +93,33 @@ let run_sta ~tech ~depth ~fanout ~domains ~use_cache ~json_file scenario =
     Printf.printf "sta: wrote JSON report to %s\n" path);
   0
 
+(* --incr: drive an incremental session from an edit/query script *)
+let run_incr ~tech ~domains ~use_cache ~scratch ~epsilon_ps ~json_file path =
+  let model = Models.table tech in
+  let mode = if scratch then Tqwm_incr.Script.Scratch else Tqwm_incr.Script.Incremental in
+  match
+    Tqwm_incr.Script.run_file ~tech ~model ~use_cache ~domains
+      ~epsilon:(epsilon_ps *. 1e-12) ~mode path
+  with
+  | exception Tqwm_incr.Script.Script_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" path line message;
+    1
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | outcome ->
+    let stats = Tqwm_incr.Session.stats outcome.Tqwm_incr.Script.session in
+    Printf.printf
+      "incr: %d edits, %d recomputes, %d stages re-evaluated, %d cutoff hits\n"
+      stats.Tqwm_incr.Session.edits stats.Tqwm_incr.Session.recomputes
+      stats.Tqwm_incr.Session.stages_reeval stats.Tqwm_incr.Session.cutoff_hits;
+    (match json_file with
+    | None -> ()
+    | Some out ->
+      Json.write_file out outcome.Tqwm_incr.Script.json;
+      Printf.printf "incr: wrote JSON report to %s\n" out);
+    0
+
 (* --partition: parse a netlist deck and report its logic stages *)
 let partition_netlist path =
   let tech = Tech.cmosp35 in
@@ -123,10 +150,16 @@ let partition_netlist path =
       extraction.Ccc.instances;
     0
 
-let run_main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
-    domains no_cache json_file =
+let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
+    epsilon_ps sta_depth sta_fanout domains no_cache json_file =
   match partition with
   | Some path -> partition_netlist path
+  | None ->
+  match incr_script with
+  | Some path ->
+    run_incr ~tech:Tech.cmosp35
+      ~domains:(Option.value domains ~default:1)
+      ~use_cache:(not no_cache) ~scratch ~epsilon_ps ~json_file path
   | None ->
   let tech = Tech.cmosp35 in
   match Catalog.scenario tech circuit with
@@ -166,12 +199,13 @@ let run_main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanou
       | (Some _ | None), _ -> ()));
     0
 
-let main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
-    domains no_cache json_file trace_file metrics_file =
+let main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
+    epsilon_ps sta_depth sta_fanout domains no_cache json_file trace_file
+    metrics_file =
   if trace_file <> None then Trace.enable ();
   let code =
-    run_main circuit engine dt_ps waveform ramp_ps partition sta_depth sta_fanout
-      domains no_cache json_file
+    run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
+      epsilon_ps sta_depth sta_fanout domains no_cache json_file
   in
   (match trace_file with
   | None -> ()
@@ -214,6 +248,18 @@ let partition =
   let doc = "Parse a SPICE-flavoured netlist file and print its channel-connected logic stages instead of simulating." in
   Arg.(value & opt (some file) None & info [ "p"; "partition" ] ~docv:"FILE" ~doc)
 
+let incr_script =
+  let doc = "Run an incremental STA session from the edit/query command file $(docv) (commands: graph, stage, connect, disconnect, remove, resize, load, swap, retime, report, query). With --json, writes the final analysis and session stats." in
+  Arg.(value & opt (some file) None & info [ "incr" ] ~docv:"SCRIPT" ~doc)
+
+let scratch =
+  let doc = "In --incr mode, compute every report from scratch instead of incrementally (the oracle the incremental engine is checked against)." in
+  Arg.(value & flag & info [ "scratch" ] ~doc)
+
+let epsilon_ps =
+  let doc = "In --incr mode, early-cutoff tolerance in picoseconds on per-stage arrival and slew (0 = exact, bit-identical to from-scratch)." in
+  Arg.(value & opt float 0.0 & info [ "epsilon" ] ~docv:"PS" ~doc)
+
 let sta_depth =
   let doc = "Instead of a single solve, run static timing analysis over a fan-out tree of DEPTH levels of copies of the circuit." in
   Arg.(value & opt (some int) None & info [ "sta" ] ~docv:"DEPTH" ~doc)
@@ -247,7 +293,8 @@ let cmd =
   Cmd.v
     (Cmd.info "qwm_sim" ~version:"1.0.0" ~doc)
     Term.(
-      const main $ circuit $ engine $ dt $ waveform $ ramp $ partition $ sta_depth
-      $ sta_fanout $ domains $ no_cache $ json_file $ trace_file $ metrics_file)
+      const main $ circuit $ engine $ dt $ waveform $ ramp $ partition
+      $ incr_script $ scratch $ epsilon_ps $ sta_depth $ sta_fanout $ domains
+      $ no_cache $ json_file $ trace_file $ metrics_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -90,11 +90,26 @@ let parse_string (tech : Tqwm_device.Tech.t) text =
     | [ n; value ] -> Netlist.add_load b (node line n) (si_value line value)
     | _ -> fail line "capacitor card needs: node value"
   in
+  (* ports named only by a directive and never touched by an element are
+     dangling — report them at the directive's line once parsing is done *)
+  let ports = ref [] in
+  let port line name n = ports := (line, name, n) :: !ports in
   let directive line keyword args =
     match (keyword, args) with
-    | ".input", _ :: _ -> List.iter (fun n -> Netlist.mark_primary_input b (node line n)) args
+    | ".input", _ :: _ ->
+      List.iter
+        (fun name ->
+          let n = node line name in
+          port line name n;
+          Netlist.mark_primary_input b n)
+        args
     | ".output", _ :: _ ->
-      List.iter (fun n -> Netlist.mark_primary_output b (node line n)) args
+      List.iter
+        (fun name ->
+          let n = node line name in
+          port line name n;
+          Netlist.mark_primary_output b n)
+        args
     | ".end", _ -> ()
     | (".input" | ".output"), [] -> fail line (keyword ^ " needs at least one node")
     | _, _ -> fail line (Printf.sprintf "unknown directive %S" keyword)
@@ -125,7 +140,19 @@ let parse_string (tech : Tqwm_device.Tech.t) text =
       end
   in
   String.split_on_char '\n' text |> List.iteri handle_line;
-  Netlist.finish b
+  let net = Netlist.finish b in
+  List.iter
+    (fun (line, name, n) ->
+      let touched =
+        Array.exists
+          (fun (e : Netlist.element) ->
+            e.Netlist.gate = Some n || e.Netlist.src = n || e.Netlist.snk = n)
+          net.Netlist.elements
+      in
+      if not touched then
+        fail line (Printf.sprintf "dangling port node %S: not connected to any element" name))
+    (List.rev !ports);
+  net
 
 let parse_file tech path =
   let ic = open_in path in

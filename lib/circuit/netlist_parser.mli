@@ -27,7 +27,10 @@
 exception Parse_error of { line : int; message : string }
 
 val parse_string : Tqwm_device.Tech.t -> string -> Netlist.t
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input — a card with the wrong shape,
+    an unknown card or transistor type, a bad number, or a [.input] /
+    [.output] port node no element touches (dangling), reported at the
+    declaring directive's line. *)
 
 val parse_file : Tqwm_device.Tech.t -> string -> Netlist.t
 (** @raise Parse_error, [Sys_error]. *)

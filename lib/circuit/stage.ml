@@ -84,6 +84,26 @@ let finish b =
     node_names = Array.of_list (List.rev b.names);
   }
 
+let with_device t i device =
+  if i < 0 || i >= Array.length t.edges then
+    invalid_arg "Stage.with_device: unknown edge";
+  let edge = t.edges.(i) in
+  (match (device.Device.kind, edge.gate) with
+  | (Device.Nmos | Device.Pmos), None ->
+    invalid_arg "Stage.with_device: transistor device on a wire edge"
+  | Device.Wire, Some _ -> invalid_arg "Stage.with_device: wire device on a gated edge"
+  | (Device.Nmos | Device.Pmos), Some _ | Device.Wire, None -> ());
+  let edges = Array.copy t.edges in
+  edges.(i) <- { edge with device };
+  { t with edges }
+
+let with_load t node c =
+  if node < 0 || node >= t.num_nodes then invalid_arg "Stage.with_load: unknown node";
+  if c < 0.0 then invalid_arg "Stage.with_load: negative capacitance";
+  let loads = Array.copy t.loads in
+  loads.(node) <- c;
+  { t with loads }
+
 let inputs t =
   let seen = Hashtbl.create 8 in
   Array.fold_left

@@ -49,6 +49,23 @@ val mark_output : builder -> node -> unit
 val finish : builder -> t
 (** @raise Invalid_argument on dangling node references. *)
 
+(** {2 Functional updates}
+
+    ECO-style edits: a stage is immutable once built, so in-place tuning
+    (device sizing loops, load perturbations, incremental timing) goes
+    through copying updates that leave the original untouched. *)
+
+val with_device : t -> int -> Tqwm_device.Device.t -> t
+(** [with_device t i d] is [t] with edge [i]'s device replaced by [d]
+    (terminals and gate input kept).
+    @raise Invalid_argument on an unknown edge index or when the
+    replacement changes the edge's class (transistor vs wire). *)
+
+val with_load : t -> node -> float -> t
+(** [with_load t n c] is [t] with the external load at node [n] {e set}
+    (not accumulated) to [c] farads.
+    @raise Invalid_argument on an unknown node or a negative value. *)
+
 (** {2 Queries} *)
 
 val inputs : t -> string list

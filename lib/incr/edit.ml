@@ -1,0 +1,52 @@
+open Tqwm_circuit
+module Timing_graph = Tqwm_sta.Timing_graph
+
+type t =
+  | Resize_device of { stage : Timing_graph.stage_id; edge : int; scale : float }
+  | Set_load of { stage : Timing_graph.stage_id; load : float }
+  | Swap_scenario of { stage : Timing_graph.stage_id; scenario : Scenario.t }
+  | Add_stage of Scenario.t
+  | Remove_stage of Timing_graph.stage_id
+  | Connect of {
+      from_stage : Timing_graph.stage_id;
+      to_stage : Timing_graph.stage_id;
+      input : string;
+    }
+  | Disconnect of {
+      from_stage : Timing_graph.stage_id;
+      to_stage : Timing_graph.stage_id;
+      input : string;
+    }
+  | Retime_input of { stage : Timing_graph.stage_id; arrival : float; slew : float }
+
+let resize_device ~edge ~scale (scenario : Scenario.t) =
+  if not (Float.is_finite scale) || scale <= 0.0 then
+    invalid_arg "Edit.resize_device: scale must be positive";
+  let stage = scenario.Scenario.stage in
+  if edge < 0 || edge >= Array.length stage.Tqwm_circuit.Stage.edges then
+    invalid_arg "Edit.resize_device: unknown edge";
+  let device = stage.Tqwm_circuit.Stage.edges.(edge).Tqwm_circuit.Stage.device in
+  let device = { device with Tqwm_device.Device.w = device.Tqwm_device.Device.w *. scale } in
+  { scenario with Scenario.stage = Stage.with_device stage edge device }
+
+let set_output_load ~load (scenario : Scenario.t) =
+  { scenario with
+    Scenario.stage = Stage.with_load scenario.Scenario.stage scenario.Scenario.output load
+  }
+
+let describe = function
+  | Resize_device { stage; edge; scale } ->
+    Printf.sprintf "resize stage %d edge %d by %gx" stage edge scale
+  | Set_load { stage; load } ->
+    Printf.sprintf "load stage %d = %g fF" stage (load *. 1e15)
+  | Swap_scenario { stage; scenario } ->
+    Printf.sprintf "swap stage %d -> %s" stage scenario.Scenario.name
+  | Add_stage scenario -> Printf.sprintf "add stage %s" scenario.Scenario.name
+  | Remove_stage stage -> Printf.sprintf "remove stage %d" stage
+  | Connect { from_stage; to_stage; input } ->
+    Printf.sprintf "connect %d -> %d.%s" from_stage to_stage input
+  | Disconnect { from_stage; to_stage; input } ->
+    Printf.sprintf "disconnect %d -> %d.%s" from_stage to_stage input
+  | Retime_input { stage; arrival; slew } ->
+    Printf.sprintf "retime stage %d arrival %.2f ps slew %.2f ps" stage (arrival *. 1e12)
+      (slew *. 1e12)

@@ -1,0 +1,51 @@
+(** ECO-style edit operations over a timing graph.
+
+    Each constructor is one atomic netlist or environment change a
+    {!Session} can apply and re-time incrementally: device sizing, load
+    perturbation, scenario swap, topology surgery and primary-input
+    retiming. Time-valued fields are in seconds. *)
+
+module Timing_graph = Tqwm_sta.Timing_graph
+
+type t =
+  | Resize_device of { stage : Timing_graph.stage_id; edge : int; scale : float }
+      (** Multiply the width of one stage edge's device by [scale]. *)
+  | Set_load of { stage : Timing_graph.stage_id; load : float }
+      (** Set the external load at the stage's observed output, farads. *)
+  | Swap_scenario of { stage : Timing_graph.stage_id; scenario : Tqwm_circuit.Scenario.t }
+      (** Replace a stage's scenario wholesale (must keep every input
+          name that fanin edges drive). *)
+  | Add_stage of Tqwm_circuit.Scenario.t
+      (** Append a new stage; {!Session.apply} returns its id. *)
+  | Remove_stage of Timing_graph.stage_id
+      (** Detach the stage: every incident connection is removed. Stage
+          ids are stable, so the slot itself survives as an isolated
+          primary-input stage (it keeps being timed, but no longer
+          influences — or is influenced by — the rest of the graph). *)
+  | Connect of {
+      from_stage : Timing_graph.stage_id;
+      to_stage : Timing_graph.stage_id;
+      input : string;
+    }
+  | Disconnect of {
+      from_stage : Timing_graph.stage_id;
+      to_stage : Timing_graph.stage_id;
+      input : string;
+    }
+  | Retime_input of { stage : Timing_graph.stage_id; arrival : float; slew : float }
+      (** Override a primary input's arrival time and transition time
+          (see {!Tqwm_sta.Arrival.pi_timing}; [slew <= 0] keeps the
+          scenario's own source shapes). *)
+
+(** {2 Scenario rewriting} *)
+
+val resize_device : edge:int -> scale:float -> Tqwm_circuit.Scenario.t -> Tqwm_circuit.Scenario.t
+(** Functional form of {!Resize_device} on a scenario.
+    @raise Invalid_argument on a non-positive scale or unknown edge. *)
+
+val set_output_load : load:float -> Tqwm_circuit.Scenario.t -> Tqwm_circuit.Scenario.t
+(** Functional form of {!Set_load} on a scenario.
+    @raise Invalid_argument on a negative load. *)
+
+val describe : t -> string
+(** One-line human description (times printed in picoseconds). *)

@@ -1,0 +1,215 @@
+open Tqwm_circuit
+module Timing_graph = Tqwm_sta.Timing_graph
+module Arrival = Tqwm_sta.Arrival
+module Stage_cache = Tqwm_sta.Stage_cache
+module Workloads = Tqwm_sta.Workloads
+module Report = Tqwm_sta.Report
+module Json = Tqwm_obs.Json
+
+exception Script_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Script_error { line; message })) fmt
+
+type mode = Incremental | Scratch
+
+type outcome = { session : Session.t; json : Json.t }
+
+let ps = 1e12
+
+let int_arg line what token =
+  match int_of_string_opt token with
+  | Some v -> v
+  | None -> fail line "%s: expected an integer, got %S" what token
+
+let float_arg line what token =
+  match float_of_string_opt token with
+  | Some v -> v
+  | None -> fail line "%s: expected a number, got %S" what token
+
+let catalog_scenario tech line name =
+  match Catalog.scenario tech name with
+  | scenario -> scenario
+  | exception Not_found ->
+    fail line "unknown circuit %S; examples: %s" name (String.concat ", " Catalog.examples)
+
+let build_graph tech line = function
+  | [ "chain"; n ] -> Workloads.chain ~n:(int_arg line "chain" n) tech
+  | [ "diamond" ] -> Workloads.diamond tech
+  | [ "decoder"; fanout; depth ] | [ "decoder"; fanout; depth; _ ] as args ->
+    let levels =
+      match args with [ _; _; _; l ] -> int_arg line "decoder levels" l | _ -> 2
+    in
+    Workloads.decoder_tree
+      ~fanout:(int_arg line "decoder fanout" fanout)
+      ~depth:(int_arg line "decoder depth" depth)
+      ~levels tech
+  | [ "stacks"; width; depth ] | [ "stacks"; width; depth; _ ] as args ->
+    let seed = match args with [ _; _; _; s ] -> int_arg line "stacks seed" s | _ -> 0 in
+    Workloads.random_stacks
+      ~width:(int_arg line "stacks width" width)
+      ~depth:(int_arg line "stacks depth" depth)
+      ~seed tech
+  | args ->
+    fail line
+      "graph: expected chain N | diamond | decoder FANOUT DEPTH [LEVELS] | stacks WIDTH \
+       DEPTH [SEED], got %S"
+      (String.concat " " args)
+
+let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
+    ?(mode = Incremental) ?(out = Format.std_formatter) text =
+  let cache = if use_cache then Some (Stage_cache.create ()) else None in
+  let session = ref None in
+  let reports = ref 0 in
+  (* the session is created by the first command: [graph] seeds it with a
+     workload, anything else starts from an empty graph *)
+  let the_session line =
+    match !session with
+    | Some s -> s
+    | None ->
+      let s =
+        Session.create ~model ?cache ~domains ~epsilon (Timing_graph.create ())
+      in
+      ignore line;
+      session := Some s;
+      s
+  in
+  let current_analysis s =
+    match mode with
+    | Incremental -> Session.analysis s
+    | Scratch -> Session.scratch_analysis s
+  in
+  let edit line s e =
+    match Session.apply s e with
+    | added ->
+      (match added with
+      | Some id -> Format.fprintf out "stage %d: %s@." id (Edit.describe e)
+      | None -> Format.fprintf out "edit: %s@." (Edit.describe e))
+    | exception Invalid_argument message -> fail line "%s" message
+  in
+  let command line tokens =
+    match tokens with
+    | [] -> ()
+    | "graph" :: spec ->
+      if !session <> None then fail line "graph must be the first command";
+      let graph = build_graph tech line spec in
+      session :=
+        Some (Session.create ~model ?cache ~domains ~epsilon graph);
+      Format.fprintf out "graph: %d stages, %d connections@."
+        (Timing_graph.num_stages graph)
+        (Timing_graph.num_connections graph)
+    | [ "stage"; name ] ->
+      let s = the_session line in
+      edit line s (Edit.Add_stage (catalog_scenario tech line name))
+    | [ "connect"; f; t; input ] ->
+      edit line (the_session line)
+        (Edit.Connect
+           {
+             from_stage = int_arg line "connect" f;
+             to_stage = int_arg line "connect" t;
+             input;
+           })
+    | [ "disconnect"; f; t; input ] ->
+      edit line (the_session line)
+        (Edit.Disconnect
+           {
+             from_stage = int_arg line "disconnect" f;
+             to_stage = int_arg line "disconnect" t;
+             input;
+           })
+    | [ "remove"; id ] ->
+      edit line (the_session line) (Edit.Remove_stage (int_arg line "remove" id))
+    | [ "resize"; id; e; scale ] ->
+      edit line (the_session line)
+        (Edit.Resize_device
+           {
+             stage = int_arg line "resize" id;
+             edge = int_arg line "resize" e;
+             scale = float_arg line "resize" scale;
+           })
+    | [ "load"; id; farads ] ->
+      edit line (the_session line)
+        (Edit.Set_load
+           { stage = int_arg line "load" id; load = float_arg line "load" farads })
+    | [ "swap"; id; name ] ->
+      edit line (the_session line)
+        (Edit.Swap_scenario
+           {
+             stage = int_arg line "swap" id;
+             scenario = catalog_scenario tech line name;
+           })
+    | [ "retime"; id; arrival_ps; slew_ps ] ->
+      edit line (the_session line)
+        (Edit.Retime_input
+           {
+             stage = int_arg line "retime" id;
+             arrival = float_arg line "retime" arrival_ps *. 1e-12;
+             slew = float_arg line "retime" slew_ps *. 1e-12;
+           })
+    | [ "report" ] ->
+      let s = the_session line in
+      let analysis = current_analysis s in
+      incr reports;
+      let stats = Session.stats s in
+      if Array.length analysis.Arrival.timings <= 16 then
+        Report.print out (Session.graph s) analysis;
+      Format.fprintf out
+        "report %d: worst arrival %.2f ps (%d stages; re-evaluated %d, cumulative %d \
+         reeval / %d cutoff over %d edits)@."
+        !reports
+        (analysis.Arrival.worst_arrival *. ps)
+        (Array.length analysis.Arrival.timings)
+        stats.Session.last_reeval stats.Session.stages_reeval stats.Session.cutoff_hits
+        stats.Session.edits
+    | [ "query"; f; t ] ->
+      let s = the_session line in
+      let from_stage = int_arg line "query" f and to_stage = int_arg line "query" t in
+      (match Session.query s ~from_stage ~to_stage with
+      | exception Invalid_argument message -> fail line "%s" message
+      | None -> Format.fprintf out "query %d -> %d: no path@." from_stage to_stage
+      | Some q ->
+        Format.fprintf out "query %d -> %d: arrival %.2f ps via %s@." from_stage to_stage
+          (q.Session.arrival *. ps)
+          (String.concat " -> " (List.map string_of_int q.Session.stages)))
+    | token :: _ -> fail line "unknown command %S" token
+  in
+  List.iteri
+    (fun idx raw ->
+      let raw =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let tokens =
+        String.split_on_char ' ' (String.trim raw)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun t -> t <> "")
+      in
+      command (idx + 1) tokens)
+    (String.split_on_char '\n' text);
+  let s = the_session 0 in
+  let analysis = current_analysis s in
+  let stats = Session.stats s in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "tqwm-incr-report/1");
+        ("mode", Json.String (match mode with Incremental -> "incremental" | Scratch -> "scratch"));
+        ("analysis", Report.to_json (Session.graph s) analysis);
+        ( "stats",
+          Json.Obj
+            [
+              ("edits", Json.Int stats.Session.edits);
+              ("recomputes", Json.Int stats.Session.recomputes);
+              ("stages_reeval", Json.Int stats.Session.stages_reeval);
+              ("cutoff_hits", Json.Int stats.Session.cutoff_hits);
+            ] );
+      ]
+  in
+  { session = s; json }
+
+let run_file ~tech ~model ?use_cache ?domains ?epsilon ?mode ?out path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  run ~tech ~model ?use_cache ?domains ?epsilon ?mode ?out text

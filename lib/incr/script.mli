@@ -1,0 +1,65 @@
+(** The [qwm_sim --incr] command language: a line-oriented script of
+    graph edits, reports and what-if path queries driving a {!Session}.
+
+    One command per line; blank lines are skipped and [#] starts a
+    comment. Commands:
+
+    {v
+    graph chain N | diamond | decoder FANOUT DEPTH [LEVELS]
+          | stacks WIDTH DEPTH [SEED]    seed the graph (first command only)
+    stage NAME                           add a catalog stage (prints its id)
+    connect FROM TO INPUT                drive TO's INPUT from FROM's output
+    disconnect FROM TO INPUT             remove that connection
+    remove ID                            detach a stage (id becomes isolated)
+    resize ID EDGE SCALE                 scale a device width
+    load ID FARADS                       set the output node's load
+    swap ID NAME                         replace a stage's scenario
+    retime ID ARRIVAL_PS SLEW_PS         override a primary input's timing
+    report                               re-time and print the analysis
+    query FROM TO                        worst path FROM -> TO by current delays
+    v} *)
+
+exception Script_error of { line : int; message : string }
+(** A command failed: syntax error, unknown name, or an edit the graph
+    rejected. [line] is 1-based. *)
+
+type mode =
+  | Incremental  (** reports come from {!Session.analysis} *)
+  | Scratch  (** reports come from {!Session.scratch_analysis} — the oracle *)
+
+type outcome = {
+  session : Session.t;  (** final state, for stats or further queries *)
+  json : Tqwm_obs.Json.t;
+      (** ["tqwm-incr-report/1"] document: mode, final analysis
+          ({!Tqwm_sta.Report.to_json}) and session stats. Identical
+          [analysis] members across the two modes is the CI equivalence
+          check. *)
+}
+
+val run :
+  tech:Tqwm_device.Tech.t ->
+  model:Tqwm_device.Device_model.t ->
+  ?use_cache:bool ->
+  ?domains:int ->
+  ?epsilon:float ->
+  ?mode:mode ->
+  ?out:Format.formatter ->
+  string ->
+  outcome
+(** Interpret a script given as text. [use_cache] (default true) shares
+    one {!Tqwm_sta.Stage_cache} across the whole run; [domains]
+    (default 1) and [epsilon] (seconds, default 0) are passed to
+    {!Session.create}; progress lines go to [out] (default stdout).
+    @raise Script_error on the first failing line. *)
+
+val run_file :
+  tech:Tqwm_device.Tech.t ->
+  model:Tqwm_device.Device_model.t ->
+  ?use_cache:bool ->
+  ?domains:int ->
+  ?epsilon:float ->
+  ?mode:mode ->
+  ?out:Format.formatter ->
+  string ->
+  outcome
+(** {!run} on a file's contents. *)

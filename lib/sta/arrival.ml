@@ -23,6 +23,8 @@ type analysis = {
   worst_arrival : float;
 }
 
+type pi_timing = { pi_arrival : float; pi_slew : float }
+
 (* reshape a switching source as a ramp with the driver's slew, keeping
    its logical direction; constant sources are left alone *)
 let ramp_of ~slew source =
@@ -59,7 +61,7 @@ let slacks graph analysis ~clock_period =
   let worst_slack = Array.fold_left Float.min infinity slack in
   { required; slack; worst_slack }
 
-let evaluate_stage_inner ~model ~config ~default_slew ?cache
+let evaluate_stage_inner ~model ~config ~default_slew ?cache ?pi
     (frozen : Timing_graph.frozen) timings id =
   let timing_exn id =
     match timings.(id) with
@@ -80,7 +82,26 @@ let evaluate_stage_inner ~model ~config ~default_slew ?cache
   in
   let arrival_in, input_slew, critical_fanin, sources =
     match critical with
-    | None -> (0.0, None, None, scenario.Scenario.sources)
+    | None ->
+      (* primary input: a retiming override moves its arrival and shapes
+         every switching source as a ramp of the given slew *)
+      let override =
+        match pi with
+        | Some arr when id < Array.length arr -> arr.(id)
+        | Some _ | None -> None
+      in
+      (match override with
+      | None -> (0.0, None, None, scenario.Scenario.sources)
+      | Some p when p.pi_slew <= 0.0 ->
+        (p.pi_arrival, None, None, scenario.Scenario.sources)
+      | Some p ->
+        let slew =
+          match cache with None -> p.pi_slew | Some c -> Stage_cache.bucket_slew c p.pi_slew
+        in
+        ( p.pi_arrival,
+          Some slew,
+          None,
+          List.map (fun (name, s) -> (name, ramp_of ~slew s)) scenario.Scenario.sources ))
     | Some (c, driver) ->
       let slew = if driver.slew > 0.0 then driver.slew else default_slew in
       (* bucket before shaping the ramp so the cached solve and the
@@ -135,14 +156,14 @@ let evaluate_stage_inner ~model ~config ~default_slew ?cache
    labelled with the stage's scenario name and carrying the timing it
    produced. The counter feeds the sequential-vs-parallel equality check
    in the telemetry tests. *)
-let evaluate_stage ~model ~config ~default_slew ?cache
+let evaluate_stage ~model ~config ~default_slew ?cache ?pi
     (frozen : Timing_graph.frozen) timings id =
   Metrics.incr c_stages_timed;
   if not (Trace.enabled ()) then
-    evaluate_stage_inner ~model ~config ~default_slew ?cache frozen timings id
+    evaluate_stage_inner ~model ~config ~default_slew ?cache ?pi frozen timings id
   else begin
     let t0 = Trace.now () in
-    let t = evaluate_stage_inner ~model ~config ~default_slew ?cache frozen timings id in
+    let t = evaluate_stage_inner ~model ~config ~default_slew ?cache ?pi frozen timings id in
     Trace.complete
       ~name:frozen.Timing_graph.scenarios.(id).Scenario.name ~cat:"sta.stage" ~ts:t0
       ~dur:(Trace.now () -. t0)
@@ -178,12 +199,14 @@ let analysis_of_timings timings =
     { timings; critical_path = walk sink []; worst_arrival = sink.arrival_out }
 
 let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12)
-    ?cache graph =
+    ?cache ?pi graph =
+  if default_slew <= 0.0 then invalid_arg "Arrival.propagate: default_slew <= 0";
   let frozen = Timing_graph.freeze graph in
   let n = Array.length frozen.Timing_graph.scenarios in
   let timings = Array.make n None in
   Array.iter
     (fun id ->
-      timings.(id) <- Some (evaluate_stage ~model ~config ~default_slew ?cache frozen timings id))
+      timings.(id) <-
+        Some (evaluate_stage ~model ~config ~default_slew ?cache ?pi frozen timings id))
     frozen.Timing_graph.order;
   analysis_of_timings (Array.map Option.get timings)

@@ -26,26 +26,43 @@ type analysis = {
   worst_arrival : float;
 }
 
+type pi_timing = {
+  pi_arrival : float;  (** 50 % crossing time of the primary input *)
+  pi_slew : float;
+      (** transition time used to shape the stage's switching sources as
+          ramps; values [<= 0] keep the scenario's own source shapes and
+          only move the arrival *)
+}
+(** Retiming override for a primary-input stage (a stage with no fanin).
+    Overrides are indexed by stage id; entries for stages that have
+    fanin are ignored — a driver always wins. *)
+
 val propagate :
   model:Tqwm_device.Device_model.t ->
   ?config:Tqwm_core.Config.t ->
   ?default_slew:float ->
   ?cache:Stage_cache.t ->
+  ?pi:pi_timing option array ->
   Timing_graph.t ->
   analysis
 (** @raise Analysis_failure when a stage's output never crosses 50 %.
+    @raise Invalid_argument when [default_slew <= 0] (a non-positive
+    slew would shape degenerate ramps — the same positivity contract as
+    {!Stage_cache.create}).
     [default_slew] (default 20 ps) shapes inputs whose driver reports no
     slew. When [cache] is given, per-stage QWM solves are memoized and
-    driving slews are quantized to the cache's bucket (see
-    {!Stage_cache.bucket_slew}), so repeated gates are solved once. *)
+    driving slews (including {!pi_timing} slews) are quantized to the
+    cache's bucket (see {!Stage_cache.bucket_slew}), so repeated gates
+    are solved once. [pi] retimes primary-input stages. *)
 
-(** {2 Building blocks shared with the parallel engine} *)
+(** {2 Building blocks shared with the parallel and incremental engines} *)
 
 val evaluate_stage :
   model:Tqwm_device.Device_model.t ->
   config:Tqwm_core.Config.t ->
   default_slew:float ->
   ?cache:Stage_cache.t ->
+  ?pi:pi_timing option array ->
   Timing_graph.frozen ->
   stage_timing option array ->
   Timing_graph.stage_id ->
@@ -53,7 +70,9 @@ val evaluate_stage :
 (** Time one stage of a frozen graph given the (already computed) timings
     of its fanin stages. Pure with respect to [timings] — it only reads
     fanin entries — so stages of one topological level may be evaluated
-    concurrently in any order with identical results.
+    concurrently in any order with identical results. A stage's timing
+    depends on its fanins only through their [arrival_out] and [slew]
+    (the early-cutoff invariant {!Tqwm_incr.Session} relies on).
     @raise Analysis_failure if a fanin stage has no timing yet. *)
 
 val analysis_of_timings : stage_timing array -> analysis

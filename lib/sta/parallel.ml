@@ -99,18 +99,48 @@ let worker ~eval (frozen : Timing_graph.frozen)
   in
   loop ()
 
+(* Evaluate mutually independent stages concurrently by static striping:
+   worker [k] takes indices [k, k + teams, k + 2*teams, ...]. Used by the
+   incremental engine on wide dirty levels, where readiness bookkeeping
+   would cost more than it buys (every stage handed in is already known
+   ready). The first worker exception is re-raised after the join. *)
+let evaluate_stages ~domains ~eval ids =
+  let n = Array.length ids in
+  let domains = max domains 1 in
+  if domains = 1 || n <= 1 then Array.map eval ids
+  else begin
+    let teams = min domains n in
+    let results = Array.make n None in
+    let failures = Array.make teams None in
+    let stripe k () =
+      try
+        let i = ref k in
+        while !i < n do
+          results.(!i) <- Some (eval ids.(!i));
+          i := !i + teams
+        done
+      with e -> failures.(k) <- Some e
+    in
+    let team = Array.init (teams - 1) (fun k -> Domain.spawn (stripe (k + 1))) in
+    stripe 0 ();
+    Array.iter Domain.join team;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.map Option.get results
+  end
+
 let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12)
-    ?cache ?domains graph =
+    ?cache ?pi ?domains graph =
+  if default_slew <= 0.0 then invalid_arg "Parallel.propagate: default_slew <= 0";
   let domains =
     match domains with Some d -> max d 1 | None -> default_domains ()
   in
-  if domains = 1 then Arrival.propagate ~model ~config ~default_slew ?cache graph
+  if domains = 1 then Arrival.propagate ~model ~config ~default_slew ?cache ?pi graph
   else begin
     let frozen = Timing_graph.freeze graph in
     let n = Array.length frozen.Timing_graph.scenarios in
     let timings = Array.make n None in
     let eval id =
-      Arrival.evaluate_stage ~model ~config ~default_slew ?cache frozen timings id
+      Arrival.evaluate_stage ~model ~config ~default_slew ?cache ?pi frozen timings id
     in
     let s =
       {

@@ -23,6 +23,7 @@ val propagate :
   ?config:Tqwm_core.Config.t ->
   ?default_slew:float ->
   ?cache:Stage_cache.t ->
+  ?pi:Arrival.pi_timing option array ->
   ?domains:int ->
   Timing_graph.t ->
   Arrival.analysis
@@ -30,4 +31,20 @@ val propagate :
     domains in total, the calling one included (default
     {!default_domains}; values [<= 1] fall back to the sequential path).
     A given [cache] is shared by the whole team. The first exception
-    raised by any worker is re-raised after the team is joined. *)
+    raised by any worker is re-raised after the team is joined.
+    @raise Invalid_argument when [default_slew <= 0]. *)
+
+val evaluate_stages :
+  domains:int ->
+  eval:(Timing_graph.stage_id -> Arrival.stage_timing) ->
+  Timing_graph.stage_id array ->
+  Arrival.stage_timing array
+(** Evaluate stages that are already known mutually independent (one
+    topological level, every fanin timed) on up to [domains] domains by
+    static striping, returning timings in input order. [eval] must be
+    safe to call from any domain ({!Arrival.evaluate_stage} over a
+    frozen graph is). Results are identical to [Array.map eval] —
+    evaluation order within a level is immaterial. The first worker
+    exception is re-raised after the team is joined. Used by
+    incremental re-propagation, whose dirty levels arrive pre-scheduled;
+    fresh full runs should prefer {!propagate}'s ready-queue. *)

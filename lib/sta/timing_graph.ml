@@ -86,15 +86,43 @@ let connect t ~from_stage ~to_stage ~input =
   let target = scenario t to_stage in
   if not (List.mem_assoc input target.Tqwm_circuit.Scenario.sources) then
     invalid_arg "Timing_graph.connect: unknown input";
+  let edge = { from_stage; to_stage; input } in
+  (* an exact duplicate would double-count the target's fanin (the same
+     driver racing itself for the critical slot) and is always a caller
+     bug, so it is rejected rather than silently kept *)
+  if List.mem edge t.fanin_rev.(to_stage) then
+    invalid_arg "Timing_graph.connect: duplicate edge";
   (* the new edge closes a cycle iff [from_stage] is already reachable from
-     [to_stage]; checking before insertion means no rollback is needed, so
-     pre-existing parallel duplicates of the edge are never disturbed *)
+     [to_stage]; checking before insertion means no rollback is needed *)
   if reaches t ~src:to_stage ~dst:from_stage then
     invalid_arg "Timing_graph.connect: cycle detected";
-  let edge = { from_stage; to_stage; input } in
   t.fanout_rev.(from_stage) <- edge :: t.fanout_rev.(from_stage);
   t.fanin_rev.(to_stage) <- edge :: t.fanin_rev.(to_stage);
   t.num_connections <- t.num_connections + 1;
+  invalidate t
+
+let disconnect t ~from_stage ~to_stage ~input =
+  if from_stage < 0 || from_stage >= t.count || to_stage < 0 || to_stage >= t.count then
+    invalid_arg "Timing_graph.disconnect: unknown stage";
+  let edge = { from_stage; to_stage; input } in
+  if not (List.mem edge t.fanin_rev.(to_stage)) then
+    invalid_arg "Timing_graph.disconnect: no such edge";
+  let drop = List.filter (fun e -> e <> edge) in
+  t.fanin_rev.(to_stage) <- drop t.fanin_rev.(to_stage);
+  t.fanout_rev.(from_stage) <- drop t.fanout_rev.(from_stage);
+  t.num_connections <- t.num_connections - 1;
+  invalidate t
+
+let set_scenario t id scenario' =
+  if id < 0 || id >= t.count then invalid_arg "Timing_graph.set_scenario: unknown stage";
+  List.iter
+    (fun e ->
+      if not (List.mem_assoc e.input scenario'.Tqwm_circuit.Scenario.sources) then
+        invalid_arg
+          (Printf.sprintf
+             "Timing_graph.set_scenario: replacement lacks connected input %S" e.input))
+    t.fanin_rev.(id);
+  t.stages.(id) <- Some scenario';
   invalidate t
 
 let freeze t =

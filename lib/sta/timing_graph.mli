@@ -44,10 +44,22 @@ val create : unit -> t
 val add_stage : t -> Tqwm_circuit.Scenario.t -> stage_id
 
 val connect : t -> from_stage:stage_id -> to_stage:stage_id -> input:string -> unit
-(** @raise Invalid_argument on unknown stages, an unknown input name, or
+(** @raise Invalid_argument on unknown stages, an unknown input name, an
+    exact duplicate of an existing edge (same [from_stage], [to_stage]
+    and [input] — a duplicate would double-count the target's fanin), or
     when the edge would create a combinational cycle. A rejected edge
-    leaves the graph untouched (in particular, pre-existing parallel
-    duplicates of the same edge survive). *)
+    leaves the graph untouched. *)
+
+val disconnect : t -> from_stage:stage_id -> to_stage:stage_id -> input:string -> unit
+(** Remove the edge with exactly these endpoints and input name.
+    @raise Invalid_argument when no such edge exists. *)
+
+val set_scenario : t -> stage_id -> Tqwm_circuit.Scenario.t -> unit
+(** Replace a stage's scenario in place (ECO-style edit: resized devices,
+    a changed load, a different worst-case configuration). Invalidates
+    the frozen snapshot.
+    @raise Invalid_argument on an unknown stage or when the replacement
+    scenario lacks an input that existing fanin edges drive. *)
 
 val num_stages : t -> int
 

@@ -417,6 +417,42 @@ let test_parser_errors () =
   expect_parse_error "* fine\nWseg a b W=1u\n" 2;  (* wire without length *)
   expect_parse_error ".input\n" 1
 
+let expect_parse_error_matching deck expected_line fragment =
+  match Netlist_parser.parse_string tech deck with
+  | exception Netlist_parser.Parse_error { line; message } ->
+    Alcotest.(check int) "error line" expected_line line;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    if not (contains message fragment) then
+      Alcotest.failf "error %S does not mention %S" message fragment
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_parser_malformed_line () =
+  (* a parameter token without '=' is rejected, not silently dropped *)
+  expect_parse_error_matching "M1 d g s nmos W\n" 1 "key=value";
+  expect_parse_error_matching "Cload out\n" 1 "capacitor card";
+  expect_parse_error_matching ".option foo\n" 1 "unknown directive"
+
+let test_parser_unknown_device () =
+  expect_parse_error_matching "M1 d g s bjt W=1u\n" 1 "unknown transistor type";
+  expect_parse_error_matching "X1 a b sub\n" 1 "unknown card"
+
+let test_parser_dangling_node () =
+  (* port 'a' is declared but no element touches it; reported at the
+     .input directive's line even though parsing runs to completion *)
+  expect_parse_error_matching "M1 x b gnd nmos\n.input a\n.output x\n.end\n" 2
+    "dangling port node \"a\"";
+  expect_parse_error_matching "M1 x b gnd nmos\n.input b\n.output y\n.end\n" 3
+    "dangling port node \"y\"";
+  (* gate-only and terminal-only connections both count as touched *)
+  let net =
+    Netlist_parser.parse_string tech "M1 x b gnd nmos\n.input b\n.output x\n.end\n"
+  in
+  Alcotest.(check int) "clean deck still parses" 1 (Array.length net.Netlist.elements)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "tqwm_circuit"
@@ -470,5 +506,8 @@ let () =
           quick "with ccc" test_parser_with_ccc;
           quick "si suffixes" test_parser_si_suffixes;
           quick "errors" test_parser_errors;
+          quick "malformed line" test_parser_malformed_line;
+          quick "unknown device" test_parser_unknown_device;
+          quick "dangling node" test_parser_dangling_node;
         ] );
     ]

@@ -63,18 +63,23 @@ let test_freeze_levels () =
   Alcotest.(check int) "new level appears" 4
     (Array.length (Timing_graph.levels graph))
 
-let test_connect_keeps_parallel_duplicates () =
-  (* a rejected (cycle-creating) edge must leave previously inserted
-     edges alone, including structural duplicates of itself *)
+let test_connect_rejects_duplicates () =
+  (* an exact duplicate edge (same endpoints, same input) is rejected,
+     and neither it nor a rejected cycle-creating edge disturbs the
+     edges already inserted *)
   let graph = Timing_graph.create () in
   let a = Timing_graph.add_stage graph (Scenario.inverter_falling tech) in
   let b = Timing_graph.add_stage graph (Scenario.nand_falling ~n:2 tech) in
   Timing_graph.connect graph ~from_stage:a ~to_stage:b ~input:"a1";
-  Timing_graph.connect graph ~from_stage:a ~to_stage:b ~input:"a1";
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Timing_graph.connect: duplicate edge") (fun () ->
+      Timing_graph.connect graph ~from_stage:a ~to_stage:b ~input:"a1");
+  (* same endpoints on a different input is a parallel edge, not a duplicate *)
+  Timing_graph.connect graph ~from_stage:a ~to_stage:b ~input:"a2";
   Alcotest.check_raises "cycle rejected"
     (Invalid_argument "Timing_graph.connect: cycle detected") (fun () ->
       Timing_graph.connect graph ~from_stage:b ~to_stage:a ~input:"a1");
-  Alcotest.(check int) "both duplicate edges survive" 2
+  Alcotest.(check int) "surviving fanin edges" 2
     (List.length (Timing_graph.fanin graph b));
   Alcotest.(check int) "connection count intact" 2 (Timing_graph.num_connections graph)
 
@@ -160,7 +165,7 @@ let () =
       ( "frozen graph",
         [
           quick "level schedule" test_freeze_levels;
-          quick "rejected edge keeps duplicates" test_connect_keeps_parallel_duplicates;
+          quick "duplicate edge rejected" test_connect_rejects_duplicates;
         ] );
       ( "parallel engine",
         [
