@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- --table II
      dune exec bench/main.exe -- --table parallel
      dune exec bench/main.exe -- --table incr [--smoke]
+     dune exec bench/main.exe -- --table audit [--smoke]
      dune exec bench/main.exe -- --figure 5|7|8|9|10
      dune exec bench/main.exe -- --table ablation-linsolve
      dune exec bench/main.exe -- --table ablation-sc
@@ -438,11 +439,20 @@ let sta_parallel ?(smoke = false) () =
     "\n=== Parallel STA propagation: %d domains vs sequential, stage cache ===\n"
     domains;
   let cores = Parallel.default_domains () in
+  (* honesty: oversubscribed runs (more domains than cores) cannot show a
+     wall-clock speedup — flag them instead of reporting a silent 0.15x *)
+  let degraded = cores < domains in
   Printf.printf "(machine reports %d available core%s%s)\n" cores
     (if cores = 1 then "" else "s")
-    (if cores < domains then
+    (if degraded then
        " — wall-clock speedup is bounded by the hardware, not the engine"
      else "");
+  if degraded then
+    Printf.eprintf
+      "bench: WARNING: %d domains on %d available core%s — parallel timings are \
+       oversubscribed; speedup figures below are degraded and not asserted\n"
+      domains cores
+      (if cores = 1 then "" else "s");
   Printf.printf "%-14s %7s %10s %10s %8s %10s %8s %7s %10s\n" "workload" "stages"
     "seq" "par" "speedup" "identical" "hits" "solves" "warm";
   Metrics.reset ();
@@ -479,6 +489,10 @@ let sta_parallel ?(smoke = false) () =
       let t_warm =
         time_median ~repeat (fun () -> Parallel.propagate ~model ~cache ~domains graph)
       in
+      (* with real cores behind every domain, parallel propagation must
+         not lose to sequential; skipped when oversubscription makes the
+         number meaningless *)
+      if not degraded then assert (t_seq /. t_par > 0.5);
       Printf.printf
         "%-14s %7d %8.1fms %8.1fms %7.2fx %10s %7.0f%% %7d %8.2fms\n" name
         (Timing_graph.num_stages graph) (t_seq *. 1e3) (t_par *. 1e3)
@@ -515,6 +529,7 @@ let sta_parallel ?(smoke = false) () =
       ("smoke", Json.Bool smoke);
       ("domains", Json.Int domains);
       ("available_cores", Json.Int cores);
+      ("degraded", Json.Bool degraded);
       ("workloads", Json.List rows);
       (* cumulative solver/cache telemetry over every run above — the
          absolute values scale with [repeat], so compare like runs only *)
@@ -616,6 +631,24 @@ let sta_incr ?(smoke = false) () =
           ] );
     ]
 
+(* ---------- Accuracy audit: golden-vs-QWM over the workload catalog ---------- *)
+
+module Audit = Tqwm_audit.Audit
+
+let sta_audit ?(smoke = false) () =
+  Printf.printf
+    "\n=== Accuracy audit: QWM vs golden engine over the workload catalog%s ===\n"
+    (if smoke then " (smoke subset)" else "");
+  let workloads = Audit.catalog ~smoke tech in
+  let audit = Audit.run ~workloads tech in
+  Audit.pp Format.std_formatter audit;
+  (* the paper's trade-off point: accuracy and speed-up from the same run *)
+  Printf.printf
+    "trade-off: %.2f%% average accuracy at %.1fx golden/QWM runtime ratio\n"
+    audit.Audit.overall.Audit.avg_accuracy_pct
+    audit.Audit.overall.Audit.runtime_ratio;
+  Audit.to_json audit
+
 let smoke () =
   (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
   let scenario = Scenario.nand_falling ~n:2 tech in
@@ -630,49 +663,23 @@ let smoke () =
   sta_parallel ~smoke:true ()
 
 (* Append the JSON document produced by a machine-readable experiment to
-   the file named by [--json FILE]. The file holds a JSON array of dated
-   run records — a trajectory, one element per invocation — so repeated
-   runs accumulate instead of overwriting; a pre-existing single-object
-   file (the old overwrite format) becomes the array's first element. *)
+   the trajectory file named by [--json FILE] — one date- and
+   commit-stamped record per invocation (see Tqwm_obs.Ledger), so
+   repeated runs accumulate instead of overwriting and every point is
+   attributable to the revision that produced it. *)
 let write_json json_path doc =
   match json_path with
   | None -> ()
   | Some path ->
     (match doc with
     | Some doc ->
-      let date =
-        let tm = Unix.gmtime (Unix.gettimeofday ()) in
-        Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-          tm.Unix.tm_sec
-      in
-      let record =
-        match doc with
-        | Json.Obj fields -> Json.Obj (("date", Json.String date) :: fields)
-        | other -> other
-      in
-      let history =
-        if not (Sys.file_exists path) then []
-        else
-          let ic = open_in path in
-          let text = really_input_string ic (in_channel_length ic) in
-          close_in ic;
-          match Json.of_string text with
-          | Json.List records -> records
-          | single -> [ single ]
-          | exception Json.Parse_error _ ->
-            Printf.eprintf "bench: %s is not JSON; starting a fresh history\n" path;
-            []
-      in
-      let history = history @ [ record ] in
-      Json.write_file path (Json.List history);
-      Printf.printf "bench: appended JSON results to %s (%d run record%s)\n" path
-        (List.length history)
-        (if List.length history = 1 then "" else "s")
+      let n = Tqwm_obs.Ledger.append ~path doc in
+      Printf.printf "bench: appended JSON results to %s (%d run record%s)\n" path n
+        (if n = 1 then "" else "s")
     | None ->
       Printf.eprintf
-        "bench: --json is only produced by --table parallel, --table incr and --smoke; \
-         ignoring\n")
+        "bench: --json is only produced by --table parallel, --table incr, \
+         --table audit and --smoke; ignoring\n")
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
@@ -739,6 +746,7 @@ let all () =
   ablation_waveform ();
   ignore (sta_parallel ());
   ignore (sta_incr ());
+  ignore (sta_audit ());
   bechamel ()
 
 let () =
@@ -759,6 +767,7 @@ let () =
     | _ :: "--table" :: "II" :: _ -> table2 (); None
     | _ :: "--table" :: "parallel" :: _ -> Some (sta_parallel ())
     | _ :: "--table" :: "incr" :: rest -> Some (sta_incr ~smoke:(List.mem "--smoke" rest) ())
+    | _ :: "--table" :: "audit" :: rest -> Some (sta_audit ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--smoke" :: _ -> Some (smoke ())
     | _ :: "--table" :: "ablation-linsolve" :: _ -> ablation_linsolve (); None
     | _ :: "--table" :: "ablation-sc" :: _ -> ablation_sc (); None
@@ -773,7 +782,7 @@ let () =
     | [ _ ] -> all (); None
     | _ :: _ :: _ | [] ->
       prerr_endline
-        "usage: main.exe [--table I|II|parallel|incr|ablation-linsolve|ablation-sc|ablation-grid] \
+        "usage: main.exe [--table I|II|parallel|incr|audit|ablation-linsolve|ablation-sc|ablation-grid] \
          [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE]";
       exit 1
   in

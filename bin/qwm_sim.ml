@@ -17,6 +17,9 @@ module Report = Tqwm_sta.Report
 module Metrics = Tqwm_obs.Metrics
 module Trace = Tqwm_obs.Trace
 module Json = Tqwm_obs.Json
+module Audit = Tqwm_audit.Audit
+module Audit_baseline = Tqwm_audit.Baseline
+module Drift = Tqwm_audit.Drift
 
 let ps = 1e12
 
@@ -120,6 +123,69 @@ let run_incr ~tech ~domains ~use_cache ~scratch ~epsilon_ps ~json_file path =
       Printf.printf "incr: wrote JSON report to %s\n" out);
     0
 
+(* --audit: golden-vs-QWM accuracy observatory over the workload catalog,
+   with drift detection against the persisted AUDIT_accuracy.json ledger *)
+let run_audit ~tech ~domains ~baseline_file ~update_baseline ~tol_pct ~json_file =
+  let path = Option.value baseline_file ~default:"AUDIT_accuracy.json" in
+  let tol =
+    match tol_pct with
+    | None -> Audit_baseline.default_tolerances
+    | Some abs_pp when abs_pp >= 0.0 ->
+      { Audit_baseline.default_tolerances with Audit_baseline.abs_pp }
+    | Some bad ->
+      Printf.eprintf "qwm_sim: --tol-pct must be >= 0 (got %g)\n" bad;
+      exit 2
+  in
+  let t0 = Unix.gettimeofday () in
+  let audit = Audit.run ~domains tech in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Audit.pp Format.std_formatter audit;
+  Printf.printf "audit: %d stages on %d domain%s in %.2f s\n"
+    audit.Audit.overall.Audit.stages domains
+    (if domains = 1 then "" else "s")
+    elapsed;
+  let drift =
+    match Audit_baseline.load path with
+    | None ->
+      Printf.printf
+        "audit: no baseline at %s (run with --update-baseline to create one)\n"
+        path;
+      None
+    | Some baseline ->
+      let report = Drift.check ~tol ~baseline audit in
+      Printf.printf "audit: drift vs %s (tolerance %.2fpp + %.0f%%):\n" path
+        tol.Audit_baseline.abs_pp
+        (100.0 *. tol.Audit_baseline.rel);
+      Drift.pp Format.std_formatter report;
+      Some report
+    | exception Failure msg ->
+      Printf.eprintf "qwm_sim: cannot read baseline %s: %s\n" path msg;
+      exit 2
+  in
+  if update_baseline then begin
+    let n = Audit_baseline.save ~path audit in
+    Printf.printf "audit: appended baseline record to %s (%d record%s)\n" path n
+      (if n = 1 then "" else "s")
+  end;
+  (match json_file with
+  | None -> ()
+  | Some out ->
+    let doc =
+      match Audit.to_json audit with
+      | Json.Obj fields ->
+        Json.Obj
+          (fields
+          @ [
+              ("baseline", Json.String path);
+              ( "drift",
+                match drift with Some r -> Drift.to_json r | None -> Json.Null );
+            ])
+      | other -> other
+    in
+    Json.write_file out doc;
+    Printf.printf "audit: wrote JSON report to %s\n" out);
+  match drift with Some r when Drift.has_regressions r -> 1 | Some _ | None -> 0
+
 (* --partition: parse a netlist deck and report its logic stages *)
 let partition_netlist path =
   let tech = Tech.cmosp35 in
@@ -151,7 +217,13 @@ let partition_netlist path =
     0
 
 let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-    epsilon_ps sta_depth sta_fanout domains no_cache json_file =
+    epsilon_ps sta_depth sta_fanout domains no_cache json_file audit
+    baseline_file update_baseline tol_pct =
+  if audit then
+    run_audit ~tech:Tech.cmosp35
+      ~domains:(Option.value domains ~default:1)
+      ~baseline_file ~update_baseline ~tol_pct ~json_file
+  else
   match partition with
   | Some path -> partition_netlist path
   | None ->
@@ -200,12 +272,13 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     0
 
 let main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-    epsilon_ps sta_depth sta_fanout domains no_cache json_file trace_file
-    metrics_file =
+    epsilon_ps sta_depth sta_fanout domains no_cache json_file audit
+    baseline_file update_baseline tol_pct trace_file metrics_file =
   if trace_file <> None then Trace.enable ();
   let code =
     run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-      epsilon_ps sta_depth sta_fanout domains no_cache json_file
+      epsilon_ps sta_depth sta_fanout domains no_cache json_file audit
+      baseline_file update_baseline tol_pct
   in
   (match trace_file with
   | None -> ()
@@ -277,8 +350,24 @@ let no_cache =
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
 let json_file =
-  let doc = "In --sta mode, write the machine-readable analysis (per-stage timings, critical path) to $(docv)." in
+  let doc = "In --sta mode, write the machine-readable analysis (per-stage timings, critical path) to $(docv); in --audit mode, the tqwm-audit/1 accuracy report with its drift section." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let audit =
+  let doc = "Run the accuracy audit: QWM and the golden engine side-by-side over the workload catalog (chains, random stacks, decoder trees, AWE-reduced wires), reporting per-stage delay/slew/waveform errors and drift against the persisted baseline ledger. Exits 1 if any metric is classified as regressed." in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+let baseline_file =
+  let doc = "Baseline ledger the audit compares against and --update-baseline appends to (default AUDIT_accuracy.json)." in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let update_baseline =
+  let doc = "Append this audit run to the baseline ledger (date- and commit-stamped)." in
+  Arg.(value & flag & info [ "update-baseline" ] ~doc)
+
+let tol_pct =
+  let doc = "Drift tolerance in absolute percentage points on every audited error metric (the 5% relative component is kept); metrics moving beyond it are classified improved/regressed." in
+  Arg.(value & opt (some float) None & info [ "tol-pct" ] ~docv:"X" ~doc)
 
 let trace_file =
   let doc = "Record Chrome trace events (per-stage spans, per-domain workers, QWM regions) and write them to $(docv); load in chrome://tracing or ui.perfetto.dev." in
@@ -295,6 +384,7 @@ let cmd =
     Term.(
       const main $ circuit $ engine $ dt $ waveform $ ramp $ partition
       $ incr_script $ scratch $ epsilon_ps $ sta_depth $ sta_fanout $ domains
-      $ no_cache $ json_file $ trace_file $ metrics_file)
+      $ no_cache $ json_file $ audit $ baseline_file $ update_baseline
+      $ tol_pct $ trace_file $ metrics_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,55 @@
+(** Persisted accuracy baselines and metric classification.
+
+    A baseline is simply the newest {!Audit.t} record of the
+    [AUDIT_accuracy.json] ledger (see {!Tqwm_obs.Ledger}). Comparing a
+    fresh audit against it classifies every error metric — per-stage
+    delay error, waveform RMS and slew error, per-workload and overall
+    averages/maxima — as unchanged, improved or regressed under a
+    configurable absolute + relative tolerance. All compared metrics are
+    error metrics, so {e lower is better}: a value that moved up beyond
+    the tolerance regressed, one that moved down improved. *)
+
+type tolerances = {
+  abs_pp : float;
+      (** absolute slack, in percentage points of the error metric *)
+  rel : float;  (** relative slack, as a fraction of the baseline value *)
+}
+
+val default_tolerances : tolerances
+(** 0.25 percentage points + 5 % of the baseline value — wide enough to
+    absorb float noise from re-characterized device tables, tight enough
+    that a real solver degradation (a lost half-point of accuracy)
+    trips it. *)
+
+type classification = Unchanged | Improved | Regressed
+
+val classification_to_string : classification -> string
+
+val classify : tolerances -> baseline:float -> current:float -> classification
+(** A metric moved iff [|current - baseline| > abs_pp + rel * |baseline|];
+    direction decides {!Improved} (down) vs {!Regressed} (up). *)
+
+type delta = {
+  metric : string;  (** e.g. ["delay_error_pct"], ["avg_delay_error_pct"] *)
+  workload : string;  (** workload name, or ["overall"] *)
+  stage : string option;  (** [None] for workload/overall summaries *)
+  baseline : float;
+  current : float;
+  classification : classification;
+}
+
+val compare_audits : ?tol:tolerances -> baseline:Audit.t -> Audit.t -> delta list
+(** One {!delta} per comparable metric, pairing current stages and
+    workloads with their baseline counterparts by name; entries present
+    on only one side are skipped (see {!Drift.check}, which counts
+    them). *)
+
+val load : string -> Audit.t option
+(** Newest audit record of the ledger at the given path; [None] when
+    the file is missing or empty.
+    @raise Failure if the newest record is not a [tqwm-audit/1]
+    document. *)
+
+val save : path:string -> Audit.t -> int
+(** Append the audit to the ledger (date- and commit-stamped), returning
+    the new record count. *)

@@ -1,0 +1,37 @@
+let timestamp () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let stamp = function
+  | Json.Obj fields ->
+    let fields =
+      List.filter (fun (k, _) -> k <> "date" && k <> "commit") fields
+    in
+    Json.Obj
+      (("date", Json.String (timestamp ()))
+      :: ("commit", Json.String (Vcs.commit ()))
+      :: fields)
+  | other -> other
+
+let read path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string text with
+    | Json.List records -> records
+    | single -> [ single ]
+    | exception Json.Parse_error _ ->
+      Printf.eprintf "ledger: %s is not JSON; starting a fresh history\n" path;
+      []
+
+let last path =
+  match List.rev (read path) with [] -> None | newest :: _ -> Some newest
+
+let append ~path record =
+  let history = read path @ [ stamp record ] in
+  Json.write_file path (Json.List history);
+  List.length history

@@ -1,0 +1,25 @@
+(** Append-style JSON trajectory files.
+
+    A ledger is a file holding a JSON array of run records — one element
+    per invocation, so repeated runs accumulate instead of overwriting
+    (the format of [BENCH_parallel.json] and [AUDIT_accuracy.json]).
+    Every appended record is stamped with the UTC date and the current
+    git commit ({!Vcs.commit}), making each point of the trajectory
+    attributable. *)
+
+val stamp : Json.t -> Json.t
+(** Prepend ["date"] (UTC, ISO-8601) and ["commit"] fields to an object,
+    replacing any already present; non-objects pass through unchanged. *)
+
+val read : string -> Json.t list
+(** All records of a ledger file: [[]] when the file does not exist or
+    is not JSON (a warning is printed on stderr in the latter case); a
+    pre-existing single-object file (the old overwrite format) becomes a
+    one-element history. *)
+
+val last : string -> Json.t option
+(** The most recent record, if any. *)
+
+val append : path:string -> Json.t -> int
+(** Stamp the record and append it to the ledger at [path], creating the
+    file if needed. Returns the new record count. *)

@@ -54,5 +54,10 @@ val write_file : string -> unit
 (** Write [snapshot ()] to a file. *)
 
 val reset : unit -> unit
-(** Zero every registered instrument (registrations are kept). Intended
+(** Zero every registered instrument. Registrations are kept, and so are
+    all previously handed-out handles: a counter or histogram obtained
+    before [reset] still points at its (now zeroed) registered cell, and
+    re-registering the same name returns that very cell — old and new
+    handles stay interchangeable, and updates through either are visible
+    in the next [snapshot]. [reset] never invalidates a handle. Intended
     for tests and for delta measurements around a workload. *)

@@ -1,0 +1,14 @@
+let lookup () =
+  match
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> None
+  with
+  | exception (Unix.Unix_error _ | Sys_error _) -> None
+  | hash -> hash
+
+let cached = lazy (Option.value (lookup ()) ~default:"unknown")
+
+let commit () = Lazy.force cached

@@ -1,0 +1,7 @@
+(** Version-control attribution for persisted telemetry records. *)
+
+val commit : unit -> string
+(** Short hash of the current git HEAD (["git rev-parse --short HEAD"]),
+    or ["unknown"] when the process does not run inside a repository or
+    git is unavailable. The first lookup forks a process; the result is
+    cached for the lifetime of the process. *)

@@ -5,8 +5,11 @@ type report = {
 }
 
 let waveforms ?(samples = 200) ~reference w =
+  if samples < 2 then invalid_arg "Compare.waveforms: samples < 2";
   let t0 = Float.max (Waveform.start_time reference) (Waveform.start_time w) in
   let t1 = Float.min (Waveform.end_time reference) (Waveform.end_time w) in
+  (* covers both genuinely disjoint spans and zero-length (single-sample)
+     waveforms, whose span degenerates to a point *)
   if t1 <= t0 then invalid_arg "Compare.waveforms: disjoint spans";
   let lo, hi =
     Array.fold_left

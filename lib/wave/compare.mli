@@ -9,8 +9,10 @@ type report = {
 
 val waveforms : ?samples:int -> reference:Waveform.t -> Waveform.t -> report
 (** Compare over the intersection of the two time spans, resampling both
-    on [samples] uniform points (default 200).
-    @raise Invalid_argument if the spans do not overlap. *)
+    on [samples] uniform points (default 200; at least 2).
+    @raise Invalid_argument if [samples < 2] or if the intersection of
+    the spans is empty — including the degenerate case where either
+    waveform has zero length (a single sample). *)
 
 val delay_error_percent : reference:float -> float -> float
 (** [100 * |d - reference| / reference].

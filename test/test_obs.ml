@@ -84,6 +84,33 @@ let test_metrics_snapshot_parses () =
   | Some (Json.Obj _) -> ()
   | _ -> Alcotest.fail "snapshot has no histograms object"
 
+let test_reset_keeps_handles () =
+  (* the Metrics.reset contract: handles handed out before reset stay
+     registered and interchangeable with post-reset re-registrations, and
+     updates through either round-trip into the next snapshot *)
+  let before = Metrics.counter "test_obs.reset" in
+  let h_before = Metrics.histogram "test_obs.reset_hist" ~bounds:[| 1.0; 2.0 |] in
+  Metrics.add before 5;
+  Metrics.observe h_before 1.5;
+  Metrics.reset ();
+  Alcotest.(check int) "old handle sees the zeroed cell" 0 (Metrics.value before);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.histogram_total h_before);
+  let after = Metrics.counter "test_obs.reset" in
+  let h_after = Metrics.histogram "test_obs.reset_hist" ~bounds:[| 1.0; 2.0 |] in
+  Metrics.incr after;
+  Metrics.incr before;
+  Metrics.observe h_after 0.5;
+  Metrics.observe h_before 3.0;
+  Alcotest.(check int) "old and new handles share one cell" 2 (Metrics.value after);
+  Alcotest.(check (array int))
+    "histogram updates via both handles" [| 1; 0; 1 |]
+    (Metrics.histogram_counts h_after);
+  let doc = Json.of_string (Json.to_string (Metrics.snapshot ())) in
+  let counters = Option.get (Json.member "counters" doc) in
+  Alcotest.(check bool)
+    "post-reset increments round-trip through snapshot" true
+    (Json.member "test_obs.reset" counters = Some (Json.Int 2))
+
 (* ---------- trace sink ---------- *)
 
 let test_trace_document () =
@@ -211,6 +238,8 @@ let () =
           Alcotest.test_case "counter registry" `Quick test_counter_registry;
           Alcotest.test_case "histogram boundaries" `Quick test_histogram_boundaries;
           Alcotest.test_case "snapshot parses" `Quick test_metrics_snapshot_parses;
+          Alcotest.test_case "reset keeps handles registered" `Quick
+            test_reset_keeps_handles;
         ] );
       ( "trace",
         [

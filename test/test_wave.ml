@@ -170,6 +170,41 @@ let test_compare_offset () =
   check_close ~eps:1e-6 "rms = offset" 0.33 r.Compare.rms_error;
   check_close ~eps:1e-6 "10% of swing" 10.0 r.Compare.rms_percent_of_swing
 
+let test_compare_zero_length () =
+  (* a single-sample waveform spans zero time: nothing to resample *)
+  let point = Waveform.of_samples [| (1.5, 2.0) |] in
+  Alcotest.check_raises "zero-length reference"
+    (Invalid_argument "Compare.waveforms: disjoint spans") (fun () ->
+      ignore (Compare.waveforms ~reference:point ramp_down));
+  Alcotest.check_raises "zero-length candidate"
+    (Invalid_argument "Compare.waveforms: disjoint spans") (fun () ->
+      ignore (Compare.waveforms ~reference:ramp_down point))
+
+let test_compare_disjoint_spans () =
+  let early = Waveform.of_samples [| (0.0, 0.0); (1.0, 1.0) |] in
+  let late = Waveform.of_samples [| (2.0, 1.0); (3.0, 0.0) |] in
+  Alcotest.check_raises "disjoint"
+    (Invalid_argument "Compare.waveforms: disjoint spans") (fun () ->
+      ignore (Compare.waveforms ~reference:early late));
+  (* spans touching at exactly one instant are still empty intersections *)
+  let touching = Waveform.of_samples [| (1.0, 1.0); (3.0, 0.0) |] in
+  Alcotest.check_raises "touching at a point"
+    (Invalid_argument "Compare.waveforms: disjoint spans") (fun () ->
+      ignore (Compare.waveforms ~reference:early touching));
+  Alcotest.check_raises "samples < 2"
+    (Invalid_argument "Compare.waveforms: samples < 2") (fun () ->
+      ignore (Compare.waveforms ~samples:1 ~reference:ramp_down ramp_down))
+
+let test_accuracy_zero_reference () =
+  (* a zero reference delay must never yield NaN/inf accuracy — it is
+     rejected outright *)
+  Alcotest.check_raises "accuracy at reference = 0"
+    (Invalid_argument "Compare.delay_error_percent: bad reference") (fun () ->
+      ignore (Compare.accuracy_percent ~reference:0.0 1e-12));
+  (* positive references always produce finite values *)
+  let a = Compare.accuracy_percent ~reference:1e-15 1e-10 in
+  Alcotest.(check bool) "finite accuracy" true (Float.is_finite a)
+
 let test_delay_error_metrics () =
   check_close "error" 10.0 (Compare.delay_error_percent ~reference:100e-12 110e-12);
   check_close "accuracy" 90.0 (Compare.accuracy_percent ~reference:100e-12 110e-12);
@@ -215,6 +250,9 @@ let () =
         [
           quick "identical" test_compare_identical;
           quick "offset" test_compare_offset;
+          quick "zero-length waveform" test_compare_zero_length;
+          quick "disjoint spans" test_compare_disjoint_spans;
+          quick "zero reference accuracy" test_accuracy_zero_reference;
           quick "delay metrics" test_delay_error_metrics;
         ] );
     ]
