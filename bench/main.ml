@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- --table parallel
      dune exec bench/main.exe -- --table incr [--smoke]
      dune exec bench/main.exe -- --table audit [--smoke]
+     dune exec bench/main.exe -- --table alloc [--smoke]
      dune exec bench/main.exe -- --figure 5|7|8|9|10
      dune exec bench/main.exe -- --table ablation-linsolve
      dune exec bench/main.exe -- --table ablation-sc
@@ -649,6 +650,91 @@ let sta_audit ?(smoke = false) () =
     audit.Audit.overall.Audit.runtime_ratio;
   Audit.to_json audit
 
+(* ---------- Allocation profile: the workspace-reuse hot path ---------- *)
+
+(* Cold hands the solver a fresh [Qwm_solver.Workspace] every solve; warm
+   reuses one across the loop (the production configuration: the stage
+   cache reuses a per-domain workspace). Two allocation views per mode:
+   the solver's own [qwm.alloc.minor_words] counter isolates the region
+   solve loop — the metric the budget gate tracks — while the process
+   delta around the loop includes scenario lowering, waveform assembly
+   and (in cold mode) the workspace allocation itself. *)
+let alloc_table ?(smoke = false) () =
+  let model = Lazy.force table_model in
+  let solves = if smoke then 200 else 1000 in
+  let scenarios =
+    if smoke then
+      [ ("stack6", Scenario.stack_falling ~widths:(Array.make 6 1.6e-6) tech) ]
+    else
+      [
+        ("nand3", Scenario.nand_falling ~n:3 tech);
+        ("stack6", Scenario.stack_falling ~widths:(Array.make 6 1.6e-6) tech);
+        ("stack10", Random_circuits.stack_scenario tech ~len:10 ~seed:1);
+      ]
+  in
+  Printf.printf
+    "\n=== Allocation profile: words per region solve, cold vs reused workspace ===\n";
+  Printf.printf "(%d solves per mode; solver w/reg = qwm.alloc.minor_words per region,\n" solves;
+  Printf.printf " process w/solve = whole-loop minor-word delta per solve)\n";
+  Printf.printf "%-10s %8s %6s | %14s %14s | %16s %16s\n" "scenario" "mode" "reg/s"
+    "solver w/reg" "proc w/solve" "solves/s" "ms/solve";
+  let counter name = Option.value (Metrics.find_counter name) ~default:0 in
+  let measure name scenario ~mode =
+    let shared =
+      match mode with `Warm -> Some (Qwm_solver.Workspace.create ()) | `Cold -> None
+    in
+    let run () =
+      let workspace =
+        match shared with Some ws -> ws | None -> Qwm_solver.Workspace.create ()
+      in
+      Qwm.run ~model ~workspace scenario
+    in
+    ignore (run ());  (* warm-up: tables, branch history, (warm) buffers *)
+    Gc.full_major ();
+    let solver_w0 = counter "qwm.alloc.minor_words" in
+    let a0 = Tqwm_obs.Alloc.sample () in
+    let t0 = Unix.gettimeofday () in
+    let regions = ref 0 in
+    for _ = 1 to solves do
+      let r = run () in
+      regions := !regions + r.Qwm.stats.Qwm_solver.regions
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let d = Tqwm_obs.Alloc.since a0 in
+    let solver_words = counter "qwm.alloc.minor_words" - solver_w0 in
+    let solver_wpr = float_of_int solver_words /. float_of_int !regions in
+    let proc_wps = d.Tqwm_obs.Alloc.minor_words /. float_of_int solves in
+    let solves_per_s = float_of_int solves /. dt in
+    Printf.printf "%-10s %8s %6d | %14.0f %14.0f | %16.1f %16.4f\n" name
+      (match mode with `Cold -> "cold" | `Warm -> "warm")
+      (!regions / solves) solver_wpr proc_wps solves_per_s
+      (dt /. float_of_int solves *. 1e3);
+    Json.Obj
+      [
+        ("mode", Json.String (match mode with `Cold -> "cold" | `Warm -> "warm"));
+        ("regions_per_solve", Json.Int (!regions / solves));
+        ("solver_words_per_region", Json.Float solver_wpr);
+        ("process_words_per_solve", Json.Float proc_wps);
+        ("solves_per_s", Json.Float solves_per_s);
+        ("ms_per_solve", Json.Float (dt /. float_of_int solves *. 1e3));
+      ]
+  in
+  let rows =
+    List.map
+      (fun (name, scenario) ->
+        let cold = measure name scenario ~mode:`Cold in
+        let warm = measure name scenario ~mode:`Warm in
+        Json.Obj [ ("name", Json.String name); ("cold", cold); ("warm", warm) ])
+      scenarios
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "tqwm-bench-alloc/1");
+      ("smoke", Json.Bool smoke);
+      ("solves_per_mode", Json.Int solves);
+      ("scenarios", Json.List rows);
+    ]
+
 let smoke () =
   (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
   let scenario = Scenario.nand_falling ~n:2 tech in
@@ -679,7 +765,7 @@ let write_json json_path doc =
     | None ->
       Printf.eprintf
         "bench: --json is only produced by --table parallel, --table incr, \
-         --table audit and --smoke; ignoring\n")
+         --table audit, --table alloc and --smoke; ignoring\n")
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
@@ -768,6 +854,7 @@ let () =
     | _ :: "--table" :: "parallel" :: _ -> Some (sta_parallel ())
     | _ :: "--table" :: "incr" :: rest -> Some (sta_incr ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--table" :: "audit" :: rest -> Some (sta_audit ~smoke:(List.mem "--smoke" rest) ())
+    | _ :: "--table" :: "alloc" :: rest -> Some (alloc_table ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--smoke" :: _ -> Some (smoke ())
     | _ :: "--table" :: "ablation-linsolve" :: _ -> ablation_linsolve (); None
     | _ :: "--table" :: "ablation-sc" :: _ -> ablation_sc (); None
@@ -782,7 +869,7 @@ let () =
     | [ _ ] -> all (); None
     | _ :: _ :: _ | [] ->
       prerr_endline
-        "usage: main.exe [--table I|II|parallel|incr|audit|ablation-linsolve|ablation-sc|ablation-grid] \
+        "usage: main.exe [--table I|II|parallel|incr|audit|alloc|ablation-linsolve|ablation-sc|ablation-grid] \
          [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE]";
       exit 1
   in

@@ -17,6 +17,14 @@ module Report = Tqwm_sta.Report
 module Metrics = Tqwm_obs.Metrics
 module Trace = Tqwm_obs.Trace
 module Json = Tqwm_obs.Json
+module Alloc = Tqwm_obs.Alloc
+
+(* Attach the process's current [Gc.quick_stat] to a JSON document so the
+   allocation counters land next to the data they explain. *)
+let with_gc_stat doc =
+  match doc with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("gc", Alloc.quick_stat_json ()) ])
+  | other -> other
 module Audit = Tqwm_audit.Audit
 module Audit_baseline = Tqwm_audit.Baseline
 module Drift = Tqwm_audit.Drift
@@ -92,7 +100,7 @@ let run_sta ~tech ~depth ~fanout ~domains ~use_cache ~json_file scenario =
   (match json_file with
   | None -> ()
   | Some path ->
-    Json.write_file path (Report.to_json graph analysis);
+    Json.write_file path (with_gc_stat (Report.to_json graph analysis));
     Printf.printf "sta: wrote JSON report to %s\n" path);
   0
 
@@ -289,8 +297,8 @@ let main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
   (match metrics_file with
   | None -> ()
   | Some path ->
-    Metrics.write_file path;
-    Printf.printf "metrics: wrote counters and histograms to %s\n" path);
+    Json.write_file path (with_gc_stat (Metrics.snapshot ()));
+    Printf.printf "metrics: wrote counters, histograms and gc stats to %s\n" path);
   code
 
 open Cmdliner

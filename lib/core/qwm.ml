@@ -108,13 +108,13 @@ let quadratic_slew ~vdd q edge =
   | Tqwm_wave.Measure.Falling, Some t1, Some t2 when t1 >= t2 -> Some (t1 -. t2)
   | (Tqwm_wave.Measure.Rising | Tqwm_wave.Measure.Falling), _, _ -> None
 
-let run_on_lowering ~model ?(config = Config.default) ~scenario lowering =
+let run_on_lowering ~model ?(config = Config.default) ?workspace ~scenario lowering =
   let t_start = Unix.gettimeofday () in
   let chain = lowering.Path.chain in
   let initial =
     Array.map (fun n -> scenario.Scenario.initial.(n)) lowering.Path.stage_nodes
   in
-  let solved = Qwm_solver.solve ~model ~config ~scenario ~chain ~initial in
+  let solved = Qwm_solver.solve ?workspace ~model ~config ~scenario ~chain ~initial in
   let runtime_seconds = Unix.gettimeofday () -. t_start in
   let k = Chain.length chain in
   let output = solved.Qwm_solver.node_quadratics.(k - 1) in
@@ -143,10 +143,10 @@ let run_on_lowering ~model ?(config = Config.default) ~scenario lowering =
     stats = solved.Qwm_solver.stats;
   }
 
-let run ~model ?(config = Config.default) scenario =
+let run ~model ?(config = Config.default) ?workspace scenario =
   let lowering = lower_scenario ~model ~config scenario in
   Tqwm_obs.Trace.with_span ~name:("qwm:" ^ scenario.Scenario.name) ~cat:"qwm"
-    (fun () -> run_on_lowering ~model ~config ~scenario lowering)
+    (fun () -> run_on_lowering ~model ~config ?workspace ~scenario lowering)
 
 let output_waveform report ~dt = Waveform.sample_quadratic report.output ~dt
 

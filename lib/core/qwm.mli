@@ -32,12 +32,16 @@ val lower_scenario :
 val run :
   model:Tqwm_device.Device_model.t ->
   ?config:Config.t ->
+  ?workspace:Qwm_solver.Workspace.t ->
   Scenario.t ->
   report
+(** [workspace] supplies the solver's scratch buffers (default: the
+    calling domain's); the report is bit-identical either way. *)
 
 val run_on_lowering :
   model:Tqwm_device.Device_model.t ->
   ?config:Config.t ->
+  ?workspace:Qwm_solver.Workspace.t ->
   scenario:Scenario.t ->
   Path.lowering ->
   report

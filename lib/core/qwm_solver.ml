@@ -10,6 +10,7 @@ module Mat = Tqwm_num.Mat
 module Metrics = Tqwm_obs.Metrics
 module Trace = Tqwm_obs.Trace
 module Json = Tqwm_obs.Json
+module Alloc = Tqwm_obs.Alloc
 
 (* Global solver telemetry; one atomic add per counter per solve. *)
 let c_solves = Metrics.counter "qwm.solves"
@@ -19,6 +20,8 @@ let c_newton = Metrics.counter "qwm.newton_iterations"
 let c_linear_solves = Metrics.counter "qwm.linear_solves"
 let c_bisections = Metrics.counter "qwm.bisections"
 let c_failures = Metrics.counter "qwm.failures"
+let c_alloc_minor = Metrics.counter "qwm.alloc.minor_words"
+let c_alloc_promoted = Metrics.counter "qwm.alloc.promoted_words"
 
 let h_regions_per_solve =
   Metrics.histogram "qwm.regions_per_solve"
@@ -27,6 +30,131 @@ let h_regions_per_solve =
 let h_newton_per_region =
   Metrics.histogram "qwm.newton_per_region"
     ~bounds:[| 1.0; 2.0; 3.0; 5.0; 8.0; 13.0; 21.0; 34.0 |]
+
+let h_alloc_per_region =
+  Metrics.histogram "qwm.alloc.words_per_region"
+    ~bounds:
+      [| 128.0; 256.0; 512.0; 1024.0; 2048.0; 4096.0; 8192.0; 16384.0; 32768.0; 65536.0 |]
+
+module Workspace = struct
+  (* One flat bundle of scratch buffers sized for chains of up to [cap]
+     nodes. The buffers are reused across regions and solves, and every
+     kernel operates on an explicit prefix of them, so slots beyond the
+     live prefix may hold stale values from an earlier (larger) system
+     and must never be read. The few slots a computation relies on being
+     zero are re-zeroed at each use site, keeping results bit-identical
+     to the old allocate-fresh-zeroed-arrays code. *)
+  type buffers = {
+    cap : int;  (** chain-node capacity [K] *)
+    (* region-end projection of the current Newton candidate *)
+    v_end : float array;  (* K+1 *)
+    i_end : float array;  (* K+1 *)
+    (* residuals: the accepted iterate's and the line-search trial's *)
+    f : float array;  (* K+1 *)
+    f_trial : float array;  (* K+1 *)
+    j : float array;  (* K+2: edge currents; j.(m+1) re-zeroed per use *)
+    (* Jacobian blocks *)
+    h : float array;  (* K *)
+    w : float array;  (* K+1; w.(0) re-zeroed per use *)
+    lower : float array;  (* K; lower.(0) re-zeroed per use *)
+    diag : float array;  (* K *)
+    upper : float array;  (* K; upper.(m-1) re-zeroed per use *)
+    last_col : float array;  (* K *)
+    last_row : float array;  (* K *)
+    (* SoA edge-current derivatives, replacing the arrays of tuples *)
+    d_below : float array;  (* K *)
+    d_above : float array;  (* K *)
+    d_t : float array;  (* K *)
+    mutable last_row_m : float;
+    mutable corner : float;
+    (* linear-solver scratch *)
+    dx : float array;  (* K+1: the Newton step *)
+    cp : float array;  (* K+1: Thomas coefficients *)
+    dp : float array;  (* K+1 *)
+    y : float array;  (* K+1: first base solve *)
+    z : float array;  (* K+1: second base solve *)
+    sm_lower : float array;  (* K+1: Sherman–Morrison extended bands *)
+    sm_diag : float array;  (* K+1 *)
+    sm_upper : float array;  (* K+1 *)
+    sm_u : float array;  (* K+1 *)
+    sm_v : float array;  (* K+1 *)
+    mat : Mat.t;  (* (K+1) x (K+1), dense-LU mode only *)
+    perm : int array;  (* K+1 *)
+    (* Newton candidates and the warm start *)
+    alpha_a : float array;  (* K: primary attempt / fixed-delta fallback *)
+    alpha_b : float array;  (* K: explicit-Euler retry *)
+    trial_alpha : float array;  (* K: line-search trial *)
+    seed : float array;  (* K: estimate_region output *)
+    last_alpha : float array;  (* K: previous region's curvature *)
+    (* explicit-Euler estimator state *)
+    est_v : float array;  (* K+1 *)
+    est_i : float array;  (* K+1 *)
+    (* device-query scratch: one terminal-voltage record refilled per
+       query and one derivative out-buffer, so the model calls that fire
+       several times per Newton iteration never allocate *)
+    tvs : Device_model.terminal_voltages;
+    dv : Device_model.derivs;
+  }
+
+  let alloc cap =
+    let mk () = Array.make cap 0.0 in
+    let k1 () = Array.make (cap + 1) 0.0 in
+    {
+      cap;
+      v_end = k1 ();
+      i_end = k1 ();
+      f = k1 ();
+      f_trial = k1 ();
+      j = Array.make (cap + 2) 0.0;
+      h = mk ();
+      w = k1 ();
+      lower = mk ();
+      diag = mk ();
+      upper = mk ();
+      last_col = mk ();
+      last_row = mk ();
+      d_below = mk ();
+      d_above = mk ();
+      d_t = mk ();
+      last_row_m = 0.0;
+      corner = 0.0;
+      dx = k1 ();
+      cp = k1 ();
+      dp = k1 ();
+      y = k1 ();
+      z = k1 ();
+      sm_lower = k1 ();
+      sm_diag = k1 ();
+      sm_upper = k1 ();
+      sm_u = k1 ();
+      sm_v = k1 ();
+      mat = Mat.create (cap + 1) (cap + 1);
+      perm = Array.make (cap + 1) 0;
+      alpha_a = mk ();
+      alpha_b = mk ();
+      trial_alpha = mk ();
+      seed = mk ();
+      last_alpha = mk ();
+      est_v = k1 ();
+      est_i = k1 ();
+      tvs = { Device_model.input = 0.0; src = 0.0; snk = 0.0 };
+      dv = Device_model.derivs ();
+    }
+
+  type t = { mutable bufs : buffers }
+
+  let create ?(capacity = 8) () = { bufs = alloc (max capacity 1) }
+
+  (* Grow-only: replacing the bundle wholesale keeps every buffer's
+     capacity invariant trivially true. *)
+  let ensure t k = if k > t.bufs.cap then t.bufs <- alloc (max k (2 * t.bufs.cap))
+
+  (* Per-domain default workspace: parallel STA workers each live on their
+     own domain, so the single-flight stage cache hands every worker its
+     own scratch without coordination. *)
+  let key = Domain.DLS.new_key (fun () -> create ())
+  let for_current_domain () = Domain.DLS.get key
+end
 
 type stats = {
   regions : int;
@@ -56,6 +184,7 @@ type problem = {
   caps : float array;  (** node k capacitance at index k-1 *)
   t_end : float;
   cfg : Config.t;
+  ws : Workspace.buffers;
 }
 
 type state = {
@@ -71,7 +200,9 @@ type state = {
   mutable n_solves : int;
   mutable n_bisect : int;
   mutable n_fail : int;
-  mutable last_alpha : float array;  (** warm start: previous region's curvature *)
+  mutable last_alpha_len : int;
+      (** live prefix of [ws.last_alpha] (warm start); -1 before the
+          first committed region *)
 }
 
 let chain_length p = Array.length p.edges
@@ -92,24 +223,42 @@ let gate_norm_slope p k t =
   | Chain.Pull_down -> gate_real_slope p k t
   | Chain.Pull_up -> -.gate_real_slope p k t
 
-(* terminal voltages of edge k for normalized below/above node voltages *)
+(* terminal voltages of edge k for normalized below/above node voltages,
+   refilled into the workspace scratch record (the model only reads it
+   during the call, so one record serves every query) *)
 let terminal_voltages p k ~t ~vb ~va =
-  match p.rail with
-  | Chain.Pull_down -> { Device_model.input = gate_real p k t; src = va; snk = vb }
+  let tv = p.ws.Workspace.tvs in
+  (match p.rail with
+  | Chain.Pull_down ->
+    tv.Device_model.input <- gate_real p k t;
+    tv.Device_model.src <- va;
+    tv.Device_model.snk <- vb
   | Chain.Pull_up ->
-    { Device_model.input = gate_real p k t; src = p.vdd -. vb; snk = p.vdd -. va }
+    tv.Device_model.input <- gate_real p k t;
+    tv.Device_model.src <- p.vdd -. vb;
+    tv.Device_model.snk <- p.vdd -. va);
+  tv
 
 (* J'_k: normalized current flowing from node k to node k-1 *)
 let edge_current p k ~t ~vb ~va =
   p.model.Device_model.iv p.edges.(k - 1).Chain.device (terminal_voltages p k ~t ~vb ~va)
 
-(* (dJ'_k/dv'_below, dJ'_k/dv'_above) *)
-let edge_current_derivs p k ~t ~vb ~va =
+(* (dJ'_k/dv'_below, dJ'_k/dv'_above), left in [p.ws.dv] with the below
+   derivative in [dsrc] and the above derivative in [dsnk] (the record is
+   repurposed as the rail-mapped pair — same expressions as the old
+   tuple-returning form, so the values are bit-identical) *)
+let edge_current_derivs_into p k ~t ~vb ~va =
   let tv = terminal_voltages p k ~t ~vb ~va in
-  let dsrc, dsnk = p.model.Device_model.iv_derivatives p.edges.(k - 1).Chain.device tv in
+  let d = p.ws.Workspace.dv in
+  p.model.Device_model.iv_derivatives_into p.edges.(k - 1).Chain.device tv d;
   match p.rail with
-  | Chain.Pull_down -> (dsnk, dsrc)
-  | Chain.Pull_up -> (-.dsrc, -.dsnk)
+  | Chain.Pull_down ->
+    let dsrc = d.Device_model.dsrc in
+    d.Device_model.dsrc <- d.Device_model.dsnk;
+    d.Device_model.dsnk <- dsrc
+  | Chain.Pull_up ->
+    d.Device_model.dsrc <- -.d.Device_model.dsrc;
+    d.Device_model.dsnk <- -.d.Device_model.dsnk
 
 (* explicit time derivative of J'_k through a moving gate drive *)
 let edge_current_dt p k ~t ~vb ~va =
@@ -119,15 +268,21 @@ let edge_current_dt p k ~t ~vb ~va =
     let tv = terminal_voltages p k ~t ~vb ~va in
     let h = 1e-5 in
     let device = p.edges.(k - 1).Chain.device in
-    let up = p.model.Device_model.iv device { tv with input = tv.input +. h } in
-    let dn = p.model.Device_model.iv device { tv with input = tv.input -. h } in
+    let g0 = tv.Device_model.input in
+    tv.Device_model.input <- g0 +. h;
+    let up = p.model.Device_model.iv device tv in
+    tv.Device_model.input <- g0 -. h;
+    let dn = p.model.Device_model.iv device tv in
     (up -. dn) /. (2.0 *. h) *. slope
   end
 
 (* body-corrected threshold of edge k seen from its below node *)
 let threshold p k ~t ~vb =
   let real_b = real_of_norm p vb in
-  let tv = { Device_model.input = gate_real p k t; src = real_b; snk = real_b } in
+  let tv = p.ws.Workspace.tvs in
+  tv.Device_model.input <- gate_real p k t;
+  tv.Device_model.src <- real_b;
+  tv.Device_model.snk <- real_b;
   p.model.Device_model.threshold p.edges.(k - 1).Chain.device tv
 
 let threshold_slope p k ~t ~vb =
@@ -149,15 +304,18 @@ type target =
 
 let is_linear p = p.cfg.Config.waveform_model = Config.Linear
 
-(* Region-end node voltages and currents for a candidate (x, delta).
+(* Region-end node voltages and currents for a candidate (x, delta),
+   written into [ws.v_end] / [ws.i_end].
    Quadratic model (the paper's): x_k is the current slope [alpha_k], so
    [v] gains i*d + alpha*d^2/2 over the region and [i] gains alpha*d.
    Linear model: x_k is the region's (constant) current itself, so [v]
    gains x*d and the end current is x. *)
 let project p st x delta =
+  let ws = p.ws in
   let k_total = chain_length p in
-  let v_end = Array.make (k_total + 1) 0.0 and i_end = Array.make (k_total + 1) 0.0 in
   let linear = is_linear p in
+  let v_end = ws.v_end and i_end = ws.i_end in
+  v_end.(0) <- 0.0;
   for k = 1 to k_total do
     if k <= st.active then begin
       let c = p.caps.(k - 1) in
@@ -172,71 +330,75 @@ let project p st x delta =
       end
     end
     else v_end.(k) <- st.v.(k)
-  done;
-  (v_end, i_end)
+  done
 
-let region_residual p st target alpha delta =
+(* Residual of the region system at (alpha, delta), written into the first
+   [m+1] slots of [f]. Also leaves [ws.v_end]/[ws.i_end] holding the
+   candidate's projection — [region_jacobian] relies on this. *)
+let region_residual p st target alpha delta ~f =
+  let ws = p.ws in
   let m = st.active in
   let t' = st.t +. delta in
-  let v_end, i_end = project p st alpha delta in
-  let j = Array.make (m + 2) 0.0 in
+  project p st alpha delta;
+  let v_end = ws.v_end and i_end = ws.i_end and j = ws.j in
+  (* j.(m+1) is 0: the edge above the front is an off transistor *)
+  j.(m + 1) <- 0.0;
   for k = 1 to m do
     j.(k) <- edge_current p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k)
   done;
-  (* j.(m+1) stays 0: the edge above the front is an off transistor *)
-  let f = Array.make (m + 1) 0.0 in
   for k = 1 to m do
     f.(k - 1) <- i_end.(k) -. (j.(k + 1) -. j.(k))
   done;
-  (match target with
+  match target with
   | Turn_on k0 -> f.(m) <- drive p k0 ~t:t' ~vb:v_end.(m)
-  | Level { node; value } -> f.(m) <- v_end.(node) -. value);
-  (f, v_end, i_end)
+  | Level { node; value } -> f.(m) <- v_end.(node) -. value
 
-(* Jacobian of the region system, returned as its structural components:
-   the alpha-block tridiagonal, the dense last (d/d delta) column, the
-   single non-zero of the last row (at alpha_m) and the corner. *)
+(* Jacobian of the region system, written as its structural components:
+   the alpha-block tridiagonal and dense last (d/d delta) column into the
+   workspace band buffers, the single non-zero of the last row (at
+   alpha_m) into [ws.last_row_m] and the corner into [ws.corner].
+
+   Precondition: [ws.v_end]/[ws.i_end] already hold the projection of
+   (alpha, delta) — always true because the accepted candidate's residual
+   is the last one evaluated. This removes the duplicate [project] the
+   old code performed once per Newton iteration. *)
 let region_jacobian p st target alpha delta =
+  let ws = p.ws in
   let m = st.active in
   let linear = is_linear p in
   let t' = st.t +. delta in
-  let v_end, i_end = project p st alpha delta in
+  let v_end = ws.v_end and i_end = ws.i_end in
   (* dv_end/dx per node, and di_end/dx (shared by all nodes) *)
-  let h =
-    Array.init m (fun k ->
-        if linear then delta /. p.caps.(k) else 0.5 *. delta *. delta /. p.caps.(k))
-  in
+  let h = ws.h in
+  for k = 0 to m - 1 do
+    h.(k) <- (if linear then delta /. p.caps.(k) else 0.5 *. delta *. delta /. p.caps.(k))
+  done;
   let di_dx = if linear then 1.0 else delta in
-  let w = Array.make (m + 1) 0.0 in
+  let w = ws.w in
+  w.(0) <- 0.0;
   for k = 1 to m do
     w.(k) <- i_end.(k) /. p.caps.(k - 1)
   done;
-  let lower = Array.make m 0.0
-  and diag = Array.make m 0.0
-  and upper = Array.make m 0.0
-  and last_col = Array.make m 0.0 in
+  let lower = ws.lower and diag = ws.diag and upper = ws.upper and last_col = ws.last_col in
+  (* the loop below leaves these two slots untouched; zero the stale values *)
+  lower.(0) <- 0.0;
+  upper.(m - 1) <- 0.0;
   (* each edge's derivatives are shared by the rows of both its nodes *)
-  let derivs =
-    Array.init m (fun idx ->
-        let k = idx + 1 in
-        edge_current_derivs p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k))
-  in
-  let deriv_ts =
-    Array.init m (fun idx ->
-        let k = idx + 1 in
-        edge_current_dt p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k))
-  in
+  let d_below = ws.d_below and d_above = ws.d_above and d_t = ws.d_t in
+  for idx = 0 to m - 1 do
+    let k = idx + 1 in
+    edge_current_derivs_into p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k);
+    d_below.(idx) <- ws.dv.Device_model.dsrc;
+    d_above.(idx) <- ws.dv.Device_model.dsnk;
+    d_t.(idx) <- edge_current_dt p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k)
+  done;
   for k = 1 to m do
     let r = k - 1 in
-    let djk_b, djk_a = derivs.(r) in
-    let djk_t = deriv_ts.(r) in
-    let djk1_b, djk1_a, djk1_t =
-      if k < m then begin
-        let b, a = derivs.(r + 1) in
-        (b, a, deriv_ts.(r + 1))
-      end
-      else (0.0, 0.0, 0.0)
-    in
+    let djk_b = d_below.(r) and djk_a = d_above.(r) in
+    let djk_t = d_t.(r) in
+    let djk1_b = if k < m then d_below.(r + 1) else 0.0 in
+    let djk1_a = if k < m then d_above.(r + 1) else 0.0 in
+    let djk1_t = if k < m then d_t.(r + 1) else 0.0 in
     diag.(r) <- di_dx +. ((djk_a -. djk1_b) *. h.(r));
     if k < m then upper.(r) <- -.djk1_a *. h.(r + 1);
     if k > 1 then lower.(r) <- djk_b *. h.(r - 2 + 1);
@@ -250,61 +412,68 @@ let region_jacobian p st target alpha delta =
     (* di_end/d delta: alpha for the quadratic model, 0 for the linear *)
     last_col.(r) <- (if linear then 0.0 else alpha.(r)) +. dj_dt_total
   done;
-  let last_row_m, corner =
-    match target with
-    | Turn_on k0 ->
-      let vth' = threshold_slope p k0 ~t:t' ~vb:v_end.(m) in
-      let d_alpha = (-1.0 -. vth') *. h.(m - 1) in
-      let d_delta = gate_norm_slope p k0 t' -. ((1.0 +. vth') *. w.(m)) in
-      (d_alpha, d_delta)
-    | Level _ -> (h.(m - 1), w.(m))
-  in
-  (lower, diag, upper, last_col, last_row_m, corner)
+  match target with
+  | Turn_on k0 ->
+    let vth' = threshold_slope p k0 ~t:t' ~vb:v_end.(m) in
+    ws.last_row_m <- (-1.0 -. vth') *. h.(m - 1);
+    ws.corner <- gate_norm_slope p k0 t' -. ((1.0 +. vth') *. w.(m))
+  | Level _ ->
+    ws.last_row_m <- h.(m - 1);
+    ws.corner <- w.(m)
 
-let solve_linear p (lower, diag, upper, last_col, last_row_m, corner) f =
-  let m = Array.length diag in
+(* Solve the bordered system held in the workspace band buffers for the
+   Newton step, reading the residual from [f] and writing the step into
+   [ws.dx.(0..m)]. All three solver modes run allocation-free on the
+   in-place kernels, bit-identical to the old allocating forms. *)
+let solve_linear p m ~f =
+  let ws = p.ws in
   match p.cfg.Config.linear_solver with
   | Config.Dense_lu ->
-    let a = Mat.create (m + 1) (m + 1) in
-    for r = 0 to m - 1 do
-      Mat.set a r r diag.(r);
-      if r > 0 then Mat.set a r (r - 1) lower.(r);
-      if r < m - 1 then Mat.set a r (r + 1) upper.(r);
-      Mat.set a r m last_col.(r)
+    let a = ws.mat in
+    for r = 0 to m do
+      for c = 0 to m do
+        Mat.set a r c 0.0
+      done
     done;
-    Mat.set a m (m - 1) last_row_m;
-    Mat.set a m m corner;
-    Lu.solve a f
+    for r = 0 to m - 1 do
+      Mat.set a r r ws.diag.(r);
+      if r > 0 then Mat.set a r (r - 1) ws.lower.(r);
+      if r < m - 1 then Mat.set a r (r + 1) ws.upper.(r);
+      Mat.set a r m ws.last_col.(r)
+    done;
+    Mat.set a m (m - 1) ws.last_row_m;
+    Mat.set a m m ws.corner;
+    Lu.factorize_into ~n:(m + 1) a ~perm:ws.perm;
+    Lu.solve_factored_into ~n:(m + 1) a ~perm:ws.perm ~b:f ~x:ws.dx
   | Config.Bordered ->
-    let core = Tridiag.make ~lower ~diag ~upper in
-    let last_row = Array.make m 0.0 in
-    last_row.(m - 1) <- last_row_m;
-    Bordered.solve { Bordered.core; last_col; last_row; corner } f
+    let last_row = ws.last_row in
+    Array.fill last_row 0 m 0.0;
+    last_row.(m - 1) <- ws.last_row_m;
+    Bordered.solve_into ~n:m ~lower:ws.lower ~diag:ws.diag ~upper:ws.upper
+      ~last_col:ws.last_col ~last_row ~corner:ws.corner ~cp:ws.cp ~dp:ws.dp ~y:ws.y
+      ~z:ws.z ~b:f ~x:ws.dx
   | Config.Sherman_morrison ->
     (* the paper's form: an (m+1) tridiagonal matrix (the last row's only
        non-zero is adjacent to the corner, and the last column's entry in
        row m-1 fits the super-diagonal) plus a rank-1 update carrying the
        remaining last-column entries *)
-    let lower' = Array.make (m + 1) 0.0
-    and diag' = Array.make (m + 1) 0.0
-    and upper' = Array.make (m + 1) 0.0 in
-    Array.blit lower 0 lower' 0 m;
-    Array.blit diag 0 diag' 0 m;
-    Array.blit upper 0 upper' 0 m;
-    upper'.(m - 1) <- last_col.(m - 1);
-    lower'.(m) <- last_row_m;
-    diag'.(m) <- corner;
-    let u = Array.make (m + 1) 0.0 in
+    Array.blit ws.lower 0 ws.sm_lower 0 m;
+    Array.blit ws.diag 0 ws.sm_diag 0 m;
+    Array.blit ws.upper 0 ws.sm_upper 0 m;
+    ws.sm_upper.(m - 1) <- ws.last_col.(m - 1);
+    ws.sm_lower.(m) <- ws.last_row_m;
+    ws.sm_diag.(m) <- ws.corner;
+    let u = ws.sm_u and v = ws.sm_v in
+    Array.fill u 0 (m + 1) 0.0;
     for r = 0 to m - 2 do
-      u.(r) <- last_col.(r)
+      u.(r) <- ws.last_col.(r)
     done;
-    let v = Array.make (m + 1) 0.0 in
+    Array.fill v 0 (m + 1) 0.0;
     v.(m) <- 1.0;
-    let core = Tridiag.make ~lower:lower' ~diag:diag' ~upper:upper' in
-    Sherman_morrison.solve_tridiag core ~u ~v f
+    Sherman_morrison.solve_tridiag_into ~n:(m + 1) ~lower:ws.sm_lower ~diag:ws.sm_diag
+      ~upper:ws.sm_upper ~u ~v ~cp:ws.cp ~dp:ws.dp ~y:ws.y ~z:ws.z ~b:f ~x:ws.dx
 
-let converged p f =
-  let m = Array.length f - 1 in
+let converged p f m =
   let ok = ref (Float.abs f.(m) <= p.cfg.Config.voltage_tolerance) in
   for k = 0 to m - 1 do
     if Float.abs f.(k) > p.cfg.Config.current_tolerance then ok := false
@@ -331,82 +500,93 @@ type region_solution = { alpha : float array; delta : float; ok : bool; iters : 
 
 (* Scale-free residual magnitude: current matches in units of the current
    tolerance, the end condition in units of the voltage tolerance. *)
-let merit p f =
-  let m = Array.length f - 1 in
+let merit p f m =
   let acc = ref (Float.abs f.(m) /. p.cfg.Config.voltage_tolerance) in
   for k = 0 to m - 1 do
     acc := Float.max !acc (Float.abs f.(k) /. p.cfg.Config.current_tolerance)
   done;
   !acc
 
-(* Newton warm start from a given candidate (used after the explicit
-   estimator has produced a good guess). *)
-let solve_region_from ?cap p st target alpha0 delta0 =
+(* Newton iteration working in place on [alpha], a workspace-owned buffer
+   already holding the start point (used directly by [solve_region], and
+   with the explicit estimator's seed after a cheap-start failure). The
+   returned solution aliases [alpha]; it stays valid until the buffer's
+   next attempt. *)
+let solve_region_from ?cap p st target alpha delta0 =
+  let ws = p.ws in
   let m = st.active in
   let cfg = p.cfg in
   let max_iterations = Option.value cap ~default:cfg.Config.max_iterations in
-  let alpha = Array.copy alpha0 in
   let delta = ref (Float.max delta0 1e-15) in
-  let apply_step step dx =
-    let trial_alpha = Array.init m (fun r -> alpha.(r) -. (step *. dx.(r))) in
+  let apply_step step =
+    let dx = ws.dx and trial_alpha = ws.trial_alpha in
+    for r = 0 to m - 1 do
+      trial_alpha.(r) <- alpha.(r) -. (step *. dx.(r))
+    done;
     let prev = !delta in
     let next = prev -. (step *. dx.(m)) in
-    let trial_delta =
-      if next <= 0.0 then prev *. 0.3
-      else if next > prev *. 10.0 then prev *. 10.0
-      else Float.max next 1e-16
-    in
-    (trial_alpha, trial_delta)
+    if next <= 0.0 then prev *. 0.3
+    else if next > prev *. 10.0 then prev *. 10.0
+    else Float.max next 1e-16
   in
-  let rec iterate n f0 =
+  (* invariant: [ws.f] holds the residual at (alpha, !delta), and
+     [ws.v_end]/[ws.i_end] that candidate's projection *)
+  let rec iterate n =
     st.n_newton <- st.n_newton + 1;
-    if converged p f0 then { alpha; delta = !delta; ok = true; iters = n }
+    if converged p ws.f m then { alpha; delta = !delta; ok = true; iters = n }
     else if n >= max_iterations then { alpha; delta = !delta; ok = false; iters = n }
     else begin
-      let jac = region_jacobian p st target alpha !delta in
-      match solve_linear p jac f0 with
+      region_jacobian p st target alpha !delta;
+      match solve_linear p m ~f:ws.f with
       | exception _ -> { alpha; delta = !delta; ok = false; iters = n }
-      | dx ->
+      | () ->
         st.n_solves <- st.n_solves + 1;
-        let m0 = merit p f0 in
+        let m0 = merit p ws.f m in
         let rec backtrack step tries =
-          let trial_alpha, trial_delta = apply_step step dx in
-          let f, _, _ = region_residual p st target trial_alpha trial_delta in
-          let mt = merit p f in
-          if tries = 0 then (trial_alpha, trial_delta, f, mt)
+          let trial_delta = apply_step step in
+          region_residual p st target ws.trial_alpha trial_delta ~f:ws.f_trial;
+          let mt = merit p ws.f_trial m in
+          if tries = 0 then trial_delta
           else if Float.is_nan mt || mt >= m0 then backtrack (step /. 2.0) (tries - 1)
-          else (trial_alpha, trial_delta, f, mt)
+          else trial_delta
         in
-        let trial_alpha, trial_delta, f, mt = backtrack cfg.Config.damping 10 in
+        let trial_delta = backtrack cfg.Config.damping 10 in
+        let mt = merit p ws.f_trial m in
         if Float.is_nan mt then { alpha; delta = !delta; ok = false; iters = n }
         else begin
-          Array.blit trial_alpha 0 alpha 0 m;
+          Array.blit ws.trial_alpha 0 alpha 0 m;
           delta := trial_delta;
-          iterate (n + 1) f
+          Array.blit ws.f_trial 0 ws.f 0 (m + 1);
+          iterate (n + 1)
         end
     end
   in
-  let f0, _, _ = region_residual p st target alpha !delta in
-  if Float.is_nan (merit p f0) then { alpha; delta = !delta; ok = false; iters = 0 }
-  else iterate 0 f0
+  region_residual p st target alpha !delta ~f:ws.f;
+  if Float.is_nan (merit p ws.f m) then { alpha; delta = !delta; ok = false; iters = 0 }
+  else iterate 0
 
 let solve_region ?cap p st target =
+  let ws = p.ws in
   let m = st.active in
-  let x0 =
-    if is_linear p then Array.init m (fun r -> st.i.(r + 1))
-    else if Array.length st.last_alpha = m then Array.copy st.last_alpha
-    else Array.make m 0.0
-  in
+  let x0 = ws.alpha_a in
+  if is_linear p then
+    for r = 0 to m - 1 do
+      x0.(r) <- st.i.(r + 1)
+    done
+  else if st.last_alpha_len = m then Array.blit ws.last_alpha 0 x0 0 m
+  else Array.fill x0 0 m 0.0;
   solve_region_from ?cap p st target x0 (initial_delta p st target)
 
 (* Coarse explicit-Euler integration of the active nodes up to the target
    condition: a robust initial guess when the plain Newton start fails
    (e.g. a turn-on region whose condition node has only just activated and
-   carries no current yet). *)
+   carries no current yet). The curvature seed lands in [ws.seed]. *)
 let estimate_region p st target =
+  let ws = p.ws in
   let m = st.active in
-  let v = Array.copy st.v in
-  let i = Array.make (m + 1) 0.0 in
+  let v = ws.est_v and i = ws.est_i in
+  Array.blit st.v 0 v 0 (m + 1);
+  Array.fill i 0 (m + 1) 0.0;
   let remaining = Float.max (p.t_end -. st.t) 1e-12 in
   let reached t_rel =
     match target with
@@ -414,7 +594,8 @@ let estimate_region p st target =
     | Level { node; value } -> v.(node) <= value
   in
   let compute_currents t_rel =
-    let j = Array.make (m + 2) 0.0 in
+    let j = ws.j in
+    j.(m + 1) <- 0.0;
     for k = 1 to m do
       j.(k) <- edge_current p k ~t:(st.t +. t_rel) ~vb:v.(k - 1) ~va:v.(k)
     done;
@@ -444,11 +625,15 @@ let estimate_region p st target =
   | None -> None
   | Some delta ->
     compute_currents delta;
-    let seed =
-      if is_linear p then Array.init m (fun r -> i.(r + 1))
-      else Array.init m (fun r -> (i.(r + 1) -. st.i.(r + 1)) /. delta)
-    in
-    Some (seed, delta)
+    (if is_linear p then
+       for r = 0 to m - 1 do
+         ws.seed.(r) <- i.(r + 1)
+       done
+     else
+       for r = 0 to m - 1 do
+         ws.seed.(r) <- (i.(r + 1) -. st.i.(r + 1)) /. delta
+       done);
+    Some delta
 
 (* Reject solutions that leave the physical operating range: committing
    them would poison every later region. Also reject regions whose
@@ -456,12 +641,15 @@ let estimate_region p st target =
    points (the end states match but the waveform is garbage); bisecting
    the target then yields shorter, well-behaved pieces. *)
 let plausible p st sol =
-  let v_end, _ = project p st sol.alpha sol.delta in
+  let ws = p.ws in
+  project p st sol.alpha sol.delta;
+  let k_total = chain_length p in
   let lo = -0.3 and hi = p.vdd +. 0.3 in
   let ok = ref (Float.is_finite sol.delta && sol.delta > 0.0) in
-  Array.iter
-    (fun v -> if not (Float.is_finite v) || v < lo -. 0.7 || v > hi +. 0.7 then ok := false)
-    v_end;
+  for k = 0 to k_total do
+    let v = ws.v_end.(k) in
+    if not (Float.is_finite v) || v < lo -. 0.7 || v > hi +. 0.7 then ok := false
+  done;
   for k = 1 to (if is_linear p then 0 else st.active) do
     (* interior extremum of the quadratic piece, if any *)
     let a = sol.alpha.(k - 1) in
@@ -478,56 +666,73 @@ let plausible p st sol =
 
 (* Fixed-length fallback region: with the region length pinned, only the
    current-match equations remain and the Jacobian is purely tridiagonal.
-   Always commits; guarantees forward progress. *)
+   Always commits; guarantees forward progress. Works in [ws.alpha_a]
+   (the primary attempt's buffer — dead by the time the fallback runs). *)
 let solve_fixed p st delta =
+  let ws = p.ws in
   let m = st.active in
   let cfg = p.cfg in
-  let alpha =
-    if is_linear p then Array.init m (fun r -> st.i.(r + 1)) else Array.make m 0.0
-  in
-  let residual a =
+  let alpha = ws.alpha_a in
+  if is_linear p then
+    for r = 0 to m - 1 do
+      alpha.(r) <- st.i.(r + 1)
+    done
+  else Array.fill alpha 0 m 0.0;
+  let residual a ~f =
     let t' = st.t +. delta in
-    let v_end, i_end = project p st a delta in
-    let j = Array.make (m + 2) 0.0 in
+    project p st a delta;
+    let j = ws.j in
+    j.(m + 1) <- 0.0;
     for k = 1 to m do
-      j.(k) <- edge_current p k ~t:t' ~vb:v_end.(k - 1) ~va:v_end.(k)
+      j.(k) <- edge_current p k ~t:t' ~vb:ws.v_end.(k - 1) ~va:ws.v_end.(k)
     done;
-    Array.init m (fun r -> i_end.(r + 1) -. (j.(r + 2) -. j.(r + 1)))
+    for r = 0 to m - 1 do
+      f.(r) <- ws.i_end.(r + 1) -. (j.(r + 2) -. j.(r + 1))
+    done
   in
   let fixed_merit f =
-    Array.fold_left
-      (fun acc x -> Float.max acc (Float.abs x /. cfg.Config.current_tolerance))
-      0.0 f
+    let acc = ref 0.0 in
+    for r = 0 to m - 1 do
+      acc := Float.max !acc (Float.abs f.(r) /. cfg.Config.current_tolerance)
+    done;
+    !acc
   in
-  let rec iterate n f0 =
+  (* invariant: [ws.f] holds the residual at [alpha], and
+     [ws.v_end]/[ws.i_end] the candidate's projection *)
+  let rec iterate n =
     st.n_newton <- st.n_newton + 1;
-    if fixed_merit f0 <= 1.0 || n >= cfg.Config.max_iterations then alpha
+    if fixed_merit ws.f <= 1.0 || n >= cfg.Config.max_iterations then ()
     else begin
-      let lower, diag, upper, _, _, _ =
-        region_jacobian p st (Level { node = m; value = 0.0 }) alpha delta
-      in
-      match Tridiag.solve (Tridiag.make ~lower ~diag ~upper) f0 with
-      | exception _ -> alpha
-      | dx ->
+      region_jacobian p st (Level { node = m; value = 0.0 }) alpha delta;
+      match
+        Tridiag.solve_into ~n:m ~lower:ws.lower ~diag:ws.diag ~upper:ws.upper ~cp:ws.cp
+          ~dp:ws.dp ~b:ws.f ~x:ws.dx
+      with
+      | exception _ -> ()
+      | () ->
         st.n_solves <- st.n_solves + 1;
-        let m0 = fixed_merit f0 in
+        let m0 = fixed_merit ws.f in
         let rec backtrack step tries =
-          let trial = Array.init m (fun r -> alpha.(r) -. (step *. dx.(r))) in
-          let f = residual trial in
-          let mt = fixed_merit f in
-          if tries = 0 then (trial, f, mt)
+          for r = 0 to m - 1 do
+            ws.trial_alpha.(r) <- alpha.(r) -. (step *. ws.dx.(r))
+          done;
+          residual ws.trial_alpha ~f:ws.f_trial;
+          let mt = fixed_merit ws.f_trial in
+          if tries = 0 then mt
           else if Float.is_nan mt || mt >= m0 then backtrack (step /. 2.0) (tries - 1)
-          else (trial, f, mt)
+          else mt
         in
-        let trial, f, mt = backtrack 1.0 8 in
-        if Float.is_nan mt then alpha
+        let mt = backtrack 1.0 8 in
+        if Float.is_nan mt then ()
         else begin
-          Array.blit trial 0 alpha 0 m;
-          iterate (n + 1) f
+          Array.blit ws.trial_alpha 0 alpha 0 m;
+          Array.blit ws.f_trial 0 ws.f 0 m;
+          iterate (n + 1)
         end
     end
   in
-  let alpha = iterate 0 (residual alpha) in
+  residual alpha ~f:ws.f;
+  iterate 0;
   { alpha; delta; ok = true; iters = 0 }
 
 (* Step size for the fallback region: move the fastest node by ~0.1 V. *)
@@ -542,9 +747,10 @@ let fallback_delta p st =
 
 (* append this region's quadratic pieces and advance the state *)
 let commit p st { alpha; delta; ok; iters = _ } =
+  let ws = p.ws in
   let k_total = chain_length p in
   let delta = Float.max delta 1e-16 in
-  let v_end, i_end = project p st alpha delta in
+  project p st alpha delta;
   let linear = is_linear p in
   for k = 1 to k_total do
     let piece =
@@ -571,12 +777,13 @@ let commit p st { alpha; delta; ok; iters = _ } =
     st.pieces.(k - 1) <- piece :: st.pieces.(k - 1)
   done;
   for k = 1 to k_total do
-    st.v.(k) <- v_end.(k);
-    if k <= st.active then st.i.(k) <- i_end.(k)
+    st.v.(k) <- ws.v_end.(k);
+    if k <= st.active then st.i.(k) <- ws.i_end.(k)
   done;
   st.t <- st.t +. delta;
   st.n_regions <- st.n_regions + 1;
-  st.last_alpha <- Array.copy alpha;
+  Array.blit alpha 0 ws.last_alpha 0 st.active;
+  st.last_alpha_len <- st.active;
   if not ok then st.n_fail <- st.n_fail + 1
 
 let debug = ref false
@@ -593,10 +800,10 @@ let target_label = function
 let trace_region p st target sol =
   if !debug && not (Trace.enabled ()) then Trace.enable_stderr ();
   if Trace.enabled () then begin
-    let f, _, _ = region_residual p st target sol.alpha sol.delta in
-    let floats xs =
-      Json.List (List.map (fun v -> Json.Float v) (Array.to_list xs))
-    in
+    let m = st.active in
+    region_residual p st target sol.alpha sol.delta ~f:p.ws.f_trial;
+    let floats xs = Json.List (List.map (fun v -> Json.Float v) (Array.to_list xs)) in
+    let floats_prefix n xs = Json.List (List.init n (fun r -> Json.Float xs.(r))) in
     Trace.instant ~name:"qwm.region" ~cat:"qwm"
       ~args:
         [
@@ -606,10 +813,10 @@ let trace_region p st target sol =
           ("ok", Json.Bool sol.ok);
           ("iters", Json.Int sol.iters);
           ("delta_ps", Json.Float (sol.delta *. 1e12));
-          ("merit", Json.Float (merit p f));
+          ("merit", Json.Float (merit p p.ws.f_trial m));
           ("v", floats st.v);
           ("i", floats st.i);
-          ("alpha", floats sol.alpha);
+          ("alpha", floats_prefix m sol.alpha);
         ]
       ()
   end
@@ -617,8 +824,11 @@ let trace_region p st target sol =
 (* Attempt a region. Escalation ladder on Newton failure: retry from an
    explicit-Euler warm start; bisect the target voltage; finally take a
    short fixed-length current-matching step so the state always advances
-   physically. *)
+   physically. The primary attempt works in [ws.alpha_a] and the retry in
+   [ws.alpha_b], so a failed retry can still fall back to the primary's
+   solution. *)
 let rec advance p st target depth =
+  let ws = p.ws in
   let sol =
     (* a cheap capped attempt first; the explicit-Euler warm start earns
        the full iteration budget only when the cheap start fails *)
@@ -626,8 +836,9 @@ let rec advance p st target depth =
     if first.ok then first
     else
       match estimate_region p st target with
-      | Some (alpha0, delta0) ->
-        let retry = solve_region_from p st target alpha0 delta0 in
+      | Some delta0 ->
+        Array.blit ws.seed 0 ws.alpha_b 0 st.active;
+        let retry = solve_region_from p st target ws.alpha_b delta0 in
         if retry.ok then retry else first
       | None -> first
   in
@@ -656,8 +867,10 @@ let rec advance p st target depth =
   end
 
 let refresh_currents p st =
+  let ws = p.ws in
   let m = st.active in
-  let j = Array.make (m + 2) 0.0 in
+  let j = ws.j in
+  j.(m + 1) <- 0.0;
   for k = 1 to m do
     j.(k) <- edge_current p k ~t:st.t ~vb:st.v.(k - 1) ~va:st.v.(k)
   done;
@@ -693,7 +906,7 @@ let find_gate_turn_on p k0 ~t_from =
     scan 1
   end
 
-let finalize p st =
+let finalize p st alloc0 =
   Metrics.incr c_solves;
   Metrics.add c_regions st.n_regions;
   Metrics.add c_turn_ons st.n_turn_ons;
@@ -702,6 +915,14 @@ let finalize p st =
   Metrics.add c_bisections st.n_bisect;
   Metrics.add c_failures st.n_fail;
   Metrics.observe h_regions_per_solve (float_of_int st.n_regions);
+  (* allocation accounting for the solve loop proper (waveform assembly
+     below is inherent output, not hot path) *)
+  let d = Alloc.since alloc0 in
+  Metrics.add c_alloc_minor (int_of_float d.Alloc.minor_words);
+  Metrics.add c_alloc_promoted (int_of_float d.Alloc.promoted_words);
+  if st.n_regions > 0 then
+    Metrics.observe h_alloc_per_region
+      (d.Alloc.minor_words /. float_of_int st.n_regions);
   let k_total = chain_length p in
   let t_solved = Float.max st.t (p.t_end *. 1e-3) in
   let quads =
@@ -740,10 +961,17 @@ let finalize p st =
       };
   }
 
-let solve ~model ~config ~scenario ~chain ~initial =
+(* every other argument is labeled, so [?workspace] could only be erased
+   by an unlabeled application that never happens; the mli fixes the type *)
+let[@warning "-16"] solve ?workspace ~model ~config ~scenario ~chain ~initial =
+  let alloc0 = Alloc.sample () in
   let k_total = Chain.length chain in
   if Array.length initial <> k_total then
     invalid_arg "Qwm_solver.solve: initial voltage count mismatch";
+  let wsp =
+    match workspace with Some w -> w | None -> Workspace.for_current_domain ()
+  in
+  Workspace.ensure wsp k_total;
   let tech = scenario.Scenario.tech in
   let gates =
     Array.map
@@ -761,6 +989,7 @@ let solve ~model ~config ~scenario ~chain ~initial =
       caps = chain.Chain.caps;
       t_end = scenario.Scenario.t_end;
       cfg = config;
+      ws = wsp.Workspace.bufs;
     }
   in
   let norm v = match p.rail with Chain.Pull_down -> v | Chain.Pull_up -> p.vdd -. v in
@@ -778,7 +1007,7 @@ let solve ~model ~config ~scenario ~chain ~initial =
       n_solves = 0;
       n_bisect = 0;
       n_fail = 0;
-      last_alpha = [||];
+      last_alpha_len = -1;
     }
   in
   let remaining_levels = ref (List.map (fun frac -> frac *. p.vdd) config.Config.levels) in
@@ -854,4 +1083,4 @@ let solve ~model ~config ~scenario ~chain ~initial =
     end
   in
   loop ();
-  finalize p st
+  finalize p st alloc0

@@ -15,6 +15,26 @@
 
 open Tqwm_circuit
 
+module Workspace : sig
+  type t
+  (** Preallocated scratch buffers for the region-solve hot path:
+      projection endpoints, residuals, Jacobian bands, linear-solver
+      scratch and Newton candidates, all sized for chains of up to a
+      capacity number of nodes (grown on demand). With a workspace in
+      hand, {!solve} runs its Newton iterations without per-iteration
+      allocation. A workspace is {e not} thread-safe: use one per domain
+      (the default) or one per solver. *)
+
+  val create : ?capacity:int -> unit -> t
+  (** A fresh workspace; [capacity] (default 8) is the initial chain-node
+      capacity. Buffers grow automatically when a longer chain arrives. *)
+
+  val for_current_domain : unit -> t
+  (** The calling domain's lazily-created workspace ({!solve}'s default).
+      Parallel STA workers each run on their own domain, so every worker
+      gets its own scratch without coordination. *)
+end
+
 type stats = {
   regions : int;  (** quadratic regions solved *)
   turn_ons : int;  (** critical points fired *)
@@ -34,6 +54,7 @@ type result = {
 }
 
 val solve :
+  ?workspace:Workspace.t ->
   model:Tqwm_device.Device_model.t ->
   config:Config.t ->
   scenario:Scenario.t ->
@@ -42,7 +63,10 @@ val solve :
   result
 (** [solve ~model ~config ~scenario ~chain ~initial] runs QWM on [chain];
     [initial.(k-1)] is the real initial voltage of chain node [k]. Gate
-    drives come from the scenario's sources.
+    drives come from the scenario's sources. [workspace] supplies the
+    scratch buffers for the region solves (default: the calling domain's
+    — see {!Workspace.for_current_domain}); results are bit-identical
+    whatever workspace is passed.
     @raise Invalid_argument on malformed inputs. *)
 
 val debug : bool ref

@@ -1,9 +1,23 @@
-type terminal_voltages = { input : float; src : float; snk : float }
+type terminal_voltages = {
+  mutable input : float;
+  mutable src : float;
+  mutable snk : float;
+}
+
+(* All-float record, so the fields are stored flat: writing them is a
+   plain float store and reading them into locals never boxes. One such
+   record, owned by the caller and reused across calls, makes the
+   derivative query allocation-free where the tuple-returning
+   [iv_derivatives] costs a block plus two boxed floats per call. *)
+type derivs = { mutable dsrc : float; mutable dsnk : float }
+
+let derivs () = { dsrc = 0.0; dsnk = 0.0 }
 
 type t = {
   name : string;
   iv : Device.t -> terminal_voltages -> float;
   iv_derivatives : Device.t -> terminal_voltages -> float * float;
+  iv_derivatives_into : Device.t -> terminal_voltages -> derivs -> unit;
   threshold : Device.t -> terminal_voltages -> float;
   src_cap : Device.t -> v:float -> float;
   snk_cap : Device.t -> v:float -> float;
@@ -47,11 +61,23 @@ let analytic ?(miller_factor = 1.0) (tech : Tech.t) =
     | Device.Pmos -> Mosfet.threshold tech Mosfet.P ~vsb:(tech.vdd -. tv.src)
     | Device.Wire -> 0.0
   in
+  let iv_derivatives_into (device : Device.t) tv (out : derivs) =
+    match device.kind with
+    | Device.Nmos | Device.Pmos ->
+      let dsrc, dsnk = finite_difference_derivatives iv device tv in
+      out.dsrc <- dsrc;
+      out.dsnk <- dsnk
+    | Device.Wire ->
+      let g = 1.0 /. Capacitance.wire_resistance tech ~w:device.w ~l:device.l in
+      out.dsrc <- g;
+      out.dsnk <- -.g
+  in
   let terminal_cap device ~v = Capacitance.terminal ~miller_factor tech device ~v in
   {
     name = "analytic";
     iv;
     iv_derivatives;
+    iv_derivatives_into;
     threshold;
     src_cap = terminal_cap;
     snk_cap = terminal_cap;

@@ -8,10 +8,21 @@
     fit QWM uses, mirroring the paper's Hspice characterization). *)
 
 type terminal_voltages = {
-  input : float;  (** gate voltage; meaningless for wires *)
-  src : float;  (** voltage of the supply-side terminal of the edge *)
-  snk : float;  (** voltage of the ground-side terminal *)
+  mutable input : float;  (** gate voltage; meaningless for wires *)
+  mutable src : float;  (** voltage of the supply-side terminal of the edge *)
+  mutable snk : float;  (** voltage of the ground-side terminal *)
 }
+(** Fields are mutable (and stored flat — all-float record) so hot
+    callers can refill one scratch record per query instead of allocating;
+    model implementations only read the fields during the call. *)
+
+type derivs = { mutable dsrc : float; mutable dsnk : float }
+(** Out-buffer for {!t.iv_derivatives_into}: an all-float record, stored
+    flat, so a single caller-owned instance makes repeated derivative
+    queries allocation-free (the tuple form boxes three blocks per call). *)
+
+val derivs : unit -> derivs
+(** A fresh zeroed out-buffer. *)
 
 type t = {
   name : string;
@@ -19,6 +30,9 @@ type t = {
       (** current src -> snk; positive when conducting "downhill" *)
   iv_derivatives : Device.t -> terminal_voltages -> float * float;
       (** [(dI/dVsrc, dI/dVsnk)] *)
+  iv_derivatives_into : Device.t -> terminal_voltages -> derivs -> unit;
+      (** [iv_derivatives] written into a caller-owned {!derivs} —
+          bit-identical values, no per-call allocation. *)
   threshold : Device.t -> terminal_voltages -> float;
       (** turn-on threshold (positive magnitude, body-corrected): an NMOS
           conducts when [input - snk > threshold], a PMOS when

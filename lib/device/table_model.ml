@@ -28,11 +28,11 @@ let reference_l (tech : Tech.t) = tech.l_min
 
 (* Evaluate one grid point's piecewise fit at a channel drop [x = vd - vs];
    the quadratic covers the triode region, the line the saturation region. *)
-let fit_eval fit x =
+let[@inline] fit_eval fit x =
   if x <= fit.vdsat then fit.t0 +. (fit.t1 *. x) +. (fit.t2 *. x *. x)
   else (fit.s1 *. x) +. fit.s2
 
-let fit_eval_deriv fit x =
+let[@inline] fit_eval_deriv fit x =
   if x <= fit.vdsat then fit.t1 +. (2.0 *. fit.t2 *. x) else fit.s1
 
 let sample_range ~lo ~hi ~count f =
@@ -108,7 +108,50 @@ let interp_corners t ~vg ~vs ~vd eval =
   +. ((1.0 -. tx) *. ty *. f01)
   +. (tx *. ty *. f11)
 
-let lookup t ~vg ~vs ~vd = interp_corners t ~vg ~vs ~vd fit_eval
+(* The hot lookups below are [interp_corners fit_eval] with every helper
+   expanded in place: the closure, the [Interp.locate] tuples, and the
+   float-returning calls to [Interp.locate_frac]/[Interp.knot]/[fit_eval]
+   (this compiler boxes each such return, ~2 words per call, and does not
+   reliably inline them away). The expansions copy the helpers'
+   expressions verbatim — same corner order, same arithmetic — so results
+   are bit-identical; only the allocations go. *)
+
+(* [Interp.locate_index], verbatim *)
+let[@inline] locate_index_x (ax : Interp.axis) x =
+  let raw = (x -. ax.Interp.start) /. ax.Interp.step in
+  let i = int_of_float (Float.floor raw) in
+  if i < 0 then 0 else if i > ax.Interp.count - 2 then ax.Interp.count - 2 else i
+
+let lookup t ~vg ~vs ~vd =
+  let gax = t.vg_axis and sax = t.vs_axis in
+  let i = locate_index_x gax vg in
+  let tx = ((vg -. gax.Interp.start) /. gax.Interp.step) -. float_of_int i in
+  let j = locate_index_x sax vs in
+  let ty = ((vs -. sax.Interp.start) /. sax.Interp.step) -. float_of_int j in
+  let x0 = vd -. (sax.Interp.start +. (float_of_int j *. sax.Interp.step)) in
+  let x1 = vd -. (sax.Interp.start +. (float_of_int (j + 1) *. sax.Interp.step)) in
+  let fi = t.fits.(i) and fi1 = t.fits.(i + 1) in
+  let c00 = fi.(j) and c10 = fi1.(j) and c01 = fi.(j + 1) and c11 = fi1.(j + 1) in
+  let f00 =
+    if x0 <= c00.vdsat then c00.t0 +. (c00.t1 *. x0) +. (c00.t2 *. x0 *. x0)
+    else (c00.s1 *. x0) +. c00.s2
+  in
+  let f10 =
+    if x0 <= c10.vdsat then c10.t0 +. (c10.t1 *. x0) +. (c10.t2 *. x0 *. x0)
+    else (c10.s1 *. x0) +. c10.s2
+  in
+  let f01 =
+    if x1 <= c01.vdsat then c01.t0 +. (c01.t1 *. x1) +. (c01.t2 *. x1 *. x1)
+    else (c01.s1 *. x1) +. c01.s2
+  in
+  let f11 =
+    if x1 <= c11.vdsat then c11.t0 +. (c11.t1 *. x1) +. (c11.t2 *. x1 *. x1)
+    else (c11.s1 *. x1) +. c11.s2
+  in
+  ((1.0 -. tx) *. (1.0 -. ty) *. f00)
+  +. (tx *. (1.0 -. ty) *. f10)
+  +. ((1.0 -. tx) *. ty *. f01)
+  +. (tx *. ty *. f11)
 
 let lookup_dvd t ~vg ~vs ~vd = interp_corners t ~vg ~vs ~vd fit_eval_deriv
 
@@ -118,16 +161,17 @@ let lookup_dvd t ~vg ~vs ~vd = interp_corners t ~vg ~vs ~vd fit_eval_deriv
    differentiates the interpolation weights (the corners' own [vds]
    arguments do not depend on the query's source voltage). *)
 let lookup_with_derivs t ~vg ~vs ~vd =
-  let i, tx = Interp.locate t.vg_axis vg in
-  let j, ty = Interp.locate t.vs_axis vs in
-  let corner di dj eval =
-    let fit = t.fits.(i + di).(j + dj) in
-    eval fit (vd -. Interp.knot t.vs_axis (j + dj))
-  in
-  let f00 = corner 0 0 fit_eval and f10 = corner 1 0 fit_eval in
-  let f01 = corner 0 1 fit_eval and f11 = corner 1 1 fit_eval in
-  let d00 = corner 0 0 fit_eval_deriv and d10 = corner 1 0 fit_eval_deriv in
-  let d01 = corner 0 1 fit_eval_deriv and d11 = corner 1 1 fit_eval_deriv in
+  let i = Interp.locate_index t.vg_axis vg in
+  let tx = Interp.locate_frac t.vg_axis vg i in
+  let j = Interp.locate_index t.vs_axis vs in
+  let ty = Interp.locate_frac t.vs_axis vs j in
+  let x0 = vd -. Interp.knot t.vs_axis j in
+  let x1 = vd -. Interp.knot t.vs_axis (j + 1) in
+  let fi = t.fits.(i) and fi1 = t.fits.(i + 1) in
+  let f00 = fit_eval fi.(j) x0 and f10 = fit_eval fi1.(j) x0 in
+  let f01 = fit_eval fi.(j + 1) x1 and f11 = fit_eval fi1.(j + 1) x1 in
+  let d00 = fit_eval_deriv fi.(j) x0 and d10 = fit_eval_deriv fi1.(j) x0 in
+  let d01 = fit_eval_deriv fi.(j + 1) x1 and d11 = fit_eval_deriv fi1.(j + 1) x1 in
   let w00 = (1.0 -. tx) *. (1.0 -. ty)
   and w10 = tx *. (1.0 -. ty)
   and w01 = (1.0 -. tx) *. ty
@@ -138,6 +182,49 @@ let lookup_with_derivs t ~vg ~vs ~vd =
     (((1.0 -. tx) *. (f01 -. f00)) +. (tx *. (f11 -. f10))) /. t.vs_axis.Interp.step
   in
   (value, dvd, dvs)
+
+(* Tuple-free core of [lookup_with_derivs] for hot callers that only need
+   the derivative pair: the raw table-frame dI/dVd lands in [out.dsrc] and
+   dI/dVs in [out.dsnk] (scratch semantics — the caller maps them onto
+   terminals). Same corner order and arithmetic as [lookup_with_derivs],
+   so the written values are bit-identical to the tuple's. *)
+let lookup_derivs_into t ~vg ~vs ~vd (out : Device_model.derivs) =
+  let gax = t.vg_axis and sax = t.vs_axis in
+  let i = locate_index_x gax vg in
+  let tx = ((vg -. gax.Interp.start) /. gax.Interp.step) -. float_of_int i in
+  let j = locate_index_x sax vs in
+  let ty = ((vs -. sax.Interp.start) /. sax.Interp.step) -. float_of_int j in
+  let x0 = vd -. (sax.Interp.start +. (float_of_int j *. sax.Interp.step)) in
+  let x1 = vd -. (sax.Interp.start +. (float_of_int (j + 1) *. sax.Interp.step)) in
+  let fi = t.fits.(i) and fi1 = t.fits.(i + 1) in
+  let c00 = fi.(j) and c10 = fi1.(j) and c01 = fi.(j + 1) and c11 = fi1.(j + 1) in
+  let f00 =
+    if x0 <= c00.vdsat then c00.t0 +. (c00.t1 *. x0) +. (c00.t2 *. x0 *. x0)
+    else (c00.s1 *. x0) +. c00.s2
+  in
+  let f10 =
+    if x0 <= c10.vdsat then c10.t0 +. (c10.t1 *. x0) +. (c10.t2 *. x0 *. x0)
+    else (c10.s1 *. x0) +. c10.s2
+  in
+  let f01 =
+    if x1 <= c01.vdsat then c01.t0 +. (c01.t1 *. x1) +. (c01.t2 *. x1 *. x1)
+    else (c01.s1 *. x1) +. c01.s2
+  in
+  let f11 =
+    if x1 <= c11.vdsat then c11.t0 +. (c11.t1 *. x1) +. (c11.t2 *. x1 *. x1)
+    else (c11.s1 *. x1) +. c11.s2
+  in
+  let d00 = if x0 <= c00.vdsat then c00.t1 +. (2.0 *. c00.t2 *. x0) else c00.s1 in
+  let d10 = if x0 <= c10.vdsat then c10.t1 +. (2.0 *. c10.t2 *. x0) else c10.s1 in
+  let d01 = if x1 <= c01.vdsat then c01.t1 +. (2.0 *. c01.t2 *. x1) else c01.s1 in
+  let d11 = if x1 <= c11.vdsat then c11.t1 +. (2.0 *. c11.t2 *. x1) else c11.s1 in
+  let w00 = (1.0 -. tx) *. (1.0 -. ty)
+  and w10 = tx *. (1.0 -. ty)
+  and w01 = (1.0 -. tx) *. ty
+  and w11 = tx *. ty in
+  out.Device_model.dsrc <- (w00 *. d00) +. (w10 *. d10) +. (w01 *. d01) +. (w11 *. d11);
+  out.Device_model.dsnk <-
+    (((1.0 -. tx) *. (f01 -. f00)) +. (tx *. (f11 -. f10))) /. sax.Interp.step
 
 let threshold t ~vs =
   Interp.linear t.vs_axis t.vth_by_vs vs
@@ -241,7 +328,7 @@ let load tech ~path =
 
 let grid t = (t.vg_axis, t.vs_axis)
 
-let geometry_scale t (device : Device.t) =
+let[@inline] geometry_scale t (device : Device.t) =
   device.w *. reference_l t.tech /. (device.l *. reference_w)
 
 (* Current src -> snk for a transistor edge, resolving terminal symmetry
@@ -298,6 +385,48 @@ let to_device_model ?(miller_factor = 1.0) (tech : Tech.t) ~nmos ~pmos =
     | Device.Pmos -> transistor_derivs pmos device tv
     | Device.Wire -> analytic.Device_model.iv_derivatives device tv
   in
+  (* [transistor_derivs] with the tuple chain cut: the raw (dvd, dvs)
+     pair arrives in [out] (scratch), is rescaled/swapped in place with
+     the same expressions, so the final values are bit-identical. *)
+  let transistor_derivs_into table device (tv : Device_model.terminal_voltages)
+      (out : Device_model.derivs) =
+    let scale = geometry_scale table device in
+    match table.polarity with
+    | Mosfet.N ->
+      if tv.src >= tv.snk then begin
+        lookup_derivs_into table ~vg:tv.input ~vs:tv.snk ~vd:tv.src out;
+        let dvd = out.Device_model.dsrc and dvs = out.Device_model.dsnk in
+        out.Device_model.dsrc <- scale *. dvd;
+        out.Device_model.dsnk <- scale *. dvs
+      end
+      else begin
+        lookup_derivs_into table ~vg:tv.input ~vs:tv.src ~vd:tv.snk out;
+        let dvd = out.Device_model.dsrc and dvs = out.Device_model.dsnk in
+        out.Device_model.dsrc <- -.(scale *. dvs);
+        out.Device_model.dsnk <- -.(scale *. dvd)
+      end
+    | Mosfet.P ->
+      let vdd = table.tech.vdd in
+      let g = vdd -. tv.input and a = vdd -. tv.src and b = vdd -. tv.snk in
+      if b >= a then begin
+        lookup_derivs_into table ~vg:g ~vs:a ~vd:b out;
+        let dvd = out.Device_model.dsrc and dvs = out.Device_model.dsnk in
+        out.Device_model.dsrc <- -.(scale *. dvs);
+        out.Device_model.dsnk <- -.(scale *. dvd)
+      end
+      else begin
+        lookup_derivs_into table ~vg:g ~vs:b ~vd:a out;
+        let dvd = out.Device_model.dsrc and dvs = out.Device_model.dsnk in
+        out.Device_model.dsrc <- scale *. dvd;
+        out.Device_model.dsnk <- scale *. dvs
+      end
+  in
+  let iv_derivatives_into (device : Device.t) tv out =
+    match device.kind with
+    | Device.Nmos -> transistor_derivs_into nmos device tv out
+    | Device.Pmos -> transistor_derivs_into pmos device tv out
+    | Device.Wire -> analytic.Device_model.iv_derivatives_into device tv out
+  in
   let threshold_fn (device : Device.t) (tv : Device_model.terminal_voltages) =
     match device.kind with
     | Device.Nmos -> threshold nmos ~vs:tv.snk
@@ -309,5 +438,6 @@ let to_device_model ?(miller_factor = 1.0) (tech : Tech.t) ~nmos ~pmos =
     Device_model.name = "table";
     iv;
     iv_derivatives;
+    iv_derivatives_into;
     threshold = threshold_fn;
   }

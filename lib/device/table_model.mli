@@ -58,6 +58,13 @@ val lookup_with_derivs : t -> vg:float -> vs:float -> vd:float -> float * float 
     derivative comes from the fitted polynomial slopes, the source
     derivative from the interpolation weights. *)
 
+val lookup_derivs_into :
+  t -> vg:float -> vs:float -> vd:float -> Device_model.derivs -> unit
+(** The derivative pair of {!lookup_with_derivs}, bit-identical, written
+    into a caller-owned buffer instead of a tuple: dIds/dVd lands in
+    [dsrc] and dIds/dVs in [dsnk] (table-frame scratch semantics — the
+    caller maps them onto edge terminals). Allocation-free. *)
+
 val threshold : t -> vs:float -> float
 (** Interpolated threshold voltage from the stored table column. *)
 

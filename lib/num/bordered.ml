@@ -18,23 +18,49 @@ let to_mat t =
   Mat.set m n n t.corner;
   m
 
+(* In-place block elimination over the first [n + 1] entries of
+   capacity-sized buffers; the arithmetic of [solve], allocation-free.
+   [cp]/[dp] are the Thomas scratch, [y]/[z] hold the two tridiagonal
+   solves, the solution lands in [x.(0 .. n)]. *)
+let solve_into ~n ~lower ~diag ~upper ~last_col ~last_row ~corner ~cp ~dp ~y ~z
+    ~b ~x =
+  Vec.check_prefix1 "Bordered.solve_into" n lower;
+  Vec.check_prefix1 "Bordered.solve_into" n diag;
+  Vec.check_prefix1 "Bordered.solve_into" n upper;
+  Vec.check_prefix1 "Bordered.solve_into" n last_col;
+  Vec.check_prefix1 "Bordered.solve_into" n last_row;
+  Vec.check_prefix1 "Bordered.solve_into" (n + 1) cp;
+  Vec.check_prefix1 "Bordered.solve_into" (n + 1) dp;
+  Vec.check_prefix1 "Bordered.solve_into" (n + 1) y;
+  Vec.check_prefix1 "Bordered.solve_into" (n + 1) z;
+  Vec.check_prefix1 "Bordered.solve_into" (n + 1) b;
+  Vec.check_prefix1 "Bordered.solve_into" (n + 1) x;
+  if n = 0 then begin
+    if Float.abs corner < 1e-300 then raise Singular;
+    x.(0) <- b.(0) /. corner
+  end
+  else begin
+    let g = b.(n) in
+    Tridiag.solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b ~x:y;
+    Tridiag.solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b:last_col ~x:z;
+    let schur = corner -. Vec.dot_n n last_row z in
+    if Float.abs schur < 1e-300 then raise Singular;
+    let xd = (g -. Vec.dot_n n last_row y) /. schur in
+    for i = 0 to n - 1 do
+      x.(i) <- y.(i) -. (z.(i) *. xd)
+    done;
+    x.(n) <- xd
+  end
+
 let solve t b =
   let n = Tridiag.dim t.core in
   if Array.length b <> n + 1 then invalid_arg "Bordered.solve: dimension mismatch";
   if Array.length t.last_col <> n || Array.length t.last_row <> n then
     invalid_arg "Bordered.solve: border length mismatch";
-  if n = 0 then begin
-    if Float.abs t.corner < 1e-300 then raise Singular;
-    [| b.(0) /. t.corner |]
-  end
-  else begin
-    let f = Array.sub b 0 n in
-    let g = b.(n) in
-    let y = Tridiag.solve t.core f in
-    let z = Tridiag.solve t.core t.last_col in
-    let schur = t.corner -. Vec.dot t.last_row z in
-    if Float.abs schur < 1e-300 then raise Singular;
-    let xd = (g -. Vec.dot t.last_row y) /. schur in
-    let xa = Array.init n (fun i -> y.(i) -. (z.(i) *. xd)) in
-    Array.append xa [| xd |]
-  end
+  let cp = Vec.create (n + 1) and dp = Vec.create (n + 1) in
+  let y = Vec.create (n + 1) and z = Vec.create (n + 1) in
+  let x = Vec.create (n + 1) in
+  solve_into ~n ~lower:t.core.Tridiag.lower ~diag:t.core.Tridiag.diag
+    ~upper:t.core.Tridiag.upper ~last_col:t.last_col ~last_row:t.last_row
+    ~corner:t.corner ~cp ~dp ~y ~z ~b ~x;
+  x

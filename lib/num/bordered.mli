@@ -30,3 +30,27 @@ val solve : t -> Vec.t -> Vec.t
 (** [solve sys b] with [b] of length [n + 1].
     @raise Singular when the Schur complement vanishes.
     @raise Tridiag.Singular when the tridiagonal core does. *)
+
+val solve_into :
+  n:int ->
+  lower:Vec.t ->
+  diag:Vec.t ->
+  upper:Vec.t ->
+  last_col:Vec.t ->
+  last_row:Vec.t ->
+  corner:float ->
+  cp:Vec.t ->
+  dp:Vec.t ->
+  y:Vec.t ->
+  z:Vec.t ->
+  b:Vec.t ->
+  x:Vec.t ->
+  unit
+(** Allocation-free block elimination over the first [n + 1] entries of
+    capacity-sized buffers — bit-identical to {!solve} on the same system.
+    The bands and borders use their first [n] entries; [b], [x] and the
+    scratch vectors [cp]/[dp] (Thomas coefficients) and [y]/[z] (the two
+    tridiagonal solves) use their first [n + 1]. Nothing past those
+    prefixes is read or written.
+    @raise Singular / Tridiag.Singular as {!solve}.
+    @raise Invalid_argument if any buffer is too short. *)

@@ -7,16 +7,25 @@ let axis ~start ~stop ~count =
 
 let knot ax i = ax.start +. (float_of_int i *. ax.step)
 
-let locate ax x =
+(* Allocation-free halves of [locate]: an immediate-int index and an
+   inlinable unboxed fraction, for hot callers that must not build the
+   tuple. [locate] is their composition, bit-for-bit. *)
+let[@inline] locate_index ax x =
   let raw = (x -. ax.start) /. ax.step in
   let i = int_of_float (Float.floor raw) in
-  let i = if i < 0 then 0 else if i > ax.count - 2 then ax.count - 2 else i in
-  (i, raw -. float_of_int i)
+  if i < 0 then 0 else if i > ax.count - 2 then ax.count - 2 else i
+
+let[@inline] locate_frac ax x i = ((x -. ax.start) /. ax.step) -. float_of_int i
+
+let locate ax x =
+  let i = locate_index ax x in
+  (i, locate_frac ax x i)
 
 let linear ax samples x =
   if Array.length samples <> ax.count then
     invalid_arg "Interp.linear: sample count mismatch";
-  let i, t = locate ax x in
+  let i = locate_index ax x in
+  let t = locate_frac ax x i in
   samples.(i) +. (t *. (samples.(i + 1) -. samples.(i)))
 
 let check_sorted xs =

@@ -21,6 +21,14 @@ val locate : axis -> float -> int * float
     and [t] in [0, 1] the position within the cell; values outside the grid
     clamp to the border cell and extrapolate linearly. *)
 
+val locate_index : axis -> float -> int
+(** Just the (clamped) cell index of {!locate} — allocation-free. *)
+
+val locate_frac : axis -> float -> int -> float
+(** [locate_frac ax x i] is the in-cell fraction of [x] relative to knot
+    [i]; with [i = locate_index ax x] it matches {!locate}'s fraction
+    bit-for-bit. Inlinable, so hot callers get it unboxed. *)
+
 val linear : axis -> Vec.t -> float -> float
 (** 1-D piecewise-linear interpolation of samples given at the knots. *)
 

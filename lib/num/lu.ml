@@ -68,6 +68,78 @@ let solve_factored { lu; perm; sign = _ } b =
   done;
   x
 
+(* In-place factorization of the leading [n] x [n] block of [m] (the
+   matrix's column count is the row stride, so a capacity-sized matrix can
+   host systems of any [n <= min rows cols]): the pivoting and elimination
+   arithmetic of [factorize], allocation-free. [perm.(0 .. n-1)] receives
+   the row permutation. Entries outside the leading block are untouched. *)
+let factorize_into ~n m ~perm =
+  let rows, cols = Mat.dims m in
+  if n < 0 || n > rows || n > cols then
+    invalid_arg "Lu.factorize_into: block exceeds matrix";
+  if Array.length perm < n then invalid_arg "Lu.factorize_into: perm too short";
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
+  let swap_rows i j =
+    if i <> j then begin
+      for c = 0 to n - 1 do
+        let t = Mat.get m i c in
+        Mat.set m i c (Mat.get m j c);
+        Mat.set m j c t
+      done;
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    end
+  in
+  for k = 0 to n - 1 do
+    let best = ref k and best_mag = ref (Float.abs (Mat.get m k k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Float.abs (Mat.get m i k) in
+      if mag > !best_mag then begin
+        best := i;
+        best_mag := mag
+      end
+    done;
+    if !best_mag < pivot_epsilon then raise (Singular k);
+    swap_rows k !best;
+    let pivot = Mat.get m k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get m i k /. pivot in
+      Mat.set m i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set m i j (Mat.get m i j -. (factor *. Mat.get m k j))
+        done
+    done
+  done
+
+(* Forward/back substitution on an [factorize_into]-factored block,
+   writing the solution into [x.(0 .. n-1)]. [b] is only read. *)
+let solve_factored_into ~n m ~perm ~b ~x =
+  Vec.check_prefix1 "Lu.solve_factored_into" n b;
+  Vec.check_prefix1 "Lu.solve_factored_into" n x;
+  if Array.length perm < n then
+    invalid_arg "Lu.solve_factored_into: perm too short";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get m i j *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get m i j *. x.(j))
+    done;
+    x.(i) <- !s /. Mat.get m i i
+  done
+
 let solve a b = solve_factored (factorize a) b
 
 let det a =

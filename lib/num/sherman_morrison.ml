@@ -9,3 +9,28 @@ let solve ~base_solve ~u ~v b =
   Array.init (Array.length y) (fun i -> y.(i) -. (coeff *. z.(i)))
 
 let solve_tridiag t ~u ~v b = solve ~base_solve:(Tridiag.solve t) ~u ~v b
+
+(* In-place rank-1-update solve over the first [n] entries of
+   capacity-sized buffers, with a tridiagonal base matrix: the arithmetic
+   of [solve_tridiag], allocation-free. [cp]/[dp] are the Thomas scratch,
+   [y]/[z] hold the two base solves, the solution lands in [x.(0..n-1)]. *)
+let solve_tridiag_into ~n ~lower ~diag ~upper ~u ~v ~cp ~dp ~y ~z ~b ~x =
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n lower;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n diag;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n upper;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n u;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n v;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n cp;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n dp;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n y;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n z;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n b;
+  Vec.check_prefix1 "Sherman_morrison.solve_tridiag_into" n x;
+  Tridiag.solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b ~x:y;
+  Tridiag.solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b:u ~x:z;
+  let denom = 1.0 +. Vec.dot_n n v z in
+  if Float.abs denom < 1e-300 then raise Singular;
+  let coeff = Vec.dot_n n v y /. denom in
+  for i = 0 to n - 1 do
+    x.(i) <- y.(i) -. (coeff *. z.(i))
+  done

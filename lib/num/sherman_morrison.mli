@@ -17,3 +17,24 @@ val solve : base_solve:(Vec.t -> Vec.t) -> u:Vec.t -> v:Vec.t -> Vec.t -> Vec.t
 
 val solve_tridiag : Tridiag.t -> u:Vec.t -> v:Vec.t -> Vec.t -> Vec.t
 (** Specialisation with a tridiagonal base matrix, the paper's exact use. *)
+
+val solve_tridiag_into :
+  n:int ->
+  lower:Vec.t ->
+  diag:Vec.t ->
+  upper:Vec.t ->
+  u:Vec.t ->
+  v:Vec.t ->
+  cp:Vec.t ->
+  dp:Vec.t ->
+  y:Vec.t ->
+  z:Vec.t ->
+  b:Vec.t ->
+  x:Vec.t ->
+  unit
+(** Allocation-free {!solve_tridiag} over the first [n] entries of
+    capacity-sized buffers — bit-identical on the same system. [cp]/[dp]
+    are Thomas scratch, [y]/[z] the two base solves; the solution lands in
+    [x.(0..n-1)]. Nothing past the prefixes is read or written.
+    @raise Singular / Tridiag.Singular as the allocating form.
+    @raise Invalid_argument if any buffer is shorter than [n]. *)

@@ -29,27 +29,42 @@ let to_mat t =
       else if j = i + 1 then t.upper.(i)
       else 0.0)
 
+(* In-place Thomas kernel over the first [n] entries of capacity-sized
+   buffers: exactly the arithmetic of [solve], allocation-free. [cp]/[dp]
+   hold the forward sweep's modified coefficients, [x] receives the
+   solution; entries past [n] are never read or written. *)
+let solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b ~x =
+  Vec.check_prefix1 "Tridiag.solve_into" n lower;
+  Vec.check_prefix1 "Tridiag.solve_into" n diag;
+  Vec.check_prefix1 "Tridiag.solve_into" n upper;
+  Vec.check_prefix1 "Tridiag.solve_into" n cp;
+  Vec.check_prefix1 "Tridiag.solve_into" n dp;
+  Vec.check_prefix1 "Tridiag.solve_into" n b;
+  Vec.check_prefix1 "Tridiag.solve_into" n x;
+  if n > 0 then begin
+    if Float.abs diag.(0) < 1e-300 then raise (Singular 0);
+    cp.(0) <- upper.(0) /. diag.(0);
+    dp.(0) <- b.(0) /. diag.(0);
+    for i = 1 to n - 1 do
+      let denom = diag.(i) -. (lower.(i) *. cp.(i - 1)) in
+      if Float.abs denom < 1e-300 then raise (Singular i);
+      if i < n - 1 then cp.(i) <- upper.(i) /. denom;
+      dp.(i) <- (b.(i) -. (lower.(i) *. dp.(i - 1))) /. denom
+    done;
+    x.(n - 1) <- dp.(n - 1);
+    for i = n - 2 downto 0 do
+      x.(i) <- dp.(i) -. (cp.(i) *. x.(i + 1))
+    done
+  end
+
 let solve t b =
   let n = dim t in
   if Array.length b <> n then invalid_arg "Tridiag.solve: dimension mismatch";
   if n = 0 then [||]
   else begin
-    (* forward sweep storing modified coefficients *)
-    let c' = Vec.create n and d' = Vec.create n in
-    if Float.abs t.diag.(0) < 1e-300 then raise (Singular 0);
-    c'.(0) <- t.upper.(0) /. t.diag.(0);
-    d'.(0) <- b.(0) /. t.diag.(0);
-    for i = 1 to n - 1 do
-      let denom = t.diag.(i) -. (t.lower.(i) *. c'.(i - 1)) in
-      if Float.abs denom < 1e-300 then raise (Singular i);
-      if i < n - 1 then c'.(i) <- t.upper.(i) /. denom;
-      d'.(i) <- (b.(i) -. (t.lower.(i) *. d'.(i - 1))) /. denom
-    done;
+    let cp = Vec.create n and dp = Vec.create n in
     let x = Vec.create n in
-    x.(n - 1) <- d'.(n - 1);
-    for i = n - 2 downto 0 do
-      x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
-    done;
+    solve_into ~n ~lower:t.lower ~diag:t.diag ~upper:t.upper ~cp ~dp ~b ~x;
     x
   end
 

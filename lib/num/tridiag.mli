@@ -22,4 +22,23 @@ val solve : t -> Vec.t -> Vec.t
 (** Thomas algorithm. @raise Singular on a zero pivot (no pivoting is
     performed; intended for diagonally-dominant timing systems). *)
 
+val solve_into :
+  n:int ->
+  lower:Vec.t ->
+  diag:Vec.t ->
+  upper:Vec.t ->
+  cp:Vec.t ->
+  dp:Vec.t ->
+  b:Vec.t ->
+  x:Vec.t ->
+  unit
+(** Allocation-free Thomas kernel over the {e first [n] entries} of
+    capacity-sized buffers — bit-identical to {!solve} on the same bands.
+    [cp]/[dp] are scratch for the forward sweep's modified coefficients;
+    the solution lands in [x]. Entries at index [>= n] of every array are
+    neither read nor written, so buffers may be reused across systems of
+    different sizes without clearing.
+    @raise Singular on a zero pivot.
+    @raise Invalid_argument if any buffer is shorter than [n]. *)
+
 val mul_vec : t -> Vec.t -> Vec.t

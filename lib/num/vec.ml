@@ -43,6 +43,37 @@ let dot x y =
   done;
   !s
 
+(* Single-buffer form: the hot-path kernels call this once per operand so
+   the check itself never allocates (the list-taking [check_prefix] builds
+   its argument list at every call site). *)
+let[@inline] check_prefix1 name n x =
+  if n < 0 then invalid_arg (Printf.sprintf "%s: negative prefix %d" name n);
+  if Array.length x < n then
+    invalid_arg
+      (Printf.sprintf "%s: prefix %d exceeds length %d" name n (Array.length x))
+
+let check_prefix name n xs =
+  if n < 0 then invalid_arg (Printf.sprintf "%s: negative prefix %d" name n);
+  List.iter (fun x -> check_prefix1 name n x) xs
+
+let dot_n n x y =
+  check_prefix1 "Vec.dot_n" n x;
+  check_prefix1 "Vec.dot_n" n y;
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let blit_n n x y =
+  check_prefix1 "Vec.blit_n" n x;
+  check_prefix1 "Vec.blit_n" n y;
+  Array.blit x 0 y 0 n
+
+let fill_n n v x =
+  check_prefix1 "Vec.fill_n" n v;
+  Array.fill v 0 n x
+
 let norm2 x = sqrt (dot x x)
 
 let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x

@@ -34,6 +34,27 @@ val axpy : float -> t -> t -> unit
 
 val dot : t -> t -> float
 
+val check_prefix1 : string -> int -> t -> unit
+(** [check_prefix1 name n v] validates that [v] has at least [n] entries
+    (and [n >= 0]); [name] labels the raised [Invalid_argument].
+    Allocation-free — the in-place kernels call it once per operand. *)
+
+val check_prefix : string -> int -> t list -> unit
+(** List convenience over {!check_prefix1}; builds its argument list at
+    the call site, so hot paths should prefer the single-buffer form. *)
+
+val dot_n : int -> t -> t -> float
+(** [dot_n n x y] is the dot product of the first [n] entries, accumulated
+    in index order exactly as {!dot} — the prefix form the in-place solver
+    kernels use so capacity-sized scratch buffers never enter the product.
+    @raise Invalid_argument if either vector is shorter than [n]. *)
+
+val blit_n : int -> t -> t -> unit
+(** [blit_n n x y] copies the first [n] entries of [x] into [y]. *)
+
+val fill_n : int -> t -> float -> unit
+(** [fill_n n v x] sets the first [n] entries of [v] to [x]. *)
+
 val norm2 : t -> float
 (** Euclidean norm. *)
 

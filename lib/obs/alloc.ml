@@ -1,0 +1,60 @@
+(* GC allocation accounting built on [Gc.quick_stat]: cheap (no heap
+   traversal), monotone counters, safe to sample from any domain. Word
+   counts are per-domain in OCaml 5, which is exactly what a per-solve
+   delta wants: the sampling domain is the solving domain. *)
+
+type sample = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let sample () =
+  let s = Gc.quick_stat () in
+  {
+    (* [quick_stat]'s own minor_words only refreshes at minor
+       collections (OCaml 5 samples the counters lazily), which would
+       round any delta smaller than the young generation down to zero;
+       [Gc.minor_words] reads the allocation pointer and is precise. *)
+    minor_words = Gc.minor_words ();
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+  }
+
+let since s0 =
+  let s1 = sample () in
+  {
+    minor_words = s1.minor_words -. s0.minor_words;
+    promoted_words = s1.promoted_words -. s0.promoted_words;
+    major_words = s1.major_words -. s0.major_words;
+    minor_collections = s1.minor_collections - s0.minor_collections;
+    major_collections = s1.major_collections - s0.major_collections;
+  }
+
+let to_json s =
+  Json.Obj
+    [
+      ("minor_words", Json.Float s.minor_words);
+      ("promoted_words", Json.Float s.promoted_words);
+      ("major_words", Json.Float s.major_words);
+      ("minor_collections", Json.Int s.minor_collections);
+      ("major_collections", Json.Int s.major_collections);
+    ]
+
+let quick_stat_json () =
+  let s = Gc.quick_stat () in
+  Json.Obj
+    [
+      ("minor_words", Json.Float (Gc.minor_words ()));
+      ("promoted_words", Json.Float s.Gc.promoted_words);
+      ("major_words", Json.Float s.Gc.major_words);
+      ("minor_collections", Json.Int s.Gc.minor_collections);
+      ("major_collections", Json.Int s.Gc.major_collections);
+      ("compactions", Json.Int s.Gc.compactions);
+      ("heap_words", Json.Int s.Gc.heap_words);
+      ("top_heap_words", Json.Int s.Gc.top_heap_words);
+    ]

@@ -75,7 +75,12 @@ let run t ~model ~config scenario =
     Metrics.incr c_hits;
     report
   | `Solve ->
-    (match Qwm.run ~model ~config scenario with
+    (* each STA worker runs on its own domain, so the per-domain default
+       workspace hands every single-flight solver its own preallocated
+       scratch with no coordination; passing it explicitly documents that
+       the cache never shares one workspace across domains *)
+    let workspace = Tqwm_core.Qwm_solver.Workspace.for_current_domain () in
+    (match Qwm.run ~model ~config ~workspace scenario with
     | exception e ->
       (* release the claim so waiters retry instead of hanging *)
       Mutex.lock t.lock;

@@ -173,6 +173,116 @@ let test_bordered_dim_zero () =
   let x = Bordered.solve sys [| 4.0 |] in
   check_float "corner-only" 2.0 x.(0)
 
+(* ---------- In-place prefix kernels vs their allocating forms ----------
+
+   The QWM hot path runs every linear solve through the [_into] kernels on
+   reused capacity-sized workspace buffers. Each kernel must produce
+   bit-identical results over the live [n]-prefix of oversized buffers:
+   slack and scratch slots are pre-poisoned with NaN, so if a kernel ever
+   read past its prefix — or a stale slot it is contracted to re-zero —
+   the poison would propagate into the solution and the exact-bits check
+   would fail. *)
+
+let nan_filled len = Array.make len Float.nan
+
+(* embed [src] in a NaN-poisoned buffer with random extra capacity *)
+let with_slack rng src =
+  let slack = QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.int_range 0 5) in
+  let out = nan_filled (Array.length src + slack) in
+  Array.blit src 0 out 0 (Array.length src);
+  out
+
+let bits_equal_prefix n x y =
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if not (Int64.equal (Int64.bits_of_float x.(i)) (Int64.bits_of_float y.(i))) then
+      ok := false
+  done;
+  !ok
+
+let random_b rng n =
+  Array.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0))
+
+let prop_tridiag_solve_into =
+  QCheck2.Test.make ~name:"solve_into on poisoned slack buffers is bit-identical" ~count:200
+    QCheck2.Gen.(pair (int_range 1 15) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 41 |] in
+      let t = random_tridiag rng n in
+      let b = random_b rng n in
+      let x_ref = Tridiag.solve t b in
+      let scratch () = nan_filled (n + 3) in
+      let x = scratch () in
+      Tridiag.solve_into ~n ~lower:(with_slack rng t.Tridiag.lower)
+        ~diag:(with_slack rng t.Tridiag.diag) ~upper:(with_slack rng t.Tridiag.upper)
+        ~cp:(scratch ()) ~dp:(scratch ()) ~b:(with_slack rng b) ~x;
+      bits_equal_prefix n x_ref x)
+
+let prop_bordered_solve_into =
+  QCheck2.Test.make ~name:"solve_into on poisoned slack buffers is bit-identical" ~count:200
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 43 |] in
+      let sys = random_bordered rng n in
+      let b = random_b rng (n + 1) in
+      let x_ref = Bordered.solve sys b in
+      let scratch () = nan_filled (n + 4) in
+      let x = scratch () in
+      Bordered.solve_into ~n ~lower:(with_slack rng sys.Bordered.core.Tridiag.lower)
+        ~diag:(with_slack rng sys.Bordered.core.Tridiag.diag)
+        ~upper:(with_slack rng sys.Bordered.core.Tridiag.upper)
+        ~last_col:(with_slack rng sys.Bordered.last_col)
+        ~last_row:(with_slack rng sys.Bordered.last_row) ~corner:sys.Bordered.corner
+        ~cp:(scratch ()) ~dp:(scratch ()) ~y:(scratch ()) ~z:(scratch ())
+        ~b:(with_slack rng b) ~x;
+      bits_equal_prefix (n + 1) x_ref x)
+
+let prop_sherman_morrison_solve_into =
+  QCheck2.Test.make ~name:"solve_tridiag_into on poisoned slack buffers is bit-identical"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 1 12) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 47 |] in
+      let t = random_tridiag rng n in
+      let gen = QCheck2.Gen.float_range (-0.3) 0.3 in
+      let g () = QCheck2.Gen.generate1 ~rand:rng gen in
+      let u = Array.init n (fun _ -> g ()) and v = Array.init n (fun _ -> g ()) in
+      let b = random_b rng n in
+      let x_ref = Sherman_morrison.solve_tridiag t ~u ~v b in
+      let scratch () = nan_filled (n + 2) in
+      let x = scratch () in
+      Sherman_morrison.solve_tridiag_into ~n ~lower:(with_slack rng t.Tridiag.lower)
+        ~diag:(with_slack rng t.Tridiag.diag) ~upper:(with_slack rng t.Tridiag.upper)
+        ~u:(with_slack rng u) ~v:(with_slack rng v) ~cp:(scratch ()) ~dp:(scratch ())
+        ~y:(scratch ()) ~z:(scratch ()) ~b:(with_slack rng b) ~x;
+      bits_equal_prefix n x_ref x)
+
+let prop_lu_factorize_into =
+  QCheck2.Test.make
+    ~name:"factorize_into/solve_factored_into in a poisoned capacity matrix is bit-identical"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 1 10) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 53 |] in
+      let a, x_exact = random_spd_system rng n in
+      let b = Mat.mul_vec a x_exact in
+      let x_ref = Lu.solve a b in
+      (* capacity matrix: NaN everywhere, then the system stamped into the
+         leading block (the factorization must never look past it) *)
+      let slack = QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.int_range 0 4) in
+      let cap = n + slack in
+      let m = Mat.init cap cap (fun _ _ -> Float.nan) in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Mat.set m i j (Mat.get a i j)
+        done
+      done;
+      let perm = Array.make cap (-1) in
+      Lu.factorize_into ~n m ~perm;
+      let x = nan_filled cap in
+      Lu.solve_factored_into ~n m ~perm ~b:(with_slack rng b) ~x;
+      bits_equal_prefix n x_ref x)
+
 (* ---------- Newton ---------- *)
 
 let test_newton_scalar () =
@@ -381,6 +491,13 @@ let () =
           prop prop_bordered_vs_lu;
           prop prop_sherman_morrison;
           quick "dim zero" test_bordered_dim_zero;
+        ] );
+      ( "prefix-kernels",
+        [
+          prop prop_tridiag_solve_into;
+          prop prop_bordered_solve_into;
+          prop prop_sherman_morrison_solve_into;
+          prop prop_lu_factorize_into;
         ] );
       ( "newton",
         [

@@ -5,6 +5,7 @@
    4-domain parallel STA run of the same workload. *)
 
 open Tqwm_device
+module Alloc = Tqwm_obs.Alloc
 module Json = Tqwm_obs.Json
 module Metrics = Tqwm_obs.Metrics
 module Trace = Tqwm_obs.Trace
@@ -148,6 +149,57 @@ let test_trace_disabled_is_silent () =
     "no buffered events" true
     (Json.member "traceEvents" (Trace.to_json ()) = Some (Json.List []))
 
+(* ---------- allocation accounting ---------- *)
+
+let test_alloc_delta_tracks_allocation () =
+  (* [since] must see a known allocation even when it is far smaller than
+     the young generation — the reason Alloc reads [Gc.minor_words] (the
+     allocation pointer) instead of [quick_stat]'s lazily-refreshed
+     counter, which only updates at minor collections. *)
+  (* many small arrays, not one big one: arrays past Max_young_wosize
+     (256 words) are allocated directly on the major heap and would never
+     touch the minor counter *)
+  let rounds = 1_000 and len = 8 in
+  let acc = ref 0.0 in
+  let s0 = Alloc.sample () in
+  for i = 1 to rounds do
+    let a = Sys.opaque_identity (Array.make len (float_of_int i)) in
+    acc := !acc +. a.(0)
+  done;
+  let d = Alloc.since s0 in
+  ignore (Sys.opaque_identity !acc);
+  (* at least (len + header) words per round; the loose ceiling still
+     catches double counting *)
+  let floor = float_of_int (rounds * (len + 1)) in
+  if d.Alloc.minor_words < floor then
+    Alcotest.failf "delta %.0f words missed %.0f words of minor allocation"
+      d.Alloc.minor_words floor;
+  if d.Alloc.minor_words > 6.0 *. floor then
+    Alcotest.failf "delta %.0f words for %.0f words of minor allocation"
+      d.Alloc.minor_words floor;
+  Alcotest.(check bool) "counters monotone" true
+    (d.Alloc.promoted_words >= 0.0 && d.Alloc.major_words >= 0.0
+    && d.Alloc.minor_collections >= 0
+    && d.Alloc.major_collections >= 0)
+
+let test_alloc_json_shape () =
+  let keys doc =
+    match doc with
+    | Json.Obj fields -> List.map fst fields
+    | _ -> Alcotest.fail "expected an object"
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " in to_json") true
+        (List.mem k (keys (Alloc.to_json (Alloc.sample ())))))
+    [ "minor_words"; "promoted_words"; "major_words"; "minor_collections";
+      "major_collections" ];
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " in quick_stat_json") true
+        (List.mem k (keys (Alloc.quick_stat_json ()))))
+    [ "minor_words"; "heap_words"; "top_heap_words"; "compactions" ]
+
 (* ---------- Newton stalled flag ---------- *)
 
 let test_newton_stalled () =
@@ -245,6 +297,12 @@ let () =
         [
           Alcotest.test_case "document shape" `Quick test_trace_document;
           Alcotest.test_case "disabled is silent" `Quick test_trace_disabled_is_silent;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "delta tracks a sub-minor-heap allocation" `Quick
+            test_alloc_delta_tracks_allocation;
+          Alcotest.test_case "json shape" `Quick test_alloc_json_shape;
         ] );
       ( "newton",
         [ Alcotest.test_case "stalled flag" `Quick test_newton_stalled ] );

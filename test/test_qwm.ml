@@ -198,6 +198,42 @@ let test_linear_solvers_identical () =
   Alcotest.(check (float 1e-15)) "bordered = sherman" d_b d_s;
   Alcotest.(check (float 1e-15)) "bordered = dense" d_b d_l
 
+(* Within each linear-solver mode, results must be bit-identical whatever
+   scratch workspace the solve uses: the domain default, a freshly created
+   one, or one reused after being dirtied by a longer chain (stale slots
+   and over-capacity buffers must never leak into results). Across modes
+   only tolerance equality holds — the three solvers order floating-point
+   operations differently — hence the [float 1e-15] checks above rather
+   than bit comparison. *)
+let test_workspace_reuse_bit_identical () =
+  let model = Lazy.force table in
+  let piece_bits (p : Waveform.piece) =
+    List.map Int64.bits_of_float
+      [ p.Waveform.t0; p.Waveform.dt; p.Waveform.v0; p.Waveform.dv; p.Waveform.ddv ]
+  in
+  let fingerprint (r : Qwm.report) =
+    ( List.map
+        (fun (name, q) ->
+          (name, List.concat_map piece_bits (Waveform.quadratic_pieces q)))
+        r.Qwm.node_quadratics,
+      List.map Int64.bits_of_float r.Qwm.critical_times,
+      Option.map Int64.bits_of_float r.Qwm.delay )
+  in
+  let scenario = Random_circuits.stack_scenario tech ~len:8 ~seed:5 in
+  let dirty = Random_circuits.stack_scenario tech ~len:10 ~seed:9 in
+  List.iter
+    (fun solver ->
+      let config = { Config.default with Config.linear_solver = solver } in
+      let run ?workspace () = fingerprint (Qwm.run ~model ~config ?workspace scenario) in
+      let reference = run () in
+      (* capacity 2 forces the grow-on-demand path on an 8-node chain *)
+      let ws = Qwm_solver.Workspace.create ~capacity:2 () in
+      Alcotest.(check bool) "fresh workspace bit-identical" true (run ~workspace:ws () = reference);
+      ignore (Qwm.run ~model ~config ~workspace:ws dirty);
+      Alcotest.(check bool) "dirtied workspace bit-identical" true
+        (run ~workspace:ws () = reference))
+    [ Config.Bordered; Config.Sherman_morrison; Config.Dense_lu ]
+
 (* ---------- waveform models ---------- *)
 
 let test_linear_waveform_model_converges () =
@@ -448,7 +484,7 @@ let test_initial_mismatch_rejected () =
   Alcotest.check_raises "bad initial length"
     (Invalid_argument "Qwm_solver.solve: initial voltage count mismatch") (fun () ->
       ignore
-        (Qwm_solver.solve ~model ~config:Config.default ~scenario
+        (Qwm_solver.solve ?workspace:None ~model ~config:Config.default ~scenario
            ~chain:lowering.Path.chain ~initial:[| 1.0 |]))
 
 let () =
@@ -475,7 +511,11 @@ let () =
           quick "cascade spread" test_critical_points_spread_for_precharged_stack;
           slow "matches spice cascade" test_turn_on_matches_spice_cascade;
         ] );
-      ("linear solvers", [ quick "all paths identical" test_linear_solvers_identical ]);
+      ( "linear solvers",
+        [
+          quick "all paths identical" test_linear_solvers_identical;
+          quick "workspace reuse bit-identical" test_workspace_reuse_bit_identical;
+        ] );
       ( "waveform models",
         [
           slow "linear model converges" test_linear_waveform_model_converges;
