@@ -68,22 +68,30 @@ let run_qwm ~model ~waveform scenario =
   report
 
 (* --sta: propagate arrivals over a fan-out tree of the selected stage *)
-let run_sta ~tech ~depth ~fanout ~domains ~use_cache ~json_file scenario =
+let run_sta ~tech ~depth ~fanout ~domains ~scheduler ~chunk ~use_cache ~json_file
+    scenario =
   if fanout < 1 then (
     Printf.eprintf "qwm_sim: --fanout must be >= 1 (got %d)\n" fanout;
     exit 2);
+  (match chunk with
+  | Some c when c < 1 ->
+    Printf.eprintf "qwm_sim: --chunk must be >= 1 (got %d)\n" c;
+    exit 2
+  | Some _ | None -> ());
   let domains = max 1 domains in
   let model = Models.table tech in
   let graph = Workloads.fanout_tree ~fanout ~depth scenario in
   ignore (Timing_graph.freeze graph);
   let cache = if use_cache then Some (Stage_cache.create ()) else None in
   let t0 = Unix.gettimeofday () in
-  let analysis = Parallel.propagate ~model ?cache ~domains graph in
+  let analysis = Parallel.propagate ~model ?cache ~domains ~scheduler ?chunk graph in
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf
-    "sta: %d copies of %s (fan-out %d, depth %d), %d domain%s: %.3f ms\n"
+    "sta: %d copies of %s (fan-out %d, depth %d), %d domain%s [%s%s]: %.3f ms\n"
     (Timing_graph.num_stages graph) scenario.Scenario.name fanout depth domains
     (if domains = 1 then "" else "s")
+    (Parallel.scheduler_name scheduler)
+    (match chunk with Some c -> Printf.sprintf ", chunk %d" c | None -> "")
     (elapsed *. 1e3);
   if Timing_graph.num_stages graph <= 16 then
     Report.print Format.std_formatter graph analysis
@@ -225,8 +233,8 @@ let partition_netlist path =
     0
 
 let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-    epsilon_ps sta_depth sta_fanout domains no_cache json_file audit
-    baseline_file update_baseline tol_pct =
+    epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache json_file
+    audit baseline_file update_baseline tol_pct =
   if audit then
     run_audit ~tech:Tech.cmosp35
       ~domains:(Option.value domains ~default:1)
@@ -256,8 +264,8 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     match sta_depth with
     | Some depth ->
       let domains = Option.value domains ~default:(Parallel.default_domains ()) in
-      run_sta ~tech ~depth ~fanout:sta_fanout ~domains ~use_cache:(not no_cache)
-        ~json_file scenario
+      run_sta ~tech ~depth ~fanout:sta_fanout ~domains ~scheduler ~chunk
+        ~use_cache:(not no_cache) ~json_file scenario
     | None ->
     Printf.printf "circuit %s: %d nodes, %d edges, window %.0f ps\n"
       scenario.Scenario.name scenario.Scenario.stage.Stage.num_nodes
@@ -280,13 +288,13 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     0
 
 let main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-    epsilon_ps sta_depth sta_fanout domains no_cache json_file audit
-    baseline_file update_baseline tol_pct trace_file metrics_file =
+    epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache json_file
+    audit baseline_file update_baseline tol_pct trace_file metrics_file =
   if trace_file <> None then Trace.enable ();
   let code =
     run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-      epsilon_ps sta_depth sta_fanout domains no_cache json_file audit
-      baseline_file update_baseline tol_pct
+      epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache json_file
+      audit baseline_file update_baseline tol_pct
   in
   (match trace_file with
   | None -> ()
@@ -353,6 +361,30 @@ let domains =
   let doc = "Domains used by --sta propagation (default: the recommended domain count of this machine)." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let scheduler =
+  let doc =
+    "Parallel scheduler used by --sta propagation: steal (level-batched \
+     work-stealing chunk deques, the default) or ready (legacy per-stage \
+     ready queue, kept for A/B comparison)."
+  in
+  Arg.(value
+    & opt
+        (enum
+           [
+             ("steal", Tqwm_sta.Parallel.Work_stealing);
+             ("ready", Tqwm_sta.Parallel.Ready_queue);
+           ])
+        Tqwm_sta.Parallel.Work_stealing
+    & info [ "scheduler" ] ~docv:"NAME" ~doc)
+
+let chunk =
+  let doc =
+    "Stages per work-stealing chunk in --sta mode (>= 1); the scheduling \
+     quantum each synchronization is amortized over. Default: auto-sized \
+     from the widest level and the domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
+
 let no_cache =
   let doc = "Disable stage-result memoization in --sta mode." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
@@ -392,7 +424,7 @@ let cmd =
     Term.(
       const main $ circuit $ engine $ dt $ waveform $ ramp $ partition
       $ incr_script $ scratch $ epsilon_ps $ sta_depth $ sta_fanout $ domains
-      $ no_cache $ json_file $ audit $ baseline_file $ update_baseline
-      $ tol_pct $ trace_file $ metrics_file)
+      $ scheduler $ chunk $ no_cache $ json_file $ audit $ baseline_file
+      $ update_baseline $ tol_pct $ trace_file $ metrics_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -27,6 +27,7 @@ type t = {
   cache : Stage_cache.t option;
   domains : int;
   parallel_threshold : int;
+  chunk : int option;
   epsilon : float;
   mutable pi : Arrival.pi_timing option array;
   mutable timings : Arrival.stage_timing option array;
@@ -55,10 +56,13 @@ let sync t =
   end
 
 let create ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12) ?cache
-    ?(domains = 1) ?(parallel_threshold = 4) ?(epsilon = 0.0) graph =
+    ?(domains = 1) ?(parallel_threshold = 4) ?chunk ?(epsilon = 0.0) graph =
   if default_slew <= 0.0 then invalid_arg "Session.create: default_slew <= 0";
   if not (Float.is_finite epsilon) || epsilon < 0.0 then
     invalid_arg "Session.create: epsilon must be finite and >= 0";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Session.create: chunk < 1"
+  | Some _ | None -> ());
   let t =
     {
       graph;
@@ -68,6 +72,7 @@ let create ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12) 
       cache;
       domains = max domains 1;
       parallel_threshold = max parallel_threshold 2;
+      chunk;
       epsilon;
       pi = [||];
       timings = [||];
@@ -183,7 +188,8 @@ let recompute t =
         if Array.length dirty_ids > 0 then begin
           let results =
             if t.domains > 1 && Array.length dirty_ids >= t.parallel_threshold then
-              Parallel.evaluate_stages ~domains:t.domains ~eval dirty_ids
+              Parallel.evaluate_stages ~domains:t.domains ?chunk:t.chunk ~eval
+                dirty_ids
             else Array.map eval dirty_ids
           in
           Array.iteri

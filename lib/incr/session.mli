@@ -21,8 +21,9 @@
 
     Wide dirty levels (at least [parallel_threshold] stages) are
     evaluated concurrently through {!Tqwm_sta.Parallel.evaluate_stages}
-    when the session was created with [domains > 1]; results do not
-    depend on the domain count. *)
+    — the work-stealing chunk scheduler over one synthetic level — when
+    the session was created with [domains > 1]; results do not depend on
+    the domain count, the chunk size, or steal interleaving. *)
 
 module Timing_graph = Tqwm_sta.Timing_graph
 module Arrival = Tqwm_sta.Arrival
@@ -36,6 +37,7 @@ val create :
   ?cache:Tqwm_sta.Stage_cache.t ->
   ?domains:int ->
   ?parallel_threshold:int ->
+  ?chunk:int ->
   ?epsilon:float ->
   Timing_graph.t ->
   t
@@ -44,7 +46,9 @@ val create :
     full propagation through the incremental path. [epsilon] (seconds,
     default [0.] = exact) is the early-cutoff tolerance on
     [arrival_out] and [slew]; [domains] (default 1) and
-    [parallel_threshold] (default 4) govern parallel level evaluation;
+    [parallel_threshold] (default 4) govern parallel level evaluation,
+    and [chunk] is the stages-per-chunk batch size handed to
+    {!Tqwm_sta.Parallel.evaluate_stages} (default: auto-sized);
     [cache], [config] and [default_slew] are as in
     {!Tqwm_sta.Arrival.propagate}.
     @raise Invalid_argument when [default_slew <= 0] or [epsilon] is

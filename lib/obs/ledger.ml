@@ -31,7 +31,20 @@ let read path =
 let last path =
   match List.rev (read path) with [] -> None | newest :: _ -> Some newest
 
+(* Every ledger consumer dispatches on the record's "schema" field
+   (tools/check_ledgers.py, the CI gates, Baseline.load); a record
+   without one is unidentifiable forever, so it is rejected at the
+   source instead of poisoning the committed history. *)
+let has_schema = function
+  | Json.Obj fields ->
+    (match List.assoc_opt "schema" fields with
+    | Some (Json.String _) -> true
+    | Some _ | None -> false)
+  | _ -> false
+
 let append ~path record =
+  if not (has_schema record) then
+    invalid_arg "Ledger.append: record lacks a \"schema\" string field";
   let history = read path @ [ stamp record ] in
   Json.write_file path (Json.List history);
   List.length history

@@ -22,4 +22,7 @@ val last : string -> Json.t option
 
 val append : path:string -> Json.t -> int
 (** Stamp the record and append it to the ledger at [path], creating the
-    file if needed. Returns the new record count. *)
+    file if needed. Returns the new record count.
+    @raise Invalid_argument when the record is not a JSON object with a
+    ["schema"] string field — every ledger consumer dispatches on the
+    schema version, so an unversioned record would be unidentifiable. *)

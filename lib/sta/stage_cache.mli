@@ -14,8 +14,12 @@
     request a key solves it while concurrent requesters for the same key
     block until the report lands, so a stage is never solved twice and
     the miss count is deterministic — a parallel run reports exactly the
-    misses (one per distinct stage) of the sequential run. Cached
-    reports are immutable and safe to share across domains.
+    misses (one per distinct stage) of the sequential run. This holds
+    under both {!Parallel} schedulers: a work-stealing worker that
+    blocks on an in-flight key simply sleeps inside its current chunk
+    while the level's other chunks remain stealable by the rest of the
+    team. Cached reports are immutable and safe to share across
+    domains.
 
     Telemetry: hits and misses are additionally accumulated across all
     cache instances in the global {!Tqwm_obs.Metrics} registry as

@@ -280,11 +280,44 @@ let test_counters_seq_eq_par () =
     | Some h, Some m -> Some (h + m)
     | _ -> None)
 
+(* ---------- ledger ---------- *)
+
+let test_ledger_rejects_schemaless () =
+  let reject record =
+    Alcotest.check_raises "schema-less record rejected"
+      (Invalid_argument "Ledger.append: record lacks a \"schema\" string field")
+      (fun () ->
+        ignore (Tqwm_obs.Ledger.append ~path:"/nonexistent/never-written.json" record))
+  in
+  reject (Json.Obj [ ("speedup", Json.Float 2.0) ]);
+  reject (Json.Obj [ ("schema", Json.Int 2) ]);
+  reject (Json.List [ Json.String "tqwm-bench-parallel/2" ]);
+  (* a versioned record is accepted and stamped *)
+  let path = Filename.temp_file "tqwm-ledger" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let n =
+        Tqwm_obs.Ledger.append ~path
+          (Json.Obj [ ("schema", Json.String "tqwm-test/1") ])
+      in
+      Alcotest.(check int) "one record" 1 n;
+      match Tqwm_obs.Ledger.last path with
+      | Some (Json.Obj fields) ->
+        Alcotest.(check bool) "stamped with date and commit" true
+          (List.mem_assoc "date" fields && List.mem_assoc "commit" fields)
+      | Some _ | None -> Alcotest.fail "record not readable back")
+
 let () =
   Alcotest.run "tqwm_obs"
     [
       ( "json",
         [ Alcotest.test_case "round-trip and errors" `Quick test_json_roundtrip ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "append rejects schema-less records" `Quick
+            test_ledger_rejects_schemaless;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counter registry" `Quick test_counter_registry;

@@ -146,6 +146,119 @@ let test_cache_bucketing () =
     (String.equal a
        (Stage_cache.fingerprint ~model ~config (Scenario.nand_falling ~n:2 tech)))
 
+(* ---------- work-stealing chunk scheduler ---------- *)
+
+module Metrics = Tqwm_obs.Metrics
+
+let counter name = Option.value (Metrics.find_counter name) ~default:0
+
+(* a synthetic stage timing whose fields are a pure function of the id,
+   so any scheduling mistake (dropped, duplicated or misplaced stage)
+   corrupts the result array detectably *)
+let fabricated_timing id =
+  {
+    Arrival.id;
+    arrival_in = 0.0;
+    delay = float_of_int (id + 1) *. 1e-12;
+    slew = 1e-12;
+    arrival_out = float_of_int ((id * id) + 1) *. 1e-12;
+    critical_fanin = (if id = 0 then None else Some (id - 1));
+  }
+
+let test_steal_identical_many_domains () =
+  let graph = Workloads.decoder_tree ~fanout:3 ~depth:2 tech in
+  let seq = propagate ~domains:1 graph in
+  List.iter
+    (fun domains ->
+      check_identical
+        (Printf.sprintf "steal, %d domains" domains)
+        seq
+        (Parallel.propagate ~model:(Lazy.force table) ~domains
+           ~scheduler:Parallel.Work_stealing graph);
+      check_identical
+        (Printf.sprintf "ready, %d domains" domains)
+        seq
+        (Parallel.propagate ~model:(Lazy.force table) ~domains
+           ~scheduler:Parallel.Ready_queue graph))
+    [ 2; 4; 8 ]
+
+let test_chunk_size_edges () =
+  let graph = Workloads.decoder_tree ~fanout:3 ~depth:2 tech in
+  let width = Timing_graph.max_level_width (Timing_graph.freeze graph) in
+  Alcotest.(check bool) "tree has a wide level" true (width > 1);
+  let seq = propagate ~domains:1 graph in
+  (* chunk 1 maximizes scheduling traffic; chunk = width puts a whole
+     level in one deque slot; chunk > width degenerates to one chunk per
+     level — all three must still be bit-identical to sequential *)
+  List.iter
+    (fun chunk ->
+      check_identical
+        (Printf.sprintf "chunk %d" chunk)
+        seq
+        (Parallel.propagate ~model:(Lazy.force table) ~domains:4 ~chunk graph))
+    [ 1; width; width + 7 ]
+
+let test_chunk_validation () =
+  let graph = Workloads.diamond tech in
+  Alcotest.check_raises "chunk 0 rejected"
+    (Invalid_argument "Parallel.propagate: chunk < 1") (fun () ->
+      ignore (Parallel.propagate ~model:(Lazy.force table) ~domains:2 ~chunk:0 graph));
+  Alcotest.check_raises "evaluate_stages chunk 0 rejected"
+    (Invalid_argument "Parallel.evaluate_stages: chunk < 1") (fun () ->
+      ignore
+        (Parallel.evaluate_stages ~domains:2 ~chunk:0 ~eval:fabricated_timing
+           [| 0; 1 |]))
+
+let test_steals_on_imbalance () =
+  (* chunk 1 deals ids round-robin, so deque w owns ids congruent to
+     w mod 4; making deque 0's stages slow guarantees workers 1..3 run
+     dry while work remains there — the steal counter must move *)
+  let n = 32 in
+  let eval id =
+    if id mod 4 = 0 then Unix.sleepf 0.005;
+    fabricated_timing id
+  in
+  let steals0 = counter "sta.steals" and chunks0 = counter "sta.chunks" in
+  let results =
+    Parallel.evaluate_stages ~domains:4 ~chunk:1 ~eval (Array.init n Fun.id)
+  in
+  let steals = counter "sta.steals" - steals0 in
+  let chunks = counter "sta.chunks" - chunks0 in
+  Array.iteri
+    (fun i r ->
+      if r <> fabricated_timing i then Alcotest.failf "stage %d result corrupted" i)
+    results;
+  Alcotest.(check int) "every chunk executed exactly once" n chunks;
+  Alcotest.(check bool) "imbalance forced steals" true (steals > 0)
+
+let prop_evaluate_stages_identical =
+  QCheck2.Test.make ~name:"evaluate_stages bit-identical under random costs" ~count:20
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 40) (int_range 0 3))
+        (int_range 1 8) (int_range 1 6))
+    (fun (costs, domains, chunk) ->
+      let costs = Array.of_list costs in
+      let n = Array.length costs in
+      (* random per-stage costs skew the deques so steal interleavings
+         vary run to run; the result may not *)
+      let eval id =
+        if costs.(id) > 0 then Unix.sleepf (float_of_int costs.(id) *. 2e-4);
+        fabricated_timing id
+      in
+      let expected = Array.init n fabricated_timing in
+      Parallel.evaluate_stages ~domains ~chunk ~eval (Array.init n Fun.id) = expected)
+
+let test_scheduler_names () =
+  Alcotest.(check string) "steal" "steal"
+    (Parallel.scheduler_name Parallel.Work_stealing);
+  Alcotest.(check string) "ready" "ready"
+    (Parallel.scheduler_name Parallel.Ready_queue);
+  Alcotest.(check bool) "round-trip" true
+    (Parallel.scheduler_of_string "steal" = Some Parallel.Work_stealing
+    && Parallel.scheduler_of_string "ready" = Some Parallel.Ready_queue
+    && Parallel.scheduler_of_string "fifo" = None)
+
 (* ---------- slack over a chain ---------- *)
 
 let test_chain_slack_identity () =
@@ -172,6 +285,16 @@ let () =
           slow "diamond bit-identical" test_parallel_identical_diamond;
           slow "decoder tree bit-identical" test_parallel_identical_decoder_tree;
           slow "cached runs bit-identical" test_parallel_identical_with_cache;
+        ] );
+      ( "work stealing",
+        [
+          slow "bit-identical at 2/4/8 domains, both schedulers"
+            test_steal_identical_many_domains;
+          slow "chunk size edge cases" test_chunk_size_edges;
+          quick "chunk validation" test_chunk_validation;
+          quick "scheduler names" test_scheduler_names;
+          slow "imbalance forces steals" test_steals_on_imbalance;
+          QCheck_alcotest.to_alcotest prop_evaluate_stages_identical;
         ] );
       ( "stage cache",
         [ quick "bucketing and fingerprints" test_cache_bucketing ] );

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Validate the repo's JSON ledgers and CI telemetry artifacts.
+
+Every machine-readable document this repo commits or produces in CI is
+either a *ledger* (a JSON array of date+commit-stamped run records, each
+carrying a ``schema`` version string — see Tqwm_obs.Ledger), a single
+schema-versioned object (reports, budgets), a Chrome trace
+(``traceEvents``) or a metrics snapshot (``counters``). This checker
+dispatches on those shapes and validates required fields per schema
+version; an unknown schema version is an error, never a skip — a
+consumer that cannot identify a record must not pretend it checked it.
+
+Usage: check_ledgers.py FILE [FILE...]
+Exit status 0 when every file validates, 1 otherwise (missing files are
+reported but tolerated with --allow-missing, for CI legs whose optional
+artifacts did not run).
+"""
+
+import json
+import sys
+
+
+class Invalid(Exception):
+    pass
+
+
+def fail(msg):
+    raise Invalid(msg)
+
+
+def expect(obj, field, types, ctx):
+    if not isinstance(obj, dict):
+        fail(f"{ctx}: expected an object, got {type(obj).__name__}")
+    if field not in obj:
+        fail(f"{ctx}: missing required field {field!r}")
+    value = obj[field]
+    if not isinstance(value, types):
+        names = (
+            "/".join(t.__name__ for t in types)
+            if isinstance(types, tuple)
+            else types.__name__
+        )
+        fail(f"{ctx}: field {field!r} is {type(value).__name__}, wanted {names}")
+    return value
+
+
+NUM = (int, float)
+
+
+def check_cache(obj, ctx):
+    for field in ("hits", "misses"):
+        expect(obj, field, int, ctx)
+    expect(obj, "hit_rate", NUM, ctx)
+
+
+def check_bench_parallel(record, ctx, version):
+    expect(record, "smoke", bool, ctx)
+    expect(record, "domains", int, ctx)
+    if version >= 2 or "available_cores" in record:
+        expect(record, "available_cores", int, ctx)
+    # the oversubscription flag arrived mid-version-1; /2 requires it
+    if version >= 2 or "degraded" in record:
+        expect(record, "degraded", bool, ctx)
+    if version >= 2:
+        scheduler = expect(record, "scheduler", str, ctx)
+        if scheduler not in ("steal", "ready"):
+            fail(f"{ctx}: unknown scheduler {scheduler!r}")
+        chunk_size = expect(record, "chunk_size", int, ctx)
+        if chunk_size < 0:
+            fail(f"{ctx}: chunk_size {chunk_size} < 0 (0 means auto)")
+    workloads = expect(record, "workloads", list, ctx)
+    if not workloads:
+        fail(f"{ctx}: empty workloads list")
+    for i, row in enumerate(workloads):
+        rctx = f"{ctx}: workloads[{i}]"
+        expect(row, "name", str, rctx)
+        expect(row, "stages", int, rctx)
+        for field in ("seq_ms", "par_ms", "speedup", "warm_ms"):
+            expect(row, field, NUM, rctx)
+        expect(row, "identical", bool, rctx)
+        check_cache(expect(row, "cache", dict, rctx), rctx + ".cache")
+        if version >= 2:
+            for field in ("ready_ms", "speedup_ready"):
+                expect(row, field, NUM, rctx)
+            for field in ("steals", "chunks"):
+                if expect(row, field, int, rctx) < 0:
+                    fail(f"{rctx}: negative {field}")
+            # the oversubscription flag is stamped per scenario row so a
+            # record cut out of the ledger stays honest on its own
+            expect(row, "degraded", bool, rctx)
+
+
+def check_bench_incr(record, ctx):
+    expect(record, "smoke", bool, ctx)
+    workload = expect(record, "workload", dict, ctx)
+    expect(workload, "name", str, ctx + ".workload")
+    expect(workload, "stages", int, ctx + ".workload")
+    expect(record, "edits", int, ctx)
+    for field in ("full_ms_per_edit", "incr_ms_per_edit", "speedup", "reeval_fraction"):
+        expect(record, field, NUM, ctx)
+    expect(record, "identical", bool, ctx)
+    cutoff = expect(record, "cutoff", dict, ctx)
+    expect(cutoff, "neutral_edit_reeval", int, ctx + ".cutoff")
+    expect(cutoff, "cutoff_hits", int, ctx + ".cutoff")
+
+
+def check_bench_alloc(record, ctx):
+    expect(record, "smoke", bool, ctx)
+    expect(record, "solves_per_mode", int, ctx)
+    scenarios = expect(record, "scenarios", list, ctx)
+    if not scenarios:
+        fail(f"{ctx}: empty scenarios list")
+    for i, row in enumerate(scenarios):
+        rctx = f"{ctx}: scenarios[{i}]"
+        expect(row, "name", str, rctx)
+        for mode in ("cold", "warm"):
+            m = expect(row, mode, dict, rctx)
+            expect(m, "solver_words_per_region", NUM, f"{rctx}.{mode}")
+            expect(m, "ms_per_solve", NUM, f"{rctx}.{mode}")
+
+
+def check_audit(record, ctx):
+    workloads = expect(record, "workloads", list, ctx)
+    if not workloads:
+        fail(f"{ctx}: empty workloads list")
+    for i, row in enumerate(workloads):
+        expect(row, "name", str, f"{ctx}: workloads[{i}]")
+        expect(row, "avg_accuracy_pct", NUM, f"{ctx}: workloads[{i}]")
+    overall = expect(record, "overall", dict, ctx)
+    for field in ("stages", "avg_accuracy_pct", "runtime_ratio"):
+        expect(overall, field, NUM, ctx + ".overall")
+    # drift appears on gated CI reports, not on baseline ledger records
+    if "drift" in record:
+        drift = expect(record, "drift", dict, ctx)
+        for field in ("regressed", "improved"):
+            expect(drift, field, list, ctx + ".drift")
+
+
+def check_alloc_budget(record, ctx):
+    budget = expect(record, "solver_words_per_region", dict, ctx)
+    if not budget:
+        fail(f"{ctx}: empty budget")
+    for name, words in budget.items():
+        if not isinstance(words, NUM):
+            fail(f"{ctx}: budget for {name!r} is not a number")
+
+
+def check_sta_report(record, ctx):
+    stages = expect(record, "stages", list, ctx)
+    if not stages:
+        fail(f"{ctx}: empty stages list")
+    for i, row in enumerate(stages):
+        rctx = f"{ctx}: stages[{i}]"
+        expect(row, "id", int, rctx)
+        for field in ("arrival_in_ps", "delay_ps", "slew_ps", "arrival_out_ps"):
+            expect(row, field, NUM, rctx)
+    expect(record, "critical_path", list, ctx)
+    expect(record, "worst_arrival_ps", NUM, ctx)
+
+
+def check_incr_report(record, ctx):
+    mode = expect(record, "mode", str, ctx)
+    if mode not in ("incremental", "scratch"):
+        fail(f"{ctx}: unknown mode {mode!r}")
+    analysis = expect(record, "analysis", dict, ctx)
+    check_sta_report(analysis, ctx + ".analysis")
+    stats = expect(record, "stats", dict, ctx)
+    for field in ("edits", "recomputes", "stages_reeval", "cutoff_hits"):
+        expect(stats, field, int, ctx + ".stats")
+
+
+SCHEMAS = {
+    "tqwm-bench-parallel/1": lambda r, c: check_bench_parallel(r, c, 1),
+    "tqwm-bench-parallel/2": lambda r, c: check_bench_parallel(r, c, 2),
+    "tqwm-bench-incr/1": check_bench_incr,
+    "tqwm-bench-alloc/1": check_bench_alloc,
+    "tqwm-audit/1": check_audit,
+    "tqwm-alloc-budget/1": check_alloc_budget,
+    "tqwm-sta-report/1": check_sta_report,
+    "tqwm-incr-report/1": check_incr_report,
+}
+
+
+def check_versioned(record, ctx):
+    schema = expect(record, "schema", str, ctx)
+    checker = SCHEMAS.get(schema)
+    if checker is None:
+        known = ", ".join(sorted(SCHEMAS))
+        fail(f"{ctx}: unknown schema version {schema!r} (known: {known})")
+    checker(record, f"{ctx} [{schema}]")
+    return schema
+
+
+def check_ledger(records, ctx):
+    if not records:
+        fail(f"{ctx}: empty ledger")
+    schemas = []
+    for i, record in enumerate(records):
+        rctx = f"{ctx}: record {i}"
+        if not isinstance(record, dict):
+            fail(f"{rctx}: not an object")
+        # Tqwm_obs.Ledger stamps every appended record; the earliest
+        # records of committed ledgers predate stamping, so the stamps
+        # are type-checked when present rather than required
+        for stamp in ("date", "commit"):
+            if stamp in record and not isinstance(record[stamp], str):
+                fail(f"{rctx}: stamp {stamp!r} is not a string")
+        schemas.append(check_versioned(record, rctx))
+    return f"ledger, {len(records)} records ({', '.join(sorted(set(schemas)))})"
+
+
+def check_trace(doc, ctx):
+    events = expect(doc, "traceEvents", list, ctx)
+    for i, event in enumerate(events):
+        ectx = f"{ctx}: traceEvents[{i}]"
+        expect(event, "name", str, ectx)
+        expect(event, "ph", str, ectx)
+    return f"chrome trace, {len(events)} events"
+
+
+def check_metrics(doc, ctx):
+    counters = expect(doc, "counters", dict, ctx)
+    for name, value in counters.items():
+        if not isinstance(value, int):
+            fail(f"{ctx}: counter {name!r} is not an integer")
+    return f"metrics snapshot, {len(counters)} counters"
+
+
+def check_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, list):
+        return check_ledger(doc, path)
+    if isinstance(doc, dict):
+        if "traceEvents" in doc:
+            return check_trace(doc, path)
+        if "counters" in doc:
+            return check_metrics(doc, path)
+        if "schema" in doc:
+            schema = check_versioned(doc, path)
+            return f"single record [{schema}]"
+        fail(f"{path}: object with neither schema, traceEvents nor counters")
+    fail(f"{path}: top level is {type(doc).__name__}, wanted object or array")
+
+
+def main(argv):
+    allow_missing = "--allow-missing" in argv
+    paths = [a for a in argv[1:] if a != "--allow-missing"]
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            print(f"{path}: OK ({check_file(path)})")
+        except FileNotFoundError:
+            if allow_missing:
+                print(f"{path}: missing (tolerated)")
+            else:
+                print(f"{path}: MISSING", file=sys.stderr)
+                failures += 1
+        except (Invalid, json.JSONDecodeError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
