@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- --table incr [--smoke]
      dune exec bench/main.exe -- --table audit [--smoke]
      dune exec bench/main.exe -- --table alloc [--smoke]
+     dune exec bench/main.exe -- --table report [--smoke]
      dune exec bench/main.exe -- --figure 5|7|8|9|10
      dune exec bench/main.exe -- --table ablation-linsolve
      dune exec bench/main.exe -- --table ablation-sc
@@ -764,6 +765,107 @@ let alloc_table ?(smoke = false) () =
       ("scenarios", Json.List rows);
     ]
 
+(* ---------- Timing report: k-worst enumeration + seq-vs-parallel identity ---------- *)
+
+module Path_enum = Tqwm_sta.Path_enum
+module Sta_report = Tqwm_sta.Report
+
+(* The observability gate: the full tqwm-report/1 document (backward
+   required times, WNS/TNS, k worst paths with per-stage attribution)
+   must come out byte-identical from a sequential and a 4-domain
+   work-stealing run — path enumeration and slack aggregation consume
+   only the (deterministic) analysis, so any divergence is a scheduling
+   leak into the observability surface. *)
+let sta_report ?(smoke = false) () =
+  let model = Lazy.force table_model in
+  let fanout, depth = if smoke then (3, 2) else (4, 4) in
+  let k = if smoke then 5 else 10 in
+  let domains = 4 in
+  let graph = Workloads.decoder_tree ~fanout ~depth tech in
+  let n = Timing_graph.num_stages graph in
+  Printf.printf
+    "\n=== Timing report: decoder tree (fan-out %d, depth %d, %d stages), %d worst \
+     paths, sequential vs %d domains ===\n"
+    fanout depth n k domains;
+  let document ~domains =
+    let cache = Stage_cache.create () in
+    let t0 = Unix.gettimeofday () in
+    let analysis =
+      if domains = 1 then Arrival.propagate ~model ~cache graph
+      else Parallel.propagate ~model ~cache ~domains graph
+    in
+    let clock_period =
+      if analysis.Arrival.worst_arrival > 0.0 then analysis.Arrival.worst_arrival
+      else 1e-9
+    in
+    let required = Arrival.required graph analysis ~clock_period in
+    let paths = Path_enum.k_worst ~clock_period ~k graph analysis in
+    let explained = List.map (Path_enum.explain ~model ~cache graph analysis) paths in
+    let doc = Sta_report.timing_to_json graph analysis required explained in
+    (Unix.gettimeofday () -. t0, required, paths, doc)
+  in
+  let t_seq, required, paths, doc_seq = document ~domains:1 in
+  let t_par, _, _, doc_par = document ~domains in
+  let identical = Json.to_string doc_seq = Json.to_string doc_par in
+  Printf.printf "seq    %8.2f ms   par(%d) %8.2f ms   report identical: %s\n"
+    (t_seq *. 1e3) domains (t_par *. 1e3)
+    (if identical then "yes" else "NO");
+  Printf.printf "clock %.2f ps  WNS %.2f ps  TNS %.2f ps  endpoints %d\n"
+    (required.Arrival.clock_period *. ps)
+    (required.Arrival.wns *. ps)
+    (required.Arrival.tns *. ps)
+    (Array.length required.Arrival.endpoints);
+  List.iteri
+    (fun i (p : Path_enum.path) ->
+      Printf.printf "path %2d: %d stages, arrival %.2f ps, slack %.2f ps\n" (i + 1)
+        (List.length p.Path_enum.stages)
+        (p.Path_enum.arrival *. ps) (p.Path_enum.slack *. ps))
+    paths;
+  assert identical;
+  assert (List.length paths = k);
+  (* distinct stage sequences, worst first *)
+  let sequences = List.map (fun (p : Path_enum.path) -> p.Path_enum.stages) paths in
+  assert (List.length (List.sort_uniq compare sequences) = k);
+  let rec sorted = function
+    | (a : Path_enum.path) :: (b :: _ as rest) ->
+      a.Path_enum.slack <= b.Path_enum.slack && sorted rest
+    | [ _ ] | [] -> true
+  in
+  assert (sorted paths);
+  Json.Obj
+    [
+      ("schema", Json.String "tqwm-bench-report/1");
+      ("smoke", Json.Bool smoke);
+      ( "workload",
+        Json.Obj
+          [
+            ("name", Json.String "decoder-tree");
+            ("fanout", Json.Int fanout);
+            ("depth", Json.Int depth);
+            ("stages", Json.Int n);
+          ] );
+      ("k", Json.Int k);
+      ("domains", Json.Int domains);
+      ("seq_ms", Json.Float (t_seq *. 1e3));
+      ("par_ms", Json.Float (t_par *. 1e3));
+      ("identical", Json.Bool identical);
+      ("clock_period_ps", Json.Float (required.Arrival.clock_period *. ps));
+      ("wns_ps", Json.Float (required.Arrival.wns *. ps));
+      ("tns_ps", Json.Float (required.Arrival.tns *. ps));
+      ("endpoints", Json.Int (Array.length required.Arrival.endpoints));
+      ( "paths",
+        Json.List
+          (List.map
+             (fun (p : Path_enum.path) ->
+               Json.Obj
+                 [
+                   ("stages", Json.Int (List.length p.Path_enum.stages));
+                   ("arrival_ps", Json.Float (p.Path_enum.arrival *. ps));
+                   ("slack_ps", Json.Float (p.Path_enum.slack *. ps));
+                 ])
+             paths) );
+    ]
+
 let smoke () =
   (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
   let scenario = Scenario.nand_falling ~n:2 tech in
@@ -794,7 +896,7 @@ let write_json json_path doc =
     | None ->
       Printf.eprintf
         "bench: --json is only produced by --table parallel, --table incr, \
-         --table audit, --table alloc and --smoke; ignoring\n")
+         --table audit, --table alloc, --table report and --smoke; ignoring\n")
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
@@ -885,6 +987,7 @@ let () =
     | _ :: "--table" :: "incr" :: rest -> Some (sta_incr ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--table" :: "audit" :: rest -> Some (sta_audit ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--table" :: "alloc" :: rest -> Some (alloc_table ~smoke:(List.mem "--smoke" rest) ())
+    | _ :: "--table" :: "report" :: rest -> Some (sta_report ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--smoke" :: _ -> Some (smoke ())
     | _ :: "--table" :: "ablation-linsolve" :: _ -> ablation_linsolve (); None
     | _ :: "--table" :: "ablation-sc" :: _ -> ablation_sc (); None
@@ -899,7 +1002,7 @@ let () =
     | [ _ ] -> all (); None
     | _ :: _ :: _ | [] ->
       prerr_endline
-        "usage: main.exe [--table I|II|parallel|incr|audit|alloc|ablation-linsolve|ablation-sc|ablation-grid] \
+        "usage: main.exe [--table I|II|parallel|incr|audit|alloc|report|ablation-linsolve|ablation-sc|ablation-grid] \
          [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE]";
       exit 1
   in

@@ -13,7 +13,9 @@ module Timing_graph = Tqwm_sta.Timing_graph
 module Parallel = Tqwm_sta.Parallel
 module Stage_cache = Tqwm_sta.Stage_cache
 module Workloads = Tqwm_sta.Workloads
+module Path_enum = Tqwm_sta.Path_enum
 module Report = Tqwm_sta.Report
+module Arrival = Tqwm_sta.Arrival
 module Metrics = Tqwm_obs.Metrics
 module Trace = Tqwm_obs.Trace
 module Json = Tqwm_obs.Json
@@ -68,14 +70,22 @@ let run_qwm ~model ~waveform scenario =
   report
 
 (* --sta: propagate arrivals over a fan-out tree of the selected stage *)
-let run_sta ~tech ~depth ~fanout ~domains ~scheduler ~chunk ~use_cache ~json_file
-    scenario =
+let run_sta ~tech ~depth ~fanout ~domains ~scheduler ~chunk ~use_cache
+    ~report_timing ~report_slack ~k_paths ~clock_period_ps ~json_file scenario =
   if fanout < 1 then (
     Printf.eprintf "qwm_sim: --fanout must be >= 1 (got %d)\n" fanout;
     exit 2);
   (match chunk with
   | Some c when c < 1 ->
     Printf.eprintf "qwm_sim: --chunk must be >= 1 (got %d)\n" c;
+    exit 2
+  | Some _ | None -> ());
+  if k_paths < 1 then (
+    Printf.eprintf "qwm_sim: --k-paths must be >= 1 (got %d)\n" k_paths;
+    exit 2);
+  (match clock_period_ps with
+  | Some p when p <= 0.0 || not (Float.is_finite p) ->
+    Printf.eprintf "qwm_sim: --clock-period must be finite and > 0 (got %g)\n" p;
     exit 2
   | Some _ | None -> ());
   let domains = max 1 domains in
@@ -105,11 +115,42 @@ let run_sta ~tech ~depth ~fanout ~domains ~scheduler ~chunk ~use_cache ~json_fil
     let s = Stage_cache.stats c in
     Printf.printf "cache: %d solves, %d hits (%.0f%% hit rate)\n"
       s.Stage_cache.misses s.Stage_cache.hits (100.0 *. Stage_cache.hit_rate c));
-  (match json_file with
-  | None -> ()
-  | Some path ->
-    Json.write_file path (with_gc_stat (Report.to_json graph analysis));
-    Printf.printf "sta: wrote JSON report to %s\n" path);
+  if report_timing || report_slack then begin
+    let clock_period =
+      match clock_period_ps with
+      | Some p -> p *. 1e-12
+      | None ->
+        (* zero-slack normalization: the critical path sets the clock;
+           degenerate (empty / zero-arrival) graphs fall back to 1 ns *)
+        if analysis.Arrival.worst_arrival > 0.0 then analysis.Arrival.worst_arrival
+        else 1e-9
+    in
+    let required = Arrival.required graph analysis ~clock_period in
+    if report_slack then Report.print_slack Format.std_formatter graph analysis required;
+    let explained =
+      if report_timing || json_file <> None then
+        List.map
+          (Path_enum.explain ~model ?cache graph analysis)
+          (Path_enum.k_worst ~clock_period ~k:k_paths graph analysis)
+      else []
+    in
+    if report_timing then
+      Report.print_timing Format.std_formatter graph required explained;
+    match json_file with
+    | None -> ()
+    | Some path ->
+      (* no gc block here: the timing report is bit-identical across
+         runs, schedulers and domain counts, and CI diffs the bytes *)
+      Json.write_file path (Report.timing_to_json graph analysis required explained);
+      Printf.printf "sta: wrote timing report to %s\n" path
+  end
+  else begin
+    match json_file with
+    | None -> ()
+    | Some path ->
+      Json.write_file path (with_gc_stat (Report.to_json graph analysis));
+      Printf.printf "sta: wrote JSON report to %s\n" path
+  end;
   0
 
 (* --incr: drive an incremental session from an edit/query script *)
@@ -233,8 +274,9 @@ let partition_netlist path =
     0
 
 let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-    epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache json_file
-    audit baseline_file update_baseline tol_pct =
+    epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache report_timing
+    report_slack k_paths clock_period_ps json_file audit baseline_file
+    update_baseline tol_pct =
   if audit then
     run_audit ~tech:Tech.cmosp35
       ~domains:(Option.value domains ~default:1)
@@ -265,7 +307,8 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     | Some depth ->
       let domains = Option.value domains ~default:(Parallel.default_domains ()) in
       run_sta ~tech ~depth ~fanout:sta_fanout ~domains ~scheduler ~chunk
-        ~use_cache:(not no_cache) ~json_file scenario
+        ~use_cache:(not no_cache) ~report_timing ~report_slack ~k_paths
+        ~clock_period_ps ~json_file scenario
     | None ->
     Printf.printf "circuit %s: %d nodes, %d edges, window %.0f ps\n"
       scenario.Scenario.name scenario.Scenario.stage.Stage.num_nodes
@@ -288,13 +331,15 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     0
 
 let main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-    epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache json_file
-    audit baseline_file update_baseline tol_pct trace_file metrics_file =
+    epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache report_timing
+    report_slack k_paths clock_period_ps json_file audit baseline_file
+    update_baseline tol_pct trace_file metrics_file =
   if trace_file <> None then Trace.enable ();
   let code =
     run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
-      epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache json_file
-      audit baseline_file update_baseline tol_pct
+      epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache
+      report_timing report_slack k_paths clock_period_ps json_file audit
+      baseline_file update_baseline tol_pct
   in
   (match trace_file with
   | None -> ()
@@ -389,6 +434,36 @@ let no_cache =
   let doc = "Disable stage-result memoization in --sta mode." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let report_timing =
+  let doc =
+    "In --sta mode, enumerate the --k-paths worst paths and print each \
+     with stage-by-stage attribution (arrival, delay, slew, QWM \
+     region/Newton counts, cache sharing) plus the WNS/TNS summary. With \
+     --json, writes the versioned tqwm-report/1 document instead of the \
+     legacy analysis dump."
+  in
+  Arg.(value & flag & info [ "report-timing" ] ~doc)
+
+let report_slack =
+  let doc =
+    "In --sta mode, print the per-stage arrival/required/slack table, the \
+     endpoint table and the WNS/TNS summary from the backward \
+     required-time pass."
+  in
+  Arg.(value & flag & info [ "report-slack" ] ~doc)
+
+let k_paths =
+  let doc = "Number of worst paths enumerated by --report-timing (>= 1)." in
+  Arg.(value & opt int 5 & info [ "k-paths" ] ~docv:"N" ~doc)
+
+let clock_period_ps =
+  let doc =
+    "Clock period in picoseconds for slack/required-time reporting. \
+     Default: the worst arrival (zero-slack normalization), so slacks \
+     read as margin to the critical path."
+  in
+  Arg.(value & opt (some float) None & info [ "clock-period" ] ~docv:"PS" ~doc)
+
 let json_file =
   let doc = "In --sta mode, write the machine-readable analysis (per-stage timings, critical path) to $(docv); in --audit mode, the tqwm-audit/1 accuracy report with its drift section." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -424,7 +499,8 @@ let cmd =
     Term.(
       const main $ circuit $ engine $ dt $ waveform $ ramp $ partition
       $ incr_script $ scratch $ epsilon_ps $ sta_depth $ sta_fanout $ domains
-      $ scheduler $ chunk $ no_cache $ json_file $ audit $ baseline_file
+      $ scheduler $ chunk $ no_cache $ report_timing $ report_slack $ k_paths
+      $ clock_period_ps $ json_file $ audit $ baseline_file
       $ update_baseline $ tol_pct $ trace_file $ metrics_file)
 
 let () = exit (Cmd.eval' cmd)

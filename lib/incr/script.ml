@@ -3,6 +3,7 @@ module Timing_graph = Tqwm_sta.Timing_graph
 module Arrival = Tqwm_sta.Arrival
 module Stage_cache = Tqwm_sta.Stage_cache
 module Workloads = Tqwm_sta.Workloads
+module Path_enum = Tqwm_sta.Path_enum
 module Report = Tqwm_sta.Report
 module Json = Tqwm_obs.Json
 
@@ -60,6 +61,11 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
   let cache = if use_cache then Some (Stage_cache.create ()) else None in
   let session = ref None in
   let reports = ref 0 in
+  (* set by the [clock] command; while set, every report also prints
+     WNS/TNS and their deltas against the previous report, so an edit
+     script reads as a sequence of timing moves *)
+  let clock = ref None in
+  let last_health = ref None in
   (* the session is created by the first command: [graph] seeds it with a
      workload, anything else starts from an empty graph *)
   let the_session line =
@@ -159,7 +165,59 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
         (analysis.Arrival.worst_arrival *. ps)
         (Array.length analysis.Arrival.timings)
         stats.Session.last_reeval stats.Session.stages_reeval stats.Session.cutoff_hits
-        stats.Session.edits
+        stats.Session.edits;
+      (match !clock with
+      | None -> ()
+      | Some cp ->
+        let r =
+          match Arrival.required (Session.graph s) analysis ~clock_period:cp with
+          | r -> r
+          | exception Invalid_argument message -> fail line "%s" message
+        in
+        (match !last_health with
+        | None ->
+          Format.fprintf out "  slack: WNS %.2f ps  TNS %.2f ps@."
+            (r.Arrival.wns *. ps) (r.Arrival.tns *. ps)
+        | Some (wns, tns) ->
+          Format.fprintf out
+            "  slack: WNS %.2f ps (%+.2f)  TNS %.2f ps (%+.2f)@."
+            (r.Arrival.wns *. ps)
+            ((r.Arrival.wns -. wns) *. ps)
+            (r.Arrival.tns *. ps)
+            ((r.Arrival.tns -. tns) *. ps));
+        last_health := Some (r.Arrival.wns, r.Arrival.tns))
+    | [ "clock"; period_ps ] ->
+      let cp = float_arg line "clock" period_ps *. 1e-12 in
+      if not (Float.is_finite cp) || cp <= 0.0 then
+        fail line "clock: period must be finite and > 0";
+      clock := Some cp;
+      last_health := None;
+      Format.fprintf out "clock: period %.2f ps@." (cp *. ps)
+    | [ "timing" ] | [ "timing"; _ ] ->
+      let k =
+        match tokens with [ _; k ] -> int_arg line "timing" k | _ -> 1
+      in
+      if k < 1 then fail line "timing: K must be >= 1";
+      let s = the_session line in
+      (* always over the session's incremental analysis: the explain
+         replay then peeks the solves this session actually cached *)
+      let cp = !clock in
+      (match Session.k_worst ?clock_period:cp s ~k with
+      | exception Invalid_argument message -> fail line "%s" message
+      | paths ->
+        let explained = List.map (Session.explain s) paths in
+        let required =
+          Session.required s
+            ~clock_period:
+              (match cp with
+              | Some cp -> cp
+              | None ->
+                (* zero-slack normalization; degenerate (empty /
+                   zero-arrival) graphs fall back to 1 ns *)
+                let wa = (Session.analysis s).Arrival.worst_arrival in
+                if wa > 0.0 then wa else 1e-9)
+        in
+        Report.print_timing out (Session.graph s) required explained)
     | [ "query"; f; t ] ->
       let s = the_session line in
       let from_stage = int_arg line "query" f and to_stage = int_arg line "query" t in
@@ -189,13 +247,35 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
   let s = the_session 0 in
   let analysis = current_analysis s in
   let stats = Session.stats s in
+  (* only scripts that set a clock get the timing block, so documents of
+     clock-less scripts (the CI equivalence corpus) are byte-identical to
+     what they were before slack reporting existed *)
+  let timing_fields =
+    match !clock with
+    | None -> []
+    | Some cp ->
+      let r = Arrival.required (Session.graph s) analysis ~clock_period:cp in
+      [
+        ( "timing",
+          Json.Obj
+            [
+              ("clock_period_ps", Json.Float (cp *. ps));
+              ("wns_ps", Json.Float (r.Arrival.wns *. ps));
+              ("tns_ps", Json.Float (r.Arrival.tns *. ps));
+              ("worst_slack_ps", Json.Float (r.Arrival.req_worst_slack *. ps));
+            ] );
+      ]
+  in
   let json =
     Json.Obj
-      [
-        ("schema", Json.String "tqwm-incr-report/1");
-        ("mode", Json.String (match mode with Incremental -> "incremental" | Scratch -> "scratch"));
-        ("analysis", Report.to_json (Session.graph s) analysis);
-        ( "stats",
+      ([
+         ("schema", Json.String "tqwm-incr-report/1");
+         ("mode", Json.String (match mode with Incremental -> "incremental" | Scratch -> "scratch"));
+         ("analysis", Report.to_json (Session.graph s) analysis);
+       ]
+      @ timing_fields
+      @ [
+          ( "stats",
           Json.Obj
             [
               ("edits", Json.Int stats.Session.edits);
@@ -203,7 +283,7 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
               ("stages_reeval", Json.Int stats.Session.stages_reeval);
               ("cutoff_hits", Json.Int stats.Session.cutoff_hits);
             ] );
-      ]
+        ])
   in
   { session = s; json }
 

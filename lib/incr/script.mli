@@ -16,8 +16,21 @@
     swap ID NAME                         replace a stage's scenario
     retime ID ARRIVAL_PS SLEW_PS         override a primary input's timing
     report                               re-time and print the analysis
+    clock PERIOD_PS                      set the clock; reports now show
+                                         WNS/TNS and per-report deltas
+    timing [K]                           k-worst paths (default 1) with
+                                         stage-by-stage attribution
     query FROM TO                        worst path FROM -> TO by current delays
-    v} *)
+    v}
+
+    After [clock], every [report] appends a slack line — WNS/TNS plus
+    the delta against the previous report, so an edit script reads as a
+    sequence of timing moves — and the final JSON document gains a
+    [timing] member (clock period, WNS, TNS, worst slack). Scripts that
+    never set a clock produce byte-identical documents to before slack
+    reporting existed. [timing] always works over the session's
+    incremental analysis, so its attributions replay the solves this
+    session actually cached. *)
 
 exception Script_error of { line : int; message : string }
 (** A command failed: syntax error, unknown name, or an edit the graph
@@ -31,7 +44,8 @@ type outcome = {
   session : Session.t;  (** final state, for stats or further queries *)
   json : Tqwm_obs.Json.t;
       (** ["tqwm-incr-report/1"] document: mode, final analysis
-          ({!Tqwm_sta.Report.to_json}) and session stats. Identical
+          ({!Tqwm_sta.Report.to_json}), session stats, and — when the
+          script set a clock — the [timing] aggregates. Identical
           [analysis] members across the two modes is the CI equivalence
           check. *)
 }

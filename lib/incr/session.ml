@@ -1,6 +1,7 @@
 module Timing_graph = Tqwm_sta.Timing_graph
 module Arrival = Tqwm_sta.Arrival
 module Parallel = Tqwm_sta.Parallel
+module Path_enum = Tqwm_sta.Path_enum
 module Stage_cache = Tqwm_sta.Stage_cache
 module Metrics = Tqwm_obs.Metrics
 module Trace = Tqwm_obs.Trace
@@ -273,6 +274,18 @@ let stats t =
     cutoff_hits = t.s_cutoff;
     last_reeval = t.s_last;
   }
+
+(* Timing-observability views over the incrementally maintained
+   analysis: the cheap part (recompute) is shared through [analysis],
+   the backward pass and path peel run on whatever that returns. *)
+let required t ~clock_period =
+  Arrival.required t.graph (analysis t) ~clock_period
+
+let k_worst ?clock_period t ~k = Path_enum.k_worst ?clock_period ~k t.graph (analysis t)
+
+let explain t path =
+  Path_enum.explain ~model:t.model ~config:t.config ~default_slew:t.default_slew
+    ?cache:t.cache ~pi:t.pi t.graph (analysis t) path
 
 type path_query = { stages : Timing_graph.stage_id list; arrival : float }
 

@@ -96,6 +96,25 @@ type stats = {
 
 val stats : t -> stats
 
+(** {2 Timing observability} *)
+
+val required : t -> clock_period:float -> Arrival.required_report
+(** {!Tqwm_sta.Arrival.required} over the current analysis (recomputing
+    first if dirty): per-stage required times and slacks, the endpoint
+    set, and the WNS/TNS aggregates — also refreshing the [sta.wns] /
+    [sta.tns] gauges. The per-edit slack-delta reporting of
+    {!Script.run} is this, called after every recompute. *)
+
+val k_worst :
+  ?clock_period:float -> t -> k:int -> Tqwm_sta.Path_enum.path list
+(** {!Tqwm_sta.Path_enum.k_worst} over the current analysis (recomputing
+    first if dirty). *)
+
+val explain : t -> Tqwm_sta.Path_enum.path -> Tqwm_sta.Path_enum.explained
+(** {!Tqwm_sta.Path_enum.explain} with the session's own model, config,
+    slew default, cache and retimings — stage attributions are read-only
+    replays of the solves the session actually performed. *)
+
 (** {2 What-if path queries} *)
 
 type path_query = {

@@ -7,7 +7,9 @@ type histogram = {
   sum : float Atomic.t;
 }
 
-type metric = Counter of counter | Histogram of histogram
+type gauge = { gname : string; gvalue : float Atomic.t }
+
+type metric = Counter of counter | Histogram of histogram | Gauge of gauge
 
 (* The registry is global: instruments are declared once at module
    initialization and shared by every engine instance, so sequential and
@@ -17,12 +19,17 @@ let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let registry_lock = Mutex.create ()
 
+let kind = function
+  | Counter _ -> "a counter"
+  | Histogram _ -> "a histogram"
+  | Gauge _ -> "a gauge"
+
 let counter name =
   Mutex.protect registry_lock (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Counter c) -> c
-      | Some (Histogram _) ->
-        invalid_arg (Printf.sprintf "Metrics.counter: %s is a histogram" name)
+      | Some ((Histogram _ | Gauge _) as m) ->
+        invalid_arg (Printf.sprintf "Metrics.counter: %s is %s" name (kind m))
       | None ->
         let c = { name; value = Atomic.make 0 } in
         Hashtbl.add registry name (Counter c);
@@ -38,8 +45,8 @@ let histogram name ~bounds =
   Mutex.protect registry_lock (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Histogram h) -> h
-      | Some (Counter _) ->
-        invalid_arg (Printf.sprintf "Metrics.histogram: %s is a counter" name)
+      | Some ((Counter _ | Gauge _) as m) ->
+        invalid_arg (Printf.sprintf "Metrics.histogram: %s is %s" name (kind m))
       | None ->
         let h =
           {
@@ -51,6 +58,21 @@ let histogram name ~bounds =
         in
         Hashtbl.add registry name (Histogram h);
         h)
+
+let gauge name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge g) -> g
+      | Some ((Counter _ | Histogram _) as m) ->
+        invalid_arg (Printf.sprintf "Metrics.gauge: %s is %s" name (kind m))
+      | None ->
+        let g = { gname = name; gvalue = Atomic.make 0.0 } in
+        Hashtbl.add registry name (Gauge g);
+        g)
+
+let set g v = Atomic.set g.gvalue v
+
+let gauge_value g = Atomic.get g.gvalue
 
 let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.value n)
 
@@ -85,14 +107,20 @@ let sorted_metrics () =
 
 let counters_alist () =
   List.filter_map
-    (function name, Counter c -> Some (name, value c) | _, Histogram _ -> None)
+    (function name, Counter c -> Some (name, value c) | _, (Histogram _ | Gauge _) -> None)
     (sorted_metrics ())
 
 let find_counter name =
   Mutex.protect registry_lock (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Counter c) -> Some (value c)
-      | Some (Histogram _) | None -> None)
+      | Some (Histogram _ | Gauge _) | None -> None)
+
+let find_gauge name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge g) -> Some (gauge_value g)
+      | Some (Counter _ | Histogram _) | None -> None)
 
 let snapshot () =
   let metrics = sorted_metrics () in
@@ -100,13 +128,20 @@ let snapshot () =
     List.filter_map
       (function
         | name, Counter c -> Some (name, Json.Int (value c))
-        | _, Histogram _ -> None)
+        | _, (Histogram _ | Gauge _) -> None)
+      metrics
+  in
+  let gauges =
+    List.filter_map
+      (function
+        | name, Gauge g -> Some (name, Json.Float (gauge_value g))
+        | _, (Counter _ | Histogram _) -> None)
       metrics
   in
   let histograms =
     List.filter_map
       (function
-        | _, Counter _ -> None
+        | _, (Counter _ | Gauge _) -> None
         | name, Histogram h ->
           Some
             ( name,
@@ -122,7 +157,12 @@ let snapshot () =
                 ] ))
       metrics
   in
-  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ]
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
 
 let write_file path = Json.write_file path (snapshot ())
 
@@ -132,6 +172,7 @@ let reset () =
         (fun _ m ->
           match m with
           | Counter c -> Atomic.set c.value 0
+          | Gauge g -> Atomic.set g.gvalue 0.0
           | Histogram h ->
             Array.iter (fun c -> Atomic.set c 0) h.counts;
             Atomic.set h.sum 0.0)

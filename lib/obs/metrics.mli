@@ -14,9 +14,11 @@ type counter
 
 type histogram
 
+type gauge
+
 val counter : string -> counter
 (** Get or create the counter registered under this name.
-    @raise Invalid_argument if the name is registered as a histogram. *)
+    @raise Invalid_argument if the name is registered as another kind. *)
 
 val histogram : string -> bounds:float array -> histogram
 (** Get or create a histogram with the given strictly increasing upper
@@ -26,6 +28,16 @@ val histogram : string -> bounds:float array -> histogram
     bounds are not checked against [bounds]).
     @raise Invalid_argument on empty or non-increasing bounds, or if the
     name is registered as a counter. *)
+
+val gauge : string -> gauge
+(** Get or create a gauge — a last-value instrument for quantities that
+    are {e levels} rather than totals (worst slack, queue depth): [set]
+    overwrites, nothing accumulates. Starts at [0.0].
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
 
 val incr : counter -> unit
 
@@ -46,9 +58,13 @@ val counters_alist : unit -> (string * int) list
 val find_counter : string -> int option
 (** Current value of a counter by name; [None] if not registered. *)
 
+val find_gauge : string -> float option
+(** Current value of a gauge by name; [None] if not registered. *)
+
 val snapshot : unit -> Json.t
-(** [{"counters": {...}, "histograms": {name: {bounds, counts, total,
-    sum}}}] — the metrics document written by [qwm_sim --metrics]. *)
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name: {bounds,
+    counts, total, sum}}}] — the metrics document written by
+    [qwm_sim --metrics]. *)
 
 val write_file : string -> unit
 (** Write [snapshot ()] to a file. *)

@@ -6,6 +6,15 @@ module Json = Tqwm_obs.Json
 
 let c_stages_timed = Metrics.counter "sta.stages_timed"
 
+(* Last-computed design health, in picoseconds: gauges because WNS/TNS
+   are levels of the current analysis, not accumulating totals. *)
+let g_wns = Metrics.gauge "sta.wns"
+let g_tns = Metrics.gauge "sta.tns"
+
+let h_endpoint_slack =
+  Metrics.histogram "sta.endpoint_slack_ps"
+    ~bounds:[| -1000.0; -100.0; -10.0; 0.0; 10.0; 100.0; 1000.0; 10000.0 |]
+
 exception Analysis_failure of string
 
 type stage_timing = {
@@ -43,26 +52,76 @@ type slack_report = {
   worst_slack : float;
 }
 
-let slacks graph analysis ~clock_period =
+type required_report = {
+  clock_period : float;
+  req : float array;
+  req_slack : float array;
+  endpoints : Timing_graph.stage_id array;
+  req_worst_slack : float;
+  wns : float;
+  tns : float;
+}
+
+let required graph analysis ~clock_period =
+  if not (Float.is_finite clock_period) || clock_period <= 0.0 then
+    invalid_arg "Arrival.required: clock_period must be finite and > 0";
   let frozen = Timing_graph.freeze graph in
   let n = Array.length analysis.timings in
-  let required = Array.make n clock_period in
-  (* reverse topological order: children are processed before parents *)
+  if n <> Array.length frozen.Timing_graph.scenarios then
+    invalid_arg "Arrival.required: analysis does not match this graph";
+  (* the sink set is explicit: a stage with no fanout is a timing
+     endpoint and must settle by [clock_period]; every other stage
+     inherits the tightest budget of its fanouts (each of which is
+     processed first — reverse topological order) *)
+  let endpoints =
+    Array.of_seq
+      (Seq.filter
+         (fun id -> Array.length frozen.Timing_graph.fanout.(id) = 0)
+         (Seq.init n Fun.id))
+  in
+  let req = Array.make n clock_period in
   for i = Array.length frozen.Timing_graph.order - 1 downto 0 do
     let id = frozen.Timing_graph.order.(i) in
     Array.iter
       (fun (c : Timing_graph.connection) ->
         let downstream = c.Timing_graph.to_stage in
-        let budget = required.(downstream) -. analysis.timings.(downstream).delay in
-        if budget < required.(id) then required.(id) <- budget)
+        let budget = req.(downstream) -. analysis.timings.(downstream).delay in
+        if budget < req.(id) then req.(id) <- budget)
       frozen.Timing_graph.fanout.(id)
   done;
-  let slack = Array.mapi (fun i r -> r -. analysis.timings.(i).arrival_out) required in
-  let worst_slack = Array.fold_left Float.min infinity slack in
-  { required; slack; worst_slack }
+  let req_slack = Array.mapi (fun i r -> r -. analysis.timings.(i).arrival_out) req in
+  (* finite even on empty graphs: a design with nothing to time meets the
+     clock with full margin rather than an infinite fold identity *)
+  let req_worst_slack =
+    if n = 0 then clock_period else Array.fold_left Float.min infinity req_slack
+  in
+  let wns =
+    if Array.length endpoints = 0 then clock_period
+    else
+      Array.fold_left (fun acc id -> Float.min acc req_slack.(id)) infinity endpoints
+  in
+  let tns =
+    Array.fold_left
+      (fun acc id -> if req_slack.(id) < 0.0 then acc +. req_slack.(id) else acc)
+      0.0 endpoints
+  in
+  let ps = 1e12 in
+  Metrics.set g_wns (wns *. ps);
+  Metrics.set g_tns (tns *. ps);
+  Array.iter (fun id -> Metrics.observe h_endpoint_slack (req_slack.(id) *. ps)) endpoints;
+  { clock_period; req; req_slack; endpoints; req_worst_slack; wns; tns }
 
-let evaluate_stage_inner ~model ~config ~default_slew ?cache ?pi
-    (frozen : Timing_graph.frozen) timings id =
+let slacks graph analysis ~clock_period =
+  let r = required graph analysis ~clock_period in
+  { required = r.req; slack = r.req_slack; worst_slack = r.req_worst_slack }
+
+(* Shape one stage's input sources from its fanin timings: the critical
+   (latest-arriving) driver's input becomes a ramp of that driver's
+   bucketed slew, other driven inputs settle, everything else is left
+   alone. Pure with respect to [timings] and deterministic, so the very
+   same shaped scenario (and hence cache fingerprint) is reproducible
+   after the fact — the contract [replay_stage] builds on. *)
+let shaped_inputs ~default_slew ?cache ?pi (frozen : Timing_graph.frozen) timings id =
   let timing_exn id =
     match timings.(id) with
     | Some t -> t
@@ -124,12 +183,11 @@ let evaluate_stage_inner ~model ~config ~default_slew ?cache ?pi
         Some c.Timing_graph.from_stage,
         List.map reshape scenario.Scenario.sources )
   in
-  let scenario = { scenario with Scenario.sources } in
-  let report =
-    match cache with
-    | None -> Tqwm_core.Qwm.run ~model ~config scenario
-    | Some c -> Stage_cache.run c ~model ~config scenario
-  in
+  (arrival_in, input_slew, critical_fanin, { scenario with Scenario.sources })
+
+(* Turn a stage's QWM solve into its timing record. *)
+let timing_of_solve ~arrival_in ~input_slew ~critical_fanin scenario id
+    (report : Tqwm_core.Qwm.report) =
   let out_crossing =
     match report.Tqwm_core.Qwm.delay with
     | Some d -> d
@@ -151,6 +209,35 @@ let evaluate_stage_inner ~model ~config ~default_slew ?cache ?pi
     arrival_out = arrival_in +. delay;
     critical_fanin;
   }
+
+let evaluate_stage_inner ~model ~config ~default_slew ?cache ?pi
+    (frozen : Timing_graph.frozen) timings id =
+  let arrival_in, input_slew, critical_fanin, scenario =
+    shaped_inputs ~default_slew ?cache ?pi frozen timings id
+  in
+  let report =
+    match cache with
+    | None -> Tqwm_core.Qwm.run ~model ~config scenario
+    | Some c -> Stage_cache.run c ~model ~config scenario
+  in
+  timing_of_solve ~arrival_in ~input_slew ~critical_fanin scenario id report
+
+(* Re-derive a completed stage's solve without disturbing the cache:
+   shaping is deterministic, so the shaped scenario fingerprints to the
+   key the original evaluation used and [Stage_cache.peek] returns the
+   very report that produced the timing (a fresh solve only when the
+   stage was never evaluated through [cache], e.g. cache-less runs). *)
+let replay_stage ~model ~config ~default_slew ?cache ?pi
+    (frozen : Timing_graph.frozen) timings id =
+  let arrival_in, input_slew, critical_fanin, scenario =
+    shaped_inputs ~default_slew ?cache ?pi frozen timings id
+  in
+  let report =
+    match Option.bind cache (fun c -> Stage_cache.peek c ~model ~config scenario) with
+    | Some report -> report
+    | None -> Tqwm_core.Qwm.run ~model ~config scenario
+  in
+  (timing_of_solve ~arrival_in ~input_slew ~critical_fanin scenario id report, report, scenario)
 
 (* Per-stage delay/slew spans: one trace slice per stage evaluation,
    labelled with the stage's scenario name and carrying the timing it

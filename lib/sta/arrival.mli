@@ -79,6 +79,27 @@ val analysis_of_timings : stage_timing array -> analysis
 (** Worst arrival and critical-path walk over completed per-stage
     timings (indexed by stage id). *)
 
+val replay_stage :
+  model:Tqwm_device.Device_model.t ->
+  config:Tqwm_core.Config.t ->
+  default_slew:float ->
+  ?cache:Stage_cache.t ->
+  ?pi:pi_timing option array ->
+  Timing_graph.frozen ->
+  stage_timing option array ->
+  Timing_graph.stage_id ->
+  stage_timing * Tqwm_core.Qwm.report * Tqwm_circuit.Scenario.t
+(** Re-derive one stage's solve after an analysis, for attribution:
+    returns the stage timing, the full QWM report behind it (region /
+    Newton counts) and the {e shaped} scenario that was actually solved
+    (ramped critical input, settled side inputs — the value whose
+    {!Stage_cache.fingerprint} keyed the solve). Input shaping is
+    deterministic in [timings], so with the same [cache] the analysis
+    ran with this is a {!Stage_cache.peek} of the original report — no
+    new solve, no hit/miss/use accounting; without a cache the stage is
+    solved afresh (bit-identical, the solver being deterministic).
+    [timings] must hold the timings of [id]'s fanins. *)
+
 (** {2 Required times and slack} *)
 
 type slack_report = {
@@ -89,7 +110,35 @@ type slack_report = {
   worst_slack : float;
 }
 
+type required_report = {
+  clock_period : float;
+  req : float array;
+      (** latest allowed output arrival per stage (backward-propagated
+          from [clock_period] at the endpoints) *)
+  req_slack : float array;  (** [req - arrival_out]; negative = violation *)
+  endpoints : Timing_graph.stage_id array;
+      (** the explicit sink set: stages with no fanout, ids ascending *)
+  req_worst_slack : float;  (** minimum slack over {e all} stages *)
+  wns : float;
+      (** worst (endpoint) slack — the design's single health number;
+          positive when every endpoint meets the clock *)
+  tns : float;
+      (** total negative slack: sum of negative endpoint slacks (0 when
+          the design meets timing) *)
+}
+(** On an empty graph every aggregate is [clock_period] (full margin)
+    rather than an infinite fold identity, so consumers always see
+    finite numbers. *)
+
+val required : Timing_graph.t -> analysis -> clock_period:float -> required_report
+(** The backward required-time pass: endpoints must settle by
+    [clock_period]; upstream required times subtract the downstream
+    stage delays along each fanout, taking the tightest budget.
+    Also publishes the [sta.wns] / [sta.tns] gauges (picoseconds) and
+    the [sta.endpoint_slack_ps] histogram to {!Tqwm_obs.Metrics}.
+    @raise Invalid_argument when [clock_period] is non-positive or not
+    finite, or when [analysis] has a different stage count than [graph]. *)
+
 val slacks : Timing_graph.t -> analysis -> clock_period:float -> slack_report
-(** Standard required-time/slack computation over an existing forward
-    analysis: sinks must settle by [clock_period]; upstream required
-    times subtract the downstream stage delays along each fanout. *)
+(** {!required} restricted to its classic per-stage view (kept for
+    existing callers). Same validation, same numbers. *)

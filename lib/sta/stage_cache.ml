@@ -19,6 +19,11 @@ type slot = Ready of Qwm.report | In_flight
 type t = {
   slew_bucket : float;
   table : (string, slot) Hashtbl.t;
+  (* per-key request counts: how many [run] calls asked for each key,
+     hits and misses alike. The total per key is a property of the work
+     submitted, not of scheduling, so it is deterministic across domain
+     counts and schedulers — the provenance path-explain reports lean on. *)
+  uses : (string, int) Hashtbl.t;
   lock : Mutex.t;
   cond : Condition.t;
   hits : int Atomic.t;
@@ -30,6 +35,7 @@ let create ?(slew_bucket = 1e-12) () =
   {
     slew_bucket;
     table = Hashtbl.create 256;
+    uses = Hashtbl.create 256;
     lock = Mutex.create ();
     cond = Condition.create ();
     hits = Atomic.make 0;
@@ -55,6 +61,8 @@ let fingerprint ~model ~config scenario =
 let run t ~model ~config scenario =
   let key = fingerprint ~model ~config scenario in
   Mutex.lock t.lock;
+  Hashtbl.replace t.uses key
+    (1 + Option.value (Hashtbl.find_opt t.uses key) ~default:0);
   let rec claim () =
     match Hashtbl.find_opt t.table key with
     | Some (Ready report) -> `Hit report
@@ -97,6 +105,18 @@ let run t ~model ~config scenario =
       Mutex.unlock t.lock;
       report)
 
+let peek t ~model ~config scenario =
+  let key = fingerprint ~model ~config scenario in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some (Ready report) -> Some report
+      | Some In_flight | None -> None)
+
+let uses t ~model ~config scenario =
+  let key = fingerprint ~model ~config scenario in
+  Mutex.protect t.lock (fun () ->
+      Option.value (Hashtbl.find_opt t.uses key) ~default:0)
+
 let stats t =
   {
     hits = Atomic.get t.hits;
@@ -116,6 +136,7 @@ let hit_rate t =
 let clear t =
   Mutex.protect t.lock (fun () ->
       Hashtbl.reset t.table;
+      Hashtbl.reset t.uses;
       (* any domain waiting on an in-flight slot re-claims and solves *)
       Condition.broadcast t.cond);
   Atomic.set t.hits 0;

@@ -67,6 +67,28 @@ val run :
 (** [Qwm.run] through the cache. On a hit the stored report is returned
     (its [runtime_seconds] is the original solve's). *)
 
+val peek :
+  t ->
+  model:Tqwm_device.Device_model.t ->
+  config:Tqwm_core.Config.t ->
+  Tqwm_circuit.Scenario.t ->
+  Tqwm_core.Qwm.report option
+(** The stored report for this scenario's key, if its solve already
+    landed — never solves, never blocks on an in-flight entry, and does
+    not count as a hit, miss or use. The read-only lookup path-explain
+    replays through. *)
+
+val uses :
+  t ->
+  model:Tqwm_device.Device_model.t ->
+  config:Tqwm_core.Config.t ->
+  Tqwm_circuit.Scenario.t ->
+  int
+(** How many {!run} calls requested this scenario's key (hits and misses
+    alike; 0 = never requested). The count reflects the work submitted,
+    not the scheduling, so it is identical across domain counts and
+    schedulers; {!peek} and [uses] itself leave it untouched. *)
+
 val stats : t -> stats
 
 val hit_rate : t -> float

@@ -112,6 +112,46 @@ let test_reset_keeps_handles () =
     "post-reset increments round-trip through snapshot" true
     (Json.member "test_obs.reset" counters = Some (Json.Int 2))
 
+let test_gauge_registry () =
+  let g = Metrics.gauge "test_obs.gauge" in
+  let g' = Metrics.gauge "test_obs.gauge" in
+  Metrics.set g 1.5;
+  Alcotest.(check (float 1e-12)) "same cell" 1.5 (Metrics.gauge_value g');
+  Metrics.set g' (-2.25);
+  Alcotest.(check (option (float 1e-12)))
+    "last write wins, visible by name" (Some (-2.25))
+    (Metrics.find_gauge "test_obs.gauge");
+  Alcotest.check_raises "kind clash with a counter"
+    (Invalid_argument "Metrics.counter: test_obs.gauge is a gauge")
+    (fun () -> ignore (Metrics.counter "test_obs.gauge"));
+  Alcotest.check_raises "gauge over an existing counter"
+    (Invalid_argument "Metrics.gauge: test_obs.counter is a counter")
+    (fun () ->
+      ignore (Metrics.counter "test_obs.counter");
+      ignore (Metrics.gauge "test_obs.counter"))
+
+let test_gauge_snapshot_and_reset () =
+  (* the reset contract extends to gauges: old handles stay registered,
+     zeroed, and interchangeable with post-reset re-registrations *)
+  let before = Metrics.gauge "test_obs.reset_gauge" in
+  Metrics.set before 7.5;
+  let doc = Json.of_string (Json.to_string (Metrics.snapshot ())) in
+  let gauges = Option.get (Json.member "gauges" doc) in
+  Alcotest.(check bool) "snapshot carries the gauge" true
+    (Json.member "test_obs.reset_gauge" gauges = Some (Json.Float 7.5));
+  Metrics.reset ();
+  Alcotest.(check (float 1e-12)) "old handle sees the zeroed cell" 0.0
+    (Metrics.gauge_value before);
+  let after = Metrics.gauge "test_obs.reset_gauge" in
+  Metrics.set after 3.0;
+  Alcotest.(check (float 1e-12)) "old and new handles share one cell" 3.0
+    (Metrics.gauge_value before);
+  Metrics.set before 4.5;
+  let doc = Json.of_string (Json.to_string (Metrics.snapshot ())) in
+  let gauges = Option.get (Json.member "gauges" doc) in
+  Alcotest.(check bool) "post-reset sets round-trip through snapshot" true
+    (Json.member "test_obs.reset_gauge" gauges = Some (Json.Float 4.5))
+
 (* ---------- trace sink ---------- *)
 
 let test_trace_document () =
@@ -325,6 +365,9 @@ let () =
           Alcotest.test_case "snapshot parses" `Quick test_metrics_snapshot_parses;
           Alcotest.test_case "reset keeps handles registered" `Quick
             test_reset_keeps_handles;
+          Alcotest.test_case "gauge registry" `Quick test_gauge_registry;
+          Alcotest.test_case "gauge snapshot and reset contract" `Quick
+            test_gauge_snapshot_and_reset;
         ] );
       ( "trace",
         [

@@ -4,7 +4,13 @@ open Tqwm_device
 open Tqwm_circuit
 module Timing_graph = Tqwm_sta.Timing_graph
 module Arrival = Tqwm_sta.Arrival
+module Parallel = Tqwm_sta.Parallel
+module Path_enum = Tqwm_sta.Path_enum
+module Stage_cache = Tqwm_sta.Stage_cache
+module Workloads = Tqwm_sta.Workloads
 module Report = Tqwm_sta.Report
+module Json = Tqwm_obs.Json
+module Metrics = Tqwm_obs.Metrics
 
 let tech = Tech.cmosp35
 
@@ -108,6 +114,206 @@ let test_slack_computation () =
   let tight = Arrival.slacks graph analysis ~clock_period:1e-12 in
   Alcotest.(check bool) "violation detected" true (tight.Arrival.worst_slack < 0.0)
 
+(* ---------- backward required-time pass ---------- *)
+
+let test_required_validation () =
+  let graph, _, _ = inverter_pair () in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+  let bad cp =
+    match Arrival.required graph analysis ~clock_period:cp with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "clock_period %g accepted" cp
+  in
+  bad 0.0;
+  bad (-1e-9);
+  bad Float.nan;
+  bad Float.infinity;
+  (* an analysis from a different graph must be rejected *)
+  let other = Timing_graph.create () in
+  let _ = Timing_graph.add_stage other (Scenario.inverter_falling tech) in
+  (match Arrival.required other analysis ~clock_period:1e-9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched analysis accepted")
+
+let test_required_aggregates () =
+  let graph, a, b = inverter_pair () in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+  let r = Arrival.required graph analysis ~clock_period:1e-9 in
+  Alcotest.(check (array int)) "endpoint set is the sink" [| b |] r.Arrival.endpoints;
+  Alcotest.(check (float 1e-18)) "wns is the endpoint slack" r.Arrival.req_slack.(b)
+    r.Arrival.wns;
+  Alcotest.(check (float 1e-18)) "met timing: tns zero" 0.0 r.Arrival.tns;
+  Alcotest.(check bool) "slacks agree with classic view" true
+    (let s = Arrival.slacks graph analysis ~clock_period:1e-9 in
+     s.Arrival.required = r.Arrival.req
+     && s.Arrival.slack = r.Arrival.req_slack
+     && s.Arrival.worst_slack = r.Arrival.req_worst_slack);
+  ignore a;
+  (* tight clock: single endpoint, so tns = wns < 0 *)
+  let tight = Arrival.required graph analysis ~clock_period:1e-12 in
+  Alcotest.(check bool) "violated" true (tight.Arrival.wns < 0.0);
+  Alcotest.(check (float 1e-18)) "tns = wns with one endpoint" tight.Arrival.wns
+    tight.Arrival.tns
+
+let test_required_edge_graphs () =
+  (* empty graph: every aggregate finite (= clock period) *)
+  let empty = Timing_graph.create () in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) empty in
+  let r = Arrival.required empty analysis ~clock_period:1e-9 in
+  Alcotest.(check (float 1e-18)) "empty wns" 1e-9 r.Arrival.wns;
+  Alcotest.(check (float 1e-18)) "empty tns" 0.0 r.Arrival.tns;
+  Alcotest.(check (float 1e-18)) "empty worst slack" 1e-9 r.Arrival.req_worst_slack;
+  Alcotest.(check int) "no endpoints" 0 (Array.length r.Arrival.endpoints);
+  (* single stage: it is its own endpoint, finite everywhere *)
+  let single = Timing_graph.create () in
+  let s = Timing_graph.add_stage single (Scenario.inverter_falling tech) in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) single in
+  let r = Arrival.required single analysis ~clock_period:1e-9 in
+  Alcotest.(check (array int)) "single endpoint" [| s |] r.Arrival.endpoints;
+  Alcotest.(check bool) "finite aggregates" true
+    (Float.is_finite r.Arrival.wns
+    && Float.is_finite r.Arrival.tns
+    && Float.is_finite r.Arrival.req_worst_slack)
+
+let test_required_publishes_gauges () =
+  let graph, _, _ = inverter_pair () in
+  let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+  let r = Arrival.required graph analysis ~clock_period:1e-9 in
+  Alcotest.(check (option (float 1e-9))) "sta.wns gauge (ps)"
+    (Some (r.Arrival.wns *. 1e12))
+    (Metrics.find_gauge "sta.wns");
+  Alcotest.(check (option (float 1e-9))) "sta.tns gauge (ps)"
+    (Some (r.Arrival.tns *. 1e12))
+    (Metrics.find_gauge "sta.tns")
+
+(* ---------- k-worst path enumeration ---------- *)
+
+let decoder_analysis =
+  lazy
+    (let graph = Workloads.decoder_tree ~fanout:3 ~depth:2 tech in
+     let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+     (graph, analysis))
+
+let test_k_worst_validation () =
+  let graph, analysis = Lazy.force decoder_analysis in
+  (match Path_enum.k_worst ~k:0 graph analysis with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k = 0 accepted");
+  match Path_enum.k_worst ~clock_period:0.0 ~k:1 graph analysis with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "clock_period = 0 accepted"
+
+let test_k_worst_reproduces_critical_path () =
+  let graph, analysis = Lazy.force decoder_analysis in
+  match Path_enum.k_worst ~k:1 graph analysis with
+  | [ p ] ->
+    Alcotest.(check (list int)) "stages are the critical walk"
+      analysis.Arrival.critical_path p.Path_enum.stages;
+    (* bit-exact, not approximately equal *)
+    Alcotest.(check bool) "arrival is worst_arrival bit-for-bit" true
+      (Float.equal p.Path_enum.arrival analysis.Arrival.worst_arrival);
+    Alcotest.(check string) "path string matches the report"
+      (Report.critical_path_string graph analysis)
+      (Report.path_string graph p)
+  | paths -> Alcotest.failf "k = 1 returned %d paths" (List.length paths)
+
+let test_k_worst_distinct_sorted_exhaustive () =
+  let graph, analysis = Lazy.force decoder_analysis in
+  (* a tree has exactly one source-to-leaf path per leaf: 9 leaves at
+     fan-out 3, depth 2 — asking for more saturates at 9 *)
+  let paths = Path_enum.k_worst ~k:100 graph analysis in
+  Alcotest.(check int) "one path per leaf" 9 (List.length paths);
+  let sequences = List.map (fun (p : Path_enum.path) -> p.Path_enum.stages) paths in
+  Alcotest.(check int) "distinct stage sequences" 9
+    (List.length (List.sort_uniq compare sequences));
+  let rec sorted = function
+    | (a : Path_enum.path) :: (b :: _ as rest) ->
+      a.Path_enum.slack <= b.Path_enum.slack && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "worst slack first" true (sorted paths);
+  let exact = Path_enum.k_worst ~k:4 graph analysis in
+  Alcotest.(check int) "k truncates" 4 (List.length exact);
+  Alcotest.(check bool) "k-prefix of the full enumeration" true
+    (exact = List.filteri (fun i _ -> i < 4) paths)
+
+let test_explain_attribution () =
+  let graph = Workloads.decoder_tree ~fanout:3 ~depth:2 tech in
+  let model = Lazy.force table in
+  let cache = Stage_cache.create () in
+  let analysis = Arrival.propagate ~model ~cache graph in
+  let p = List.hd (Path_enum.k_worst ~k:1 graph analysis) in
+  let e = Path_enum.explain ~model ~cache graph analysis p in
+  Alcotest.(check int) "one attribution per stage"
+    (List.length p.Path_enum.stages)
+    (List.length e.Path_enum.through);
+  List.iter2
+    (fun id (s : Path_enum.stage_attribution) ->
+      Alcotest.(check bool) "timing is the analysis record" true
+        (s.Path_enum.timing = analysis.Arrival.timings.(id));
+      Alcotest.(check bool) "regions solved" true (s.Path_enum.regions > 0);
+      Alcotest.(check bool) "newton iterations counted" true
+        (s.Path_enum.newton_iterations > 0);
+      Alcotest.(check bool) "cache provenance recorded" true
+        (s.Path_enum.cache_uses >= 1))
+    p.Path_enum.stages e.Path_enum.through;
+  (* the replay is read-only: hit/miss/use counters untouched *)
+  let before = Stage_cache.stats cache in
+  let (_ : Path_enum.explained) = Path_enum.explain ~model ~cache graph analysis p in
+  Alcotest.(check bool) "explain does not disturb the cache" true
+    (Stage_cache.stats cache = before);
+  (* cache-less attribution: solves afresh, reports no provenance *)
+  let e0 = Path_enum.explain ~model graph analysis p in
+  List.iter
+    (fun (s : Path_enum.stage_attribution) ->
+      Alcotest.(check int) "no cache: zero uses" 0 s.Path_enum.cache_uses)
+    e0.Path_enum.through
+
+let test_timing_report_bit_identical_seq_vs_parallel () =
+  let model = Lazy.force table in
+  let document ~domains =
+    let graph = Workloads.decoder_tree ~fanout:3 ~depth:2 tech in
+    let cache = Stage_cache.create () in
+    let analysis =
+      if domains = 1 then Arrival.propagate ~model ~cache graph
+      else Parallel.propagate ~model ~cache ~domains graph
+    in
+    let clock_period = analysis.Arrival.worst_arrival in
+    let required = Arrival.required graph analysis ~clock_period in
+    let paths = Path_enum.k_worst ~clock_period ~k:5 graph analysis in
+    let explained = List.map (Path_enum.explain ~model ~cache graph analysis) paths in
+    Json.to_string (Report.timing_to_json graph analysis required explained)
+  in
+  Alcotest.(check string) "tqwm-report/1 identical across 1 vs 4 domains"
+    (document ~domains:1) (document ~domains:4)
+
+(* ---------- property tests ---------- *)
+
+let prop_k1_matches_critical_path =
+  QCheck2.Test.make ~name:"k_worst 1 reproduces critical_path_string" ~count:6
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let graph = Workloads.random_stacks ~width:3 ~depth:2 ~seed tech in
+      let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
+      match Path_enum.k_worst ~k:1 graph analysis with
+      | [ p ] ->
+        String.equal
+          (Report.critical_path_string graph analysis)
+          (Report.path_string graph p)
+        && Float.equal p.Path_enum.arrival analysis.Arrival.worst_arrival
+      | _ -> false)
+
+let prop_slack_monotone_in_clock =
+  QCheck2.Test.make ~name:"slack monotone in clock period" ~count:30
+    QCheck2.Gen.(pair (float_range 1e-12 2e-9) (float_range 1e-12 2e-9))
+    (fun (cp1, cp2) ->
+      let graph, analysis = Lazy.force decoder_analysis in
+      let lo = Float.min cp1 cp2 and hi = Float.max cp1 cp2 in
+      let r_lo = Arrival.required graph analysis ~clock_period:lo in
+      let r_hi = Arrival.required graph analysis ~clock_period:hi in
+      (* a longer clock can only relax: wns up, tns toward zero *)
+      r_hi.Arrival.wns >= r_lo.Arrival.wns && r_hi.Arrival.tns >= r_lo.Arrival.tns)
+
 let test_report_rendering () =
   let graph, _, _ = inverter_pair () in
   let analysis = Arrival.propagate ~model:(Lazy.force table) graph in
@@ -189,6 +395,24 @@ let () =
           slow "critical fanin" test_critical_fanin_selection;
           slow "slew propagation" test_slew_shapes_downstream_delay;
           slow "slack computation" test_slack_computation;
+        ] );
+      ( "required",
+        [
+          slow "validation" test_required_validation;
+          slow "aggregates" test_required_aggregates;
+          slow "edge graphs" test_required_edge_graphs;
+          slow "publishes gauges" test_required_publishes_gauges;
+        ] );
+      ( "path_enum",
+        [
+          slow "validation" test_k_worst_validation;
+          slow "k=1 is the critical path" test_k_worst_reproduces_critical_path;
+          slow "distinct, sorted, exhaustive" test_k_worst_distinct_sorted_exhaustive;
+          slow "explain attribution" test_explain_attribution;
+          slow "seq-vs-parallel bit identity"
+            test_timing_report_bit_identical_seq_vs_parallel;
+          QCheck_alcotest.to_alcotest prop_k1_matches_critical_path;
+          QCheck_alcotest.to_alcotest prop_slack_monotone_in_clock;
         ] );
       ("report", [ slow "rendering" test_report_rendering ]);
       ( "characterize",

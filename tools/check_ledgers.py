@@ -164,9 +164,94 @@ def check_incr_report(record, ctx):
         fail(f"{ctx}: unknown mode {mode!r}")
     analysis = expect(record, "analysis", dict, ctx)
     check_sta_report(analysis, ctx + ".analysis")
+    # scripts that set a clock also report the slack aggregates
+    if "timing" in record:
+        timing = expect(record, "timing", dict, ctx)
+        for field in ("clock_period_ps", "wns_ps", "tns_ps", "worst_slack_ps"):
+            expect(timing, field, NUM, ctx + ".timing")
     stats = expect(record, "stats", dict, ctx)
     for field in ("edits", "recomputes", "stages_reeval", "cutoff_hits"):
         expect(stats, field, int, ctx + ".stats")
+
+
+def check_timing_report(record, ctx):
+    """tqwm-report/1: the k-worst-path / slack document of
+    ``qwm_sim --report-timing --json`` — a pure function of the analysis,
+    so CI additionally diffs the bytes across schedulers and domain
+    counts; here we validate the shape."""
+    for field in ("clock_period_ps", "wns_ps", "tns_ps", "worst_slack_ps",
+                  "worst_arrival_ps"):
+        expect(record, field, NUM, ctx)
+    clock = record["clock_period_ps"]
+    if not clock > 0:
+        fail(f"{ctx}: clock_period_ps {clock} is not positive")
+    endpoints = expect(record, "endpoints", list, ctx)
+    if not endpoints:
+        fail(f"{ctx}: empty endpoints list")
+    for i, row in enumerate(endpoints):
+        rctx = f"{ctx}: endpoints[{i}]"
+        expect(row, "id", int, rctx)
+        expect(row, "name", str, rctx)
+        for field in ("arrival_ps", "required_ps", "slack_ps"):
+            expect(row, field, NUM, rctx)
+    # WNS must be the worst endpoint slack the document itself carries
+    wns = record["wns_ps"]
+    worst = min(e["slack_ps"] for e in endpoints)
+    if abs(wns - worst) > 1e-6:
+        fail(f"{ctx}: wns_ps {wns} disagrees with endpoint slacks (min {worst})")
+    stages = expect(record, "stages", list, ctx)
+    if not stages:
+        fail(f"{ctx}: empty stages list")
+    for i, row in enumerate(stages):
+        rctx = f"{ctx}: stages[{i}]"
+        expect(row, "id", int, rctx)
+        for field in ("arrival_in_ps", "delay_ps", "slew_ps", "arrival_out_ps",
+                      "required_ps", "slack_ps"):
+            expect(row, field, NUM, rctx)
+    paths = expect(record, "paths", list, ctx)
+    prev_slack = None
+    for i, path in enumerate(paths):
+        pctx = f"{ctx}: paths[{i}]"
+        if expect(path, "rank", int, pctx) != i + 1:
+            fail(f"{pctx}: rank is not {i + 1}")
+        slack = expect(path, "slack_ps", NUM, pctx)
+        if prev_slack is not None and slack < prev_slack - 1e-9:
+            fail(f"{pctx}: slack {slack} out of order (worst first)")
+        prev_slack = slack
+        expect(path, "arrival_ps", NUM, pctx)
+        through = expect(path, "stages", list, pctx)
+        if not through:
+            fail(f"{pctx}: empty stage attribution")
+        for j, row in enumerate(through):
+            sctx = f"{pctx}: stages[{j}]"
+            expect(row, "id", int, sctx)
+            expect(row, "name", str, sctx)
+            for field in ("arrival_in_ps", "delay_ps", "arrival_out_ps"):
+                expect(row, field, NUM, sctx)
+            for field in ("regions", "newton_iterations", "cache_uses"):
+                if expect(row, field, int, sctx) < 0:
+                    fail(f"{sctx}: negative {field}")
+
+
+def check_bench_report(record, ctx):
+    expect(record, "smoke", bool, ctx)
+    workload = expect(record, "workload", dict, ctx)
+    expect(workload, "name", str, ctx + ".workload")
+    expect(workload, "stages", int, ctx + ".workload")
+    expect(record, "k", int, ctx)
+    expect(record, "domains", int, ctx)
+    for field in ("seq_ms", "par_ms", "clock_period_ps", "wns_ps", "tns_ps"):
+        expect(record, field, NUM, ctx)
+    if expect(record, "identical", bool, ctx) is not True:
+        fail(f"{ctx}: sequential and parallel reports differ")
+    paths = expect(record, "paths", list, ctx)
+    if not paths:
+        fail(f"{ctx}: empty paths list")
+    for i, path in enumerate(paths):
+        pctx = f"{ctx}: paths[{i}]"
+        expect(path, "stages", int, pctx)
+        for field in ("arrival_ps", "slack_ps"):
+            expect(path, field, NUM, pctx)
 
 
 SCHEMAS = {
@@ -178,6 +263,8 @@ SCHEMAS = {
     "tqwm-alloc-budget/1": check_alloc_budget,
     "tqwm-sta-report/1": check_sta_report,
     "tqwm-incr-report/1": check_incr_report,
+    "tqwm-report/1": check_timing_report,
+    "tqwm-bench-report/1": check_bench_report,
 }
 
 
@@ -223,7 +310,16 @@ def check_metrics(doc, ctx):
     for name, value in counters.items():
         if not isinstance(value, int):
             fail(f"{ctx}: counter {name!r} is not an integer")
-    return f"metrics snapshot, {len(counters)} counters"
+    # gauges arrived with the timing-observability surface; older
+    # snapshots lack the section, so it is validated when present
+    gauges = doc.get("gauges", {})
+    if not isinstance(gauges, dict):
+        fail(f"{ctx}: gauges is not an object")
+    for name, value in gauges.items():
+        if not isinstance(value, NUM) and value is not None:
+            fail(f"{ctx}: gauge {name!r} is not a number")
+    extra = f", {len(gauges)} gauges" if gauges else ""
+    return f"metrics snapshot, {len(counters)} counters{extra}"
 
 
 def check_file(path):
