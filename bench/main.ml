@@ -8,7 +8,8 @@
 
      dune exec bench/main.exe -- --table I
      dune exec bench/main.exe -- --table II
-     dune exec bench/main.exe -- --table parallel
+     dune exec bench/main.exe -- --table parallel [--domains N]
+     dune exec bench/main.exe -- --table server [--smoke] [--domains N] [--clients C]
      dune exec bench/main.exe -- --table incr [--smoke]
      dune exec bench/main.exe -- --table audit [--smoke]
      dune exec bench/main.exe -- --table alloc [--smoke]
@@ -421,10 +422,9 @@ let same_analysis (a : Arrival.analysis) (b : Arrival.analysis) =
   && a.Arrival.critical_path = b.Arrival.critical_path
   && a.Arrival.worst_arrival = b.Arrival.worst_arrival
 
-let sta_parallel ?(smoke = false) () =
+let sta_parallel ?(smoke = false) ?(domains = 4) () =
   let model = Lazy.force table_model in
   let repeat = if smoke then 1 else 3 in
-  let domains = 4 in
   let workloads =
     if smoke then
       [
@@ -866,6 +866,177 @@ let sta_report ?(smoke = false) () =
              paths) );
     ]
 
+(* ---------- Timing server: concurrent what-if sessions over one daemon ---------- *)
+
+module Server = Tqwm_server.Server
+module Server_client = Tqwm_server.Client
+module Server_protocol = Tqwm_server.Protocol
+module Script = Tqwm_incr.Script
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+(* Sustained request throughput and per-verb latency of the timing daemon:
+   [clients] concurrent sessions, each a copy-on-write fork of one shared
+   baseline decoder tree, each running [rounds] of edit/report/query/slack
+   (plus a periodic timing document), with [workers] serving domains.
+   Latencies are measured client-side, so a queued connection's first
+   request honestly includes its wait for a worker. *)
+let sta_server ?(smoke = false) ?(domains = 2) ?(clients = 4) () =
+  let fanout, depth = if smoke then (3, 2) else (4, 3) in
+  let rounds = if smoke then 5 else 25 in
+  let workers = max 1 domains in
+  if clients < 1 then invalid_arg "--clients must be >= 1";
+  let graph = Workloads.decoder_tree ~fanout ~depth tech in
+  let n_stages = Timing_graph.num_stages graph in
+  let cores = Parallel.default_domains () in
+  let degraded = cores < workers + clients + 1 in
+  Printf.printf
+    "\n=== Timing server: %d worker%s, %d concurrent sessions over a shared %d-stage \
+     decoder tree, %d edit rounds each ===\n"
+    workers
+    (if workers = 1 then "" else "s")
+    clients n_stages rounds;
+  if degraded then
+    Printf.printf
+      "(machine reports %d available core%s — %d domains total; latencies are \
+       oversubscribed)\n"
+      cores
+      (if cores = 1 then "" else "s")
+      (workers + clients + 1);
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tqwm-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let server =
+    Server.start ~tech ~graph ~workers ~max_sessions:(clients + 4)
+      (Server_protocol.Unix_sock sock)
+  in
+  let addr = Server.address server in
+  let run_client idx =
+    let c = Server_client.connect addr in
+    let samples = ref [] in
+    let timed verb args =
+      let t0 = Unix.gettimeofday () in
+      let (_ : Json.t) = Server_client.request c verb args in
+      samples := (verb, (Unix.gettimeofday () -. t0) *. 1e3) :: !samples
+    in
+    timed "load" [];
+    for round = 1 to rounds do
+      (* per-client edit targets and scales so sessions genuinely diverge *)
+      let stage = (idx + (3 * round)) mod n_stages in
+      let scale = 0.8 +. (0.1 *. float_of_int ((idx + round) mod 8)) in
+      timed "edit"
+        [ ("line", Json.String (Printf.sprintf "resize %d 0 %.2f" stage scale)) ];
+      timed "report" [];
+      timed "query" [ ("from", Json.Int 0); ("to", Json.Int (n_stages - 1)) ];
+      timed "slack" [ ("clock_period_ps", Json.Float 900.0) ];
+      if round mod 5 = 0 then timed "timing" [ ("k", Json.Int 1) ]
+    done;
+    Server_client.close c;
+    !samples
+  in
+  let t0 = Unix.gettimeofday () in
+  let client_domains =
+    List.init clients (fun i -> Domain.spawn (fun () -> run_client i))
+  in
+  let samples = List.concat_map Domain.join client_domains in
+  let duration = Unix.gettimeofday () -. t0 in
+  (* byte-identity gate: one more session replays a fixed edit script and
+     both its documents must equal an in-process offline Script run *)
+  let script_text =
+    "graph decoder 3 2\nclock 700\nresize 0 0 1.5\nload 4 12e-15\nreport\ntiming 2\n"
+  in
+  let c = Server_client.connect addr in
+  let replayed = Server_client.replay ~k:2 c script_text in
+  Server_client.close c;
+  let offline =
+    let buf = Buffer.create 256 in
+    Script.run ~tech
+      ~model:(Lazy.force table_model)
+      ~out:(Format.formatter_of_buffer buf) script_text
+  in
+  let identical =
+    Json.to_string replayed.Server_client.document
+    = Json.to_string offline.Script.json
+    &&
+    match replayed.Server_client.timing with
+    | Some t ->
+      Json.to_string t
+      = Json.to_string
+          (Script.timing_json ?clock_period:offline.Script.clock_period ~k:2
+             offline.Script.session)
+    | None -> false
+  in
+  Server.stop server;
+  let requests = List.length samples + 2 (* identity session: load + close *) in
+  let qps = float_of_int requests /. duration in
+  let verb_rows =
+    List.filter_map
+      (fun verb ->
+        let lat =
+          List.filter_map (fun (v, ms) -> if v = verb then Some ms else None) samples
+          |> Array.of_list
+        in
+        if Array.length lat = 0 then None
+        else begin
+          Array.sort compare lat;
+          Some (verb, lat)
+        end)
+      [ "load"; "edit"; "report"; "query"; "slack"; "timing" ]
+  in
+  Printf.printf "%-8s %7s %10s %10s\n" "verb" "count" "p50" "p99";
+  List.iter
+    (fun (verb, lat) ->
+      Printf.printf "%-8s %7d %8.2fms %8.2fms\n" verb (Array.length lat)
+        (percentile lat 0.5) (percentile lat 0.99))
+    verb_rows;
+  Printf.printf
+    "sustained %.0f requests/s over %.2f s (%d requests, %d sessions); replayed \
+     documents identical to offline: %s\n"
+    qps duration requests (clients + 1)
+    (if identical then "yes" else "NO");
+  assert identical;
+  Json.Obj
+    [
+      ("schema", Json.String "tqwm-bench-server/1");
+      ("smoke", Json.Bool smoke);
+      ("workers", Json.Int workers);
+      ("clients", Json.Int clients);
+      ("sessions", Json.Int (clients + 1));
+      ("rounds", Json.Int rounds);
+      ("requests", Json.Int requests);
+      ("duration_s", Json.Float duration);
+      ("qps", Json.Float qps);
+      ("available_cores", Json.Int cores);
+      ("degraded", Json.Bool degraded);
+      ( "graph",
+        Json.Obj
+          [
+            ("name", Json.String "decoder-tree");
+            ("fanout", Json.Int fanout);
+            ("depth", Json.Int depth);
+            ("stages", Json.Int n_stages);
+          ] );
+      ( "verbs",
+        Json.Obj
+          (List.map
+             (fun (verb, lat) ->
+               ( verb,
+                 Json.Obj
+                   [
+                     ("count", Json.Int (Array.length lat));
+                     ("p50_ms", Json.Float (percentile lat 0.5));
+                     ("p99_ms", Json.Float (percentile lat 0.99));
+                   ] ))
+             verb_rows) );
+      ("identical", Json.Bool identical);
+    ]
+
 let smoke () =
   (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
   let scenario = Scenario.nand_falling ~n:2 tech in
@@ -895,8 +1066,9 @@ let write_json json_path doc =
         (if n = 1 then "" else "s")
     | None ->
       Printf.eprintf
-        "bench: --json is only produced by --table parallel, --table incr, \
-         --table audit, --table alloc, --table report and --smoke; ignoring\n")
+        "bench: --json is only produced by --table parallel, --table server, \
+         --table incr, --table audit, --table alloc, --table report and \
+         --smoke; ignoring\n")
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
@@ -977,13 +1149,42 @@ let () =
       (json, arg :: rest)
     | [] -> (None, [])
   in
+  (* peel "--NAME VALUE" off anywhere in the command line *)
+  let strip_opt name argv =
+    let rec go = function
+      | arg :: value :: rest when arg = name ->
+        let found, rest = go rest in
+        (Some (Option.value found ~default:value), rest)
+      | arg :: rest ->
+        let found, rest = go rest in
+        (found, arg :: rest)
+      | [] -> (None, [])
+    in
+    go argv
+  in
+  let int_opt name v =
+    Option.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some v when v >= 1 -> v
+        | Some _ | None ->
+          Printf.eprintf "bench: %s expects an integer >= 1, got %S\n" name s;
+          exit 1)
+      v
+  in
   let json_path, argv = strip_json (Array.to_list Sys.argv) in
+  let domains_arg, argv = strip_opt "--domains" argv in
+  let clients_arg, argv = strip_opt "--clients" argv in
+  let domains = int_opt "--domains" domains_arg in
+  let clients = int_opt "--clients" clients_arg in
   let doc =
     match argv with
     | _ :: "--table" :: "I" :: _ -> table1 (); None
     | _ :: "--table" :: "II" :: _ -> table2 (); None
     | _ :: "--table" :: "parallel" :: rest ->
-      Some (sta_parallel ~smoke:(List.mem "--smoke" rest) ())
+      Some (sta_parallel ~smoke:(List.mem "--smoke" rest) ?domains ())
+    | _ :: "--table" :: "server" :: rest ->
+      Some (sta_server ~smoke:(List.mem "--smoke" rest) ?domains ?clients ())
     | _ :: "--table" :: "incr" :: rest -> Some (sta_incr ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--table" :: "audit" :: rest -> Some (sta_audit ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--table" :: "alloc" :: rest -> Some (alloc_table ~smoke:(List.mem "--smoke" rest) ())
@@ -1002,8 +1203,9 @@ let () =
     | [ _ ] -> all (); None
     | _ :: _ :: _ | [] ->
       prerr_endline
-        "usage: main.exe [--table I|II|parallel|incr|audit|alloc|report|ablation-linsolve|ablation-sc|ablation-grid] \
-         [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE]";
+        "usage: main.exe [--table I|II|parallel|server|incr|audit|alloc|report|ablation-linsolve|ablation-sc|ablation-grid] \
+         [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE] [--domains N] \
+         [--clients C]";
       exit 1
   in
   write_json json_path doc

@@ -153,8 +153,60 @@ let run_sta ~tech ~depth ~fanout ~domains ~scheduler ~chunk ~use_cache
   end;
   0
 
+(* --serve: the timing daemon — load once, serve concurrent what-if
+   sessions over the protocol in lib/server until SIGINT/SIGTERM *)
+let run_serve ~tech ~addr ~graph_spec ~domains ~epsilon_ps ~max_sessions =
+  let address =
+    match Tqwm_server.Protocol.parse_address addr with
+    | a -> a
+    | exception Invalid_argument msg ->
+      Printf.eprintf "qwm_sim: %s\n" msg;
+      exit 2
+  in
+  if max_sessions < 1 then (
+    Printf.eprintf "qwm_sim: --max-sessions must be >= 1 (got %d)\n" max_sessions;
+    exit 2);
+  let graph =
+    match graph_spec with
+    | None -> None
+    | Some spec -> (
+      match Tqwm_incr.Script.graph_of_spec ~tech spec with
+      | g -> Some g
+      | exception Invalid_argument msg ->
+        Printf.eprintf "qwm_sim: --graph: %s\n" msg;
+        exit 2)
+  in
+  let workers = max 1 domains in
+  let server =
+    Tqwm_server.Server.start ~tech ?graph ~workers ~epsilon:(epsilon_ps *. 1e-12)
+      ~max_sessions address
+  in
+  Printf.printf "serve: listening on %s (%d worker%s%s, max %d sessions)\n%!"
+    (Tqwm_server.Server.address server)
+    workers
+    (if workers = 1 then "" else "s")
+    (match graph with
+    | Some g ->
+      Printf.sprintf ", baseline %d stages" (Timing_graph.num_stages g)
+    | None -> "")
+    max_sessions;
+  let stop_requested = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler;
+  while not (Atomic.get stop_requested) do
+    Unix.sleepf 0.1
+  done;
+  Printf.printf "serve: shutting down\n%!";
+  Tqwm_server.Server.stop server;
+  0
+
 (* --incr: drive an incremental session from an edit/query script *)
-let run_incr ~tech ~domains ~use_cache ~scratch ~epsilon_ps ~json_file path =
+let run_incr ~tech ~domains ~use_cache ~scratch ~epsilon_ps ~json_file
+    ~timing_json_file ~timing_k path =
+  if timing_k < 1 then (
+    Printf.eprintf "qwm_sim: --timing-k must be >= 1 (got %d)\n" timing_k;
+    exit 2);
   let model = Models.table tech in
   let mode = if scratch then Tqwm_incr.Script.Scratch else Tqwm_incr.Script.Incremental in
   match
@@ -178,6 +230,17 @@ let run_incr ~tech ~domains ~use_cache ~scratch ~epsilon_ps ~json_file path =
     | Some out ->
       Json.write_file out outcome.Tqwm_incr.Script.json;
       Printf.printf "incr: wrote JSON report to %s\n" out);
+    (match timing_json_file with
+    | None -> ()
+    | Some out ->
+      (* the same tqwm-report/1 document a live server session answers
+         to a [timing] request — the byte-identity oracle CI compares
+         server replays against *)
+      Json.write_file out
+        (Tqwm_incr.Script.timing_json
+           ?clock_period:outcome.Tqwm_incr.Script.clock_period ~k:timing_k
+           outcome.Tqwm_incr.Script.session);
+      Printf.printf "incr: wrote timing report to %s\n" out);
     0
 
 (* --audit: golden-vs-QWM accuracy observatory over the workload catalog,
@@ -276,7 +339,14 @@ let partition_netlist path =
 let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache report_timing
     report_slack k_paths clock_period_ps json_file audit baseline_file
-    update_baseline tol_pct =
+    update_baseline tol_pct serve graph_spec max_sessions timing_json_file
+    timing_k =
+  match serve with
+  | Some addr ->
+    run_serve ~tech:Tech.cmosp35 ~addr ~graph_spec
+      ~domains:(Option.value domains ~default:1)
+      ~epsilon_ps ~max_sessions
+  | None ->
   if audit then
     run_audit ~tech:Tech.cmosp35
       ~domains:(Option.value domains ~default:1)
@@ -289,7 +359,8 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
   | Some path ->
     run_incr ~tech:Tech.cmosp35
       ~domains:(Option.value domains ~default:1)
-      ~use_cache:(not no_cache) ~scratch ~epsilon_ps ~json_file path
+      ~use_cache:(not no_cache) ~scratch ~epsilon_ps ~json_file
+      ~timing_json_file ~timing_k path
   | None ->
   let tech = Tech.cmosp35 in
   match Catalog.scenario tech circuit with
@@ -333,13 +404,15 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
 let main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache report_timing
     report_slack k_paths clock_period_ps json_file audit baseline_file
-    update_baseline tol_pct trace_file metrics_file =
+    update_baseline tol_pct serve graph_spec max_sessions timing_json_file
+    timing_k trace_file metrics_file =
   if trace_file <> None then Trace.enable ();
   let code =
     run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
       epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache
       report_timing report_slack k_paths clock_period_ps json_file audit
-      baseline_file update_baseline tol_pct
+      baseline_file update_baseline tol_pct serve graph_spec max_sessions
+      timing_json_file timing_k
   in
   (match trace_file with
   | None -> ()
@@ -484,6 +557,44 @@ let tol_pct =
   let doc = "Drift tolerance in absolute percentage points on every audited error metric (the 5% relative component is kept); metrics moving beyond it are classified improved/regressed." in
   Arg.(value & opt (some float) None & info [ "tol-pct" ] ~docv:"X" ~doc)
 
+let serve =
+  let doc =
+    "Run as a timing daemon on $(docv) (unix:PATH or HOST:PORT; TCP port \
+     0 picks a free port): one shared frozen baseline graph, --domains \
+     worker domains, each client connection an isolated what-if session \
+     speaking newline-delimited JSON (verbs: load, edit, script, report, \
+     query, timing, slack, explain, document, metrics, close). Runs until \
+     SIGINT/SIGTERM."
+  in
+  Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"ADDR" ~doc)
+
+let graph_spec =
+  let doc =
+    "In --serve mode, the shared baseline graph as a workload spec (the \
+     script [graph] grammar without the keyword: 'chain N', 'diamond', \
+     'decoder FANOUT DEPTH [LEVELS]', 'stacks WIDTH DEPTH [SEED]'). Its \
+     analysis runs once at startup; clients load copy-on-write forks of \
+     it."
+  in
+  Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"SPEC" ~doc)
+
+let max_sessions =
+  let doc = "In --serve mode, the concurrent-session cap; connections beyond it are answered with a server_full error." in
+  Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N" ~doc)
+
+let timing_json_file =
+  let doc =
+    "In --incr mode, also write the tqwm-report/1 timing document of the \
+     final session state (k worst paths under the script's clock) to \
+     $(docv) — byte-identical to a server session's [timing] response \
+     after the same commands."
+  in
+  Arg.(value & opt (some string) None & info [ "timing-json" ] ~docv:"FILE" ~doc)
+
+let timing_k =
+  let doc = "Number of worst paths in the --timing-json document (>= 1)." in
+  Arg.(value & opt int 1 & info [ "timing-k" ] ~docv:"N" ~doc)
+
 let trace_file =
   let doc = "Record Chrome trace events (per-stage spans, per-domain workers, QWM regions) and write them to $(docv); load in chrome://tracing or ui.perfetto.dev." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
@@ -501,6 +612,7 @@ let cmd =
       $ incr_script $ scratch $ epsilon_ps $ sta_depth $ sta_fanout $ domains
       $ scheduler $ chunk $ no_cache $ report_timing $ report_slack $ k_paths
       $ clock_period_ps $ json_file $ audit $ baseline_file
-      $ update_baseline $ tol_pct $ trace_file $ metrics_file)
+      $ update_baseline $ tol_pct $ serve $ graph_spec $ max_sessions
+      $ timing_json_file $ timing_k $ trace_file $ metrics_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,8 +13,6 @@ let fail line fmt = Printf.ksprintf (fun message -> raise (Script_error { line; 
 
 type mode = Incremental | Scratch
 
-type outcome = { session : Session.t; json : Json.t }
-
 let ps = 1e12
 
 let int_arg line what token =
@@ -56,76 +54,157 @@ let build_graph tech line = function
        DEPTH [SEED], got %S"
       (String.concat " " args)
 
-let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
-    ?(mode = Incremental) ?(out = Format.std_formatter) text =
-  let cache = if use_cache then Some (Stage_cache.create ()) else None in
-  let session = ref None in
-  let reports = ref 0 in
-  (* set by the [clock] command; while set, every report also prints
-     WNS/TNS and their deltas against the previous report, so an edit
-     script reads as a sequence of timing moves *)
-  let clock = ref None in
-  let last_health = ref None in
+let tokenize raw =
+  let raw =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  String.split_on_char ' ' (String.trim raw)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let graph_of_spec ~tech spec =
+  match build_graph tech 0 (tokenize spec) with
+  | g -> g
+  | exception Script_error { message; _ } -> invalid_arg message
+
+(* The timing document of a session's current state: the same
+   [tqwm-report/1] JSON [qwm_sim --report-timing --json] writes, built
+   from the session's own analysis, cache and retimings so the per-stage
+   attributions replay the solves the session actually performed. With
+   no [clock_period], the critical path sets the clock (zero-slack
+   normalization; degenerate graphs fall back to 1 ns) — the same rule
+   the [timing] script command applies. *)
+let timing_json ?clock_period ?(k = 1) session =
+  if k < 1 then invalid_arg "Script.timing_json: k must be >= 1";
+  let paths = Session.k_worst ?clock_period session ~k in
+  let explained = List.map (Session.explain session) paths in
+  let cp =
+    match clock_period with
+    | Some cp -> cp
+    | None ->
+      let wa = (Session.analysis session).Arrival.worst_arrival in
+      if wa > 0.0 then wa else 1e-9
+  in
+  let required = Session.required session ~clock_period:cp in
+  Report.timing_to_json (Session.graph session)
+    (Session.analysis session)
+    required explained
+
+(* One interpreter = one session plus the report bookkeeping ([clock],
+   WNS/TNS deltas, report counter) that makes an edit script read as a
+   sequence of timing moves. [run] feeds a whole script through one
+   interpreter; a server session feeds one line per request through a
+   long-lived one — the same code path, so the documents agree byte for
+   byte. *)
+module Interp = struct
+  type t = {
+    tech : Tqwm_device.Tech.t;
+    model : Tqwm_device.Device_model.t;
+    cache : Stage_cache.t option;
+    domains : int;
+    epsilon : float;
+    mode : mode;
+    out : Format.formatter;
+    mutable session : Session.t option;
+    mutable reports : int;
+    (* set by the [clock] command; while set, every report also prints
+       WNS/TNS and their deltas against the previous report *)
+    mutable clock : float option;
+    mutable last_health : (float * float) option;
+    mutable fed : int;  (** lines fed so far, for default line numbering *)
+  }
+
+  let create ~tech ~model ?cache ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
+      ?(mode = Incremental) ?(out = Format.std_formatter) ?session () =
+    let cache =
+      match cache with
+      | Some _ as c -> c
+      | None -> if use_cache then Some (Stage_cache.create ()) else None
+    in
+    {
+      tech;
+      model;
+      cache;
+      domains;
+      epsilon;
+      mode;
+      out;
+      session;
+      reports = 0;
+      clock = None;
+      last_health = None;
+      fed = 0;
+    }
+
+  let has_session t = t.session <> None
+
   (* the session is created by the first command: [graph] seeds it with a
      workload, anything else starts from an empty graph *)
-  let the_session line =
-    match !session with
+  let session t =
+    match t.session with
     | Some s -> s
     | None ->
       let s =
-        Session.create ~model ?cache ~domains ~epsilon (Timing_graph.create ())
+        Session.create ~model:t.model ?cache:t.cache ~domains:t.domains
+          ~epsilon:t.epsilon (Timing_graph.create ())
       in
-      ignore line;
-      session := Some s;
+      t.session <- Some s;
       s
-  in
-  let current_analysis s =
-    match mode with
+
+  let clock_period t = t.clock
+
+  let current_analysis t s =
+    match t.mode with
     | Incremental -> Session.analysis s
     | Scratch -> Session.scratch_analysis s
-  in
-  let edit line s e =
+
+  let edit t line s e =
     match Session.apply s e with
     | added ->
       (match added with
-      | Some id -> Format.fprintf out "stage %d: %s@." id (Edit.describe e)
-      | None -> Format.fprintf out "edit: %s@." (Edit.describe e))
+      | Some id -> Format.fprintf t.out "stage %d: %s@." id (Edit.describe e)
+      | None -> Format.fprintf t.out "edit: %s@." (Edit.describe e))
     | exception Invalid_argument message -> fail line "%s" message
-  in
-  let command line tokens =
+
+  let command t line tokens =
+    let out = t.out in
     match tokens with
     | [] -> ()
     | "graph" :: spec ->
-      if !session <> None then fail line "graph must be the first command";
-      let graph = build_graph tech line spec in
-      session :=
-        Some (Session.create ~model ?cache ~domains ~epsilon graph);
+      if t.session <> None then fail line "graph must be the first command";
+      let graph = build_graph t.tech line spec in
+      t.session <-
+        Some
+          (Session.create ~model:t.model ?cache:t.cache ~domains:t.domains
+             ~epsilon:t.epsilon graph);
       Format.fprintf out "graph: %d stages, %d connections@."
         (Timing_graph.num_stages graph)
         (Timing_graph.num_connections graph)
     | [ "stage"; name ] ->
-      let s = the_session line in
-      edit line s (Edit.Add_stage (catalog_scenario tech line name))
-    | [ "connect"; f; t; input ] ->
-      edit line (the_session line)
+      let s = session t in
+      edit t line s (Edit.Add_stage (catalog_scenario t.tech line name))
+    | [ "connect"; f; tt; input ] ->
+      edit t line (session t)
         (Edit.Connect
            {
              from_stage = int_arg line "connect" f;
-             to_stage = int_arg line "connect" t;
+             to_stage = int_arg line "connect" tt;
              input;
            })
-    | [ "disconnect"; f; t; input ] ->
-      edit line (the_session line)
+    | [ "disconnect"; f; tt; input ] ->
+      edit t line (session t)
         (Edit.Disconnect
            {
              from_stage = int_arg line "disconnect" f;
-             to_stage = int_arg line "disconnect" t;
+             to_stage = int_arg line "disconnect" tt;
              input;
            })
     | [ "remove"; id ] ->
-      edit line (the_session line) (Edit.Remove_stage (int_arg line "remove" id))
+      edit t line (session t) (Edit.Remove_stage (int_arg line "remove" id))
     | [ "resize"; id; e; scale ] ->
-      edit line (the_session line)
+      edit t line (session t)
         (Edit.Resize_device
            {
              stage = int_arg line "resize" id;
@@ -133,18 +212,18 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
              scale = float_arg line "resize" scale;
            })
     | [ "load"; id; farads ] ->
-      edit line (the_session line)
+      edit t line (session t)
         (Edit.Set_load
            { stage = int_arg line "load" id; load = float_arg line "load" farads })
     | [ "swap"; id; name ] ->
-      edit line (the_session line)
+      edit t line (session t)
         (Edit.Swap_scenario
            {
              stage = int_arg line "swap" id;
-             scenario = catalog_scenario tech line name;
+             scenario = catalog_scenario t.tech line name;
            })
     | [ "retime"; id; arrival_ps; slew_ps ] ->
-      edit line (the_session line)
+      edit t line (session t)
         (Edit.Retime_input
            {
              stage = int_arg line "retime" id;
@@ -152,21 +231,21 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
              slew = float_arg line "retime" slew_ps *. 1e-12;
            })
     | [ "report" ] ->
-      let s = the_session line in
-      let analysis = current_analysis s in
-      incr reports;
+      let s = session t in
+      let analysis = current_analysis t s in
+      t.reports <- t.reports + 1;
       let stats = Session.stats s in
       if Array.length analysis.Arrival.timings <= 16 then
         Report.print out (Session.graph s) analysis;
       Format.fprintf out
         "report %d: worst arrival %.2f ps (%d stages; re-evaluated %d, cumulative %d \
          reeval / %d cutoff over %d edits)@."
-        !reports
+        t.reports
         (analysis.Arrival.worst_arrival *. ps)
         (Array.length analysis.Arrival.timings)
         stats.Session.last_reeval stats.Session.stages_reeval stats.Session.cutoff_hits
         stats.Session.edits;
-      (match !clock with
+      (match t.clock with
       | None -> ()
       | Some cp ->
         let r =
@@ -174,7 +253,7 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
           | r -> r
           | exception Invalid_argument message -> fail line "%s" message
         in
-        (match !last_health with
+        (match t.last_health with
         | None ->
           Format.fprintf out "  slack: WNS %.2f ps  TNS %.2f ps@."
             (r.Arrival.wns *. ps) (r.Arrival.tns *. ps)
@@ -185,23 +264,23 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
             ((r.Arrival.wns -. wns) *. ps)
             (r.Arrival.tns *. ps)
             ((r.Arrival.tns -. tns) *. ps));
-        last_health := Some (r.Arrival.wns, r.Arrival.tns))
+        t.last_health <- Some (r.Arrival.wns, r.Arrival.tns))
     | [ "clock"; period_ps ] ->
       let cp = float_arg line "clock" period_ps *. 1e-12 in
       if not (Float.is_finite cp) || cp <= 0.0 then
         fail line "clock: period must be finite and > 0";
-      clock := Some cp;
-      last_health := None;
+      t.clock <- Some cp;
+      t.last_health <- None;
       Format.fprintf out "clock: period %.2f ps@." (cp *. ps)
     | [ "timing" ] | [ "timing"; _ ] ->
       let k =
         match tokens with [ _; k ] -> int_arg line "timing" k | _ -> 1
       in
       if k < 1 then fail line "timing: K must be >= 1";
-      let s = the_session line in
+      let s = session t in
       (* always over the session's incremental analysis: the explain
          replay then peeks the solves this session actually cached *)
-      let cp = !clock in
+      let cp = t.clock in
       (match Session.k_worst ?clock_period:cp s ~k with
       | exception Invalid_argument message -> fail line "%s" message
       | paths ->
@@ -218,9 +297,9 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
                 if wa > 0.0 then wa else 1e-9)
         in
         Report.print_timing out (Session.graph s) required explained)
-    | [ "query"; f; t ] ->
-      let s = the_session line in
-      let from_stage = int_arg line "query" f and to_stage = int_arg line "query" t in
+    | [ "query"; f; tt ] ->
+      let s = session t in
+      let from_stage = int_arg line "query" f and to_stage = int_arg line "query" tt in
       (match Session.query s ~from_stage ~to_stage with
       | exception Invalid_argument message -> fail line "%s" message
       | None -> Format.fprintf out "query %d -> %d: no path@." from_stage to_stage
@@ -229,63 +308,68 @@ let run ~tech ~model ?(use_cache = true) ?(domains = 1) ?(epsilon = 0.0)
           (q.Session.arrival *. ps)
           (String.concat " -> " (List.map string_of_int q.Session.stages)))
     | token :: _ -> fail line "unknown command %S" token
-  in
-  List.iteri
-    (fun idx raw ->
-      let raw =
-        match String.index_opt raw '#' with
-        | Some i -> String.sub raw 0 i
-        | None -> raw
-      in
-      let tokens =
-        String.split_on_char ' ' (String.trim raw)
-        |> List.concat_map (String.split_on_char '\t')
-        |> List.filter (fun t -> t <> "")
-      in
-      command (idx + 1) tokens)
-    (String.split_on_char '\n' text);
-  let s = the_session 0 in
-  let analysis = current_analysis s in
-  let stats = Session.stats s in
-  (* only scripts that set a clock get the timing block, so documents of
-     clock-less scripts (the CI equivalence corpus) are byte-identical to
-     what they were before slack reporting existed *)
-  let timing_fields =
-    match !clock with
-    | None -> []
-    | Some cp ->
-      let r = Arrival.required (Session.graph s) analysis ~clock_period:cp in
-      [
-        ( "timing",
-          Json.Obj
-            [
-              ("clock_period_ps", Json.Float (cp *. ps));
-              ("wns_ps", Json.Float (r.Arrival.wns *. ps));
-              ("tns_ps", Json.Float (r.Arrival.tns *. ps));
-              ("worst_slack_ps", Json.Float (r.Arrival.req_worst_slack *. ps));
-            ] );
-      ]
-  in
-  let json =
+
+  let feed t ?line raw =
+    t.fed <- t.fed + 1;
+    let line = match line with Some l -> l | None -> t.fed in
+    command t line (tokenize raw)
+
+  let document t =
+    let s = session t in
+    let analysis = current_analysis t s in
+    let stats = Session.stats s in
+    (* only scripts that set a clock get the timing block, so documents of
+       clock-less scripts (the CI equivalence corpus) are byte-identical to
+       what they were before slack reporting existed *)
+    let timing_fields =
+      match t.clock with
+      | None -> []
+      | Some cp ->
+        let r = Arrival.required (Session.graph s) analysis ~clock_period:cp in
+        [
+          ( "timing",
+            Json.Obj
+              [
+                ("clock_period_ps", Json.Float (cp *. ps));
+                ("wns_ps", Json.Float (r.Arrival.wns *. ps));
+                ("tns_ps", Json.Float (r.Arrival.tns *. ps));
+                ("worst_slack_ps", Json.Float (r.Arrival.req_worst_slack *. ps));
+              ] );
+        ]
+    in
     Json.Obj
       ([
          ("schema", Json.String "tqwm-incr-report/1");
-         ("mode", Json.String (match mode with Incremental -> "incremental" | Scratch -> "scratch"));
+         ("mode", Json.String (match t.mode with Incremental -> "incremental" | Scratch -> "scratch"));
          ("analysis", Report.to_json (Session.graph s) analysis);
        ]
       @ timing_fields
       @ [
           ( "stats",
-          Json.Obj
-            [
-              ("edits", Json.Int stats.Session.edits);
-              ("recomputes", Json.Int stats.Session.recomputes);
-              ("stages_reeval", Json.Int stats.Session.stages_reeval);
-              ("cutoff_hits", Json.Int stats.Session.cutoff_hits);
-            ] );
+            Json.Obj
+              [
+                ("edits", Json.Int stats.Session.edits);
+                ("recomputes", Json.Int stats.Session.recomputes);
+                ("stages_reeval", Json.Int stats.Session.stages_reeval);
+                ("cutoff_hits", Json.Int stats.Session.cutoff_hits);
+              ] );
         ])
-  in
-  { session = s; json }
+end
+
+type outcome = { session : Session.t; clock_period : float option; json : Json.t }
+
+let run ~tech ~model ?use_cache ?(domains = 1) ?(epsilon = 0.0)
+    ?(mode = Incremental) ?(out = Format.std_formatter) text =
+  let interp = Interp.create ~tech ~model ?use_cache ~domains ~epsilon ~mode ~out () in
+  List.iteri
+    (fun idx raw -> Interp.feed interp ~line:(idx + 1) raw)
+    (String.split_on_char '\n' text);
+  let json = Interp.document interp in
+  {
+    session = Interp.session interp;
+    clock_period = Interp.clock_period interp;
+    json;
+  }
 
 let run_file ~tech ~model ?use_cache ?domains ?epsilon ?mode ?out path =
   let ic = open_in path in

@@ -42,6 +42,8 @@ type mode =
 
 type outcome = {
   session : Session.t;  (** final state, for stats or further queries *)
+  clock_period : float option;
+      (** seconds; the last [clock] command's period, if any *)
   json : Tqwm_obs.Json.t;
       (** ["tqwm-incr-report/1"] document: mode, final analysis
           ({!Tqwm_sta.Report.to_json}), session stats, and — when the
@@ -49,6 +51,74 @@ type outcome = {
           [analysis] members across the two modes is the CI equivalence
           check. *)
 }
+
+val graph_of_spec : tech:Tqwm_device.Tech.t -> string -> Tqwm_sta.Timing_graph.t
+(** Build a workload graph from a [graph] command's argument text (e.g.
+    ["decoder 3 2"], ["chain 16"]) — the grammar the first script line
+    accepts, reused by [qwm_sim --serve --graph].
+    @raise Invalid_argument on an unknown or malformed spec. *)
+
+val timing_json :
+  ?clock_period:float -> ?k:int -> Session.t -> Tqwm_obs.Json.t
+(** The ["tqwm-report/1"] timing document of the session's current state
+    — exactly what the [timing] script command prints, as JSON: [k]
+    (default 1) worst paths with stage-by-stage attribution replayed
+    through the session's own cache, plus the per-endpoint required
+    times under [clock_period] (default: the worst arrival, i.e.
+    zero-slack normalization; 1 ns on degenerate graphs). Byte-identical
+    across session transports — the offline/server CI equivalence
+    check.
+    @raise Invalid_argument when [k < 1] or the graph has no stages. *)
+
+(** One live interpreter: the per-connection server object. {!Interp.feed}
+    runs exactly one script line through the same code path {!run} uses,
+    so a server session that replays a script line-by-line produces
+    byte-identical output and documents to an offline [qwm_sim --incr]
+    run of the same script. *)
+module Interp : sig
+  type t
+
+  val create :
+    tech:Tqwm_device.Tech.t ->
+    model:Tqwm_device.Device_model.t ->
+    ?cache:Tqwm_sta.Stage_cache.t ->
+    ?use_cache:bool ->
+    ?domains:int ->
+    ?epsilon:float ->
+    ?mode:mode ->
+    ?out:Format.formatter ->
+    ?session:Session.t ->
+    unit ->
+    t
+  (** [cache] overrides the cache the interpreter's session is created
+      with (a server passes a {!Tqwm_sta.Stage_cache.fork} of its shared
+      cache); otherwise [use_cache] (default true) creates a fresh one.
+      [session] seeds the interpreter with an existing session — e.g. a
+      {!Session.fork} of a server's baseline — in which case [graph] is
+      rejected as a non-first command and edits apply to the fork.
+      [out] (default stdout) receives the progress lines; servers pass a
+      buffer formatter and ship the text back to the client. *)
+
+  val feed : t -> ?line:int -> string -> unit
+  (** Run one script line (comments/blank lines allowed). [line] is the
+      1-based number used in {!Script_error} (default: the count of lines
+      fed so far).
+      @raise Script_error as {!run} does. *)
+
+  val has_session : t -> bool
+  (** Whether a session exists yet ([graph] ran, a seed was passed, or an
+      edit forced an empty-graph session). *)
+
+  val session : t -> Session.t
+  (** The interpreter's session, creating the empty-graph one on demand. *)
+
+  val clock_period : t -> float option
+  (** Seconds; the last [clock] command's period, if any. *)
+
+  val document : t -> Tqwm_obs.Json.t
+  (** The ["tqwm-incr-report/1"] document of the current state — what
+      {!run} returns as [json], available at any point mid-script. *)
+end
 
 val run :
   tech:Tqwm_device.Tech.t ->

@@ -90,6 +90,40 @@ let create ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12) 
   sync t;
   t
 
+(* Snapshot fork: an isolated what-if overlay over the same baseline.
+   The graph forks copy-on-write (shared scenarios, adjacency and frozen
+   schedule until either side mutates), the timing/dirty/override arrays
+   are copied so the fork starts exactly where the parent stands — no
+   re-propagation — and lifetime stats restart at zero. The fork's cache
+   defaults to a [copy_uses] fork of the parent's, so a clean parent's
+   provenance (cache_uses in path attributions) reads in the fork as if
+   the fork had run the baseline analysis itself. *)
+let fork ?cache ?domains ?epsilon t =
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None -> Option.map (Stage_cache.fork ~copy_uses:true) t.cache
+  in
+  {
+    t with
+    graph = Timing_graph.copy t.graph;
+    cache;
+    domains = (match domains with Some d -> max d 1 | None -> t.domains);
+    epsilon =
+      (match epsilon with
+      | Some e when Float.is_finite e && e >= 0.0 -> e
+      | Some _ -> invalid_arg "Session.fork: epsilon must be finite and >= 0"
+      | None -> t.epsilon);
+    pi = Array.copy t.pi;
+    timings = Array.copy t.timings;
+    dirty = Array.copy t.dirty;
+    s_edits = 0;
+    s_recomputes = 0;
+    s_reeval = 0;
+    s_cutoff = 0;
+    s_last = 0;
+  }
+
 let graph t = t.graph
 
 let epsilon t = t.epsilon

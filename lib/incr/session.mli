@@ -54,6 +54,20 @@ val create :
     @raise Invalid_argument when [default_slew <= 0] or [epsilon] is
     negative or not finite. *)
 
+val fork : ?cache:Tqwm_sta.Stage_cache.t -> ?domains:int -> ?epsilon:float -> t -> t
+(** Snapshot fork: a fully isolated what-if session starting exactly
+    where this one stands — same graph (copied copy-on-write through
+    {!Timing_graph.copy}), same computed timings and primary-input
+    overrides, no re-propagation needed. Edits on either side never
+    affect the other; the immutable frozen schedule and scenario values
+    stay shared until a side mutates. [cache] defaults to
+    [Stage_cache.fork ~copy_uses:true] of this session's cache (shared
+    solve table, provenance as if the fork ran the baseline itself);
+    [domains]/[epsilon] default to the parent's. Lifetime {!stats}
+    restart at zero. This is the per-client overlay the timing server
+    hands each connection over one shared baseline.
+    @raise Invalid_argument when [epsilon] is negative or not finite. *)
+
 val graph : t -> Timing_graph.t
 
 val epsilon : t -> float

@@ -1,0 +1,139 @@
+module Json = Tqwm_obs.Json
+
+let max_line_bytes = 1 lsl 20
+
+(* ---- addresses ---- *)
+
+type address = Unix_sock of string | Tcp of Unix.inet_addr * int
+
+let parse_address spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "bad address %S: expected unix:PATH or HOST:PORT" spec)
+  in
+  match String.index_opt spec ':' with
+  | None -> fail ()
+  | Some _ when String.length spec > 5 && String.sub spec 0 5 = "unix:" ->
+    let path = String.sub spec 5 (String.length spec - 5) in
+    if path = "" then fail ();
+    Unix_sock path
+  | Some _ ->
+    (* split on the last colon so numeric hosts keep their dots *)
+    let i = String.rindex spec ':' in
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match int_of_string_opt port with
+    | None -> fail ()
+    | Some port when port < 0 || port > 0xffff -> fail ()
+    | Some port ->
+      let addr =
+        if host = "" then Unix.inet_addr_loopback
+        else
+          match Unix.inet_addr_of_string host with
+          | a -> a
+          | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> fail ()
+            | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+            | exception Not_found -> fail ())
+      in
+      Tcp (addr, port))
+
+let sockaddr_of_address = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (addr, port) -> Unix.ADDR_INET (addr, port)
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX path -> "unix:" ^ path
+  | Unix.ADDR_INET (addr, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+
+(* ---- buffered line reader ---- *)
+
+type reader = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+
+type frame = Line of string | Oversized | Eof
+
+let rec refill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> 0
+  | n -> n
+  | exception Unix.Unix_error (EINTR, _, _) -> refill r
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> 0
+
+(* the line is gone; eat bytes until its newline so the next frame starts
+   clean *)
+let rec drain r =
+  match refill r with
+  | 0 -> Eof
+  | n -> (
+    match Bytes.index_from_opt r.chunk 0 '\n' with
+    | Some i when i < n ->
+      Buffer.add_subbytes r.buf r.chunk (i + 1) (n - i - 1);
+      Oversized
+    | Some _ | None -> drain r)
+
+let rec read_frame r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+    let line = String.sub s 0 i in
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+    if i > max_line_bytes then Oversized else Line line
+  | None ->
+    if Buffer.length r.buf > max_line_bytes then begin
+      Buffer.clear r.buf;
+      drain r
+    end
+    else begin
+      match refill r with
+      | 0 -> Eof
+      | n ->
+        Buffer.add_subbytes r.buf r.chunk 0 n;
+        read_frame r
+    end
+
+let write_line fd json =
+  let s = Json.to_string json ^ "\n" in
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec loop off =
+    if off < len then begin
+      match Unix.write fd b off (len - off) with
+      | n -> loop (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> loop off
+    end
+  in
+  loop 0
+
+(* ---- requests and responses ---- *)
+
+type request = { id : Json.t; verb : string; body : Json.t }
+
+let request_of_line line =
+  match Json.of_string line with
+  | exception Json.Parse_error msg -> Error ("invalid JSON: " ^ msg)
+  | Json.Obj _ as body -> (
+    let id = Option.value (Json.member "id" body) ~default:Json.Null in
+    match Json.member "verb" body with
+    | Some (Json.String verb) when verb <> "" -> Ok { id; verb; body }
+    | Some _ -> Error "\"verb\" must be a non-empty string"
+    | None -> Error "request object has no \"verb\" member")
+  | _ -> Error "request must be a JSON object"
+
+let arg req name = Json.member name req.body
+
+let ok ~id result =
+  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+
+let error ~id ~code message =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj [ ("code", Json.String code); ("message", Json.String message) ] );
+    ]

@@ -1,0 +1,472 @@
+module Json = Tqwm_obs.Json
+module Metrics = Tqwm_obs.Metrics
+module Models = Tqwm_device.Models
+module Timing_graph = Tqwm_sta.Timing_graph
+module Stage_cache = Tqwm_sta.Stage_cache
+module Arrival = Tqwm_sta.Arrival
+module Path_enum = Tqwm_sta.Path_enum
+module Report = Tqwm_sta.Report
+module Session = Tqwm_incr.Session
+module Script = Tqwm_incr.Script
+
+let ps = 1e12
+
+(* ---- telemetry ---- *)
+
+let c_requests = Metrics.counter "server.requests"
+let c_errors = Metrics.counter "server.errors"
+let c_connections = Metrics.counter "server.connections"
+let g_sessions = Metrics.gauge "server.sessions"
+let g_queue_depth = Metrics.gauge "server.queue_depth"
+
+let latency_bounds =
+  [| 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0 |]
+
+(* per-verb latency histograms, pre-registered so an unknown verb never
+   mints a metric name *)
+let verbs =
+  [
+    "load"; "edit"; "script"; "report"; "query"; "timing"; "slack"; "explain";
+    "document"; "metrics"; "close";
+  ]
+
+let latency =
+  List.map
+    (fun v -> (v, Metrics.histogram ("server.latency_ms." ^ v) ~bounds:latency_bounds))
+    verbs
+
+(* ---- server state ---- *)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  tech : Tqwm_device.Tech.t;
+  model : Tqwm_device.Device_model.t;
+  cache : Stage_cache.t;  (** shared solve table; sessions hold forks *)
+  baseline : Session.t option;
+  session_domains : int;
+  epsilon : float;
+  max_sessions : int;
+  queue : Unix.file_descr Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  stopping : bool Atomic.t;
+  open_conns : int Atomic.t;  (** accepted and not yet torn down *)
+  mutable acceptor : unit Domain.t option;
+  mutable worker_domains : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+(* ---- per-connection session ---- *)
+
+type conn = {
+  mutable interp : Script.Interp.t option;
+  outbuf : Buffer.t;
+  fmt : Format.formatter;
+}
+
+let take_output conn =
+  Format.pp_print_flush conn.fmt ();
+  let s = Buffer.contents conn.outbuf in
+  Buffer.clear conn.outbuf;
+  s
+
+let the_interp conn =
+  match conn.interp with
+  | Some i -> i
+  | None -> invalid_arg "no session: send a \"load\" request first"
+
+let int_member req name =
+  match Protocol.arg req name with
+  | Some (Json.Int v) -> Some v
+  | Some _ -> invalid_arg (Printf.sprintf "%S must be an integer" name)
+  | None -> None
+
+let float_member req name =
+  match Protocol.arg req name with
+  | Some (Json.Float v) -> Some v
+  | Some (Json.Int v) -> Some (float_of_int v)
+  | Some _ -> invalid_arg (Printf.sprintf "%S must be a number" name)
+  | None -> None
+
+let string_member req name =
+  match Protocol.arg req name with
+  | Some (Json.String v) -> Some v
+  | Some _ -> invalid_arg (Printf.sprintf "%S must be a string" name)
+  | None -> None
+
+(* the clock the session's timing verbs run under when the script never
+   set one: the critical path sets the clock (zero-slack normalization),
+   1 ns on degenerate graphs — the rule every offline report applies *)
+let effective_clock interp session =
+  match Script.Interp.clock_period interp with
+  | Some cp -> cp
+  | None ->
+    let wa = (Session.analysis session).Arrival.worst_arrival in
+    if wa > 0.0 then wa else 1e-9
+
+let do_load t conn req =
+  let make_fresh () =
+    Script.Interp.create ~tech:t.tech ~model:t.model
+      ~cache:(Stage_cache.fork t.cache) ~domains:t.session_domains
+      ~epsilon:t.epsilon ~out:conn.fmt ()
+  in
+  let interp, baseline =
+    match string_member req "graph" with
+    | Some "" -> (make_fresh (), false)
+    | Some spec ->
+      let i = make_fresh () in
+      Script.Interp.feed i ("graph " ^ spec);
+      (i, false)
+    | None -> (
+      match t.baseline with
+      | None ->
+        invalid_arg
+          "no baseline graph (server started without --graph); pass \"graph\""
+      | Some b ->
+        let session = Session.fork ~domains:t.session_domains b in
+        ( Script.Interp.create ~tech:t.tech ~model:t.model
+            ~domains:t.session_domains ~epsilon:t.epsilon ~out:conn.fmt ~session (),
+          true ))
+  in
+  conn.interp <- Some interp;
+  let stages, connections =
+    if Script.Interp.has_session interp then
+      let g = Session.graph (Script.Interp.session interp) in
+      (Timing_graph.num_stages g, Timing_graph.num_connections g)
+    else (0, 0)
+  in
+  Json.Obj
+    [
+      ("stages", Json.Int stages);
+      ("connections", Json.Int connections);
+      ("baseline", Json.Bool baseline);
+      ("output", Json.String (take_output conn));
+    ]
+
+let do_line conn req =
+  let line =
+    match string_member req "line" with
+    | Some l -> l
+    | None -> invalid_arg "missing \"line\" (a script command)"
+  in
+  Script.Interp.feed (the_interp conn) line;
+  Json.Obj [ ("output", Json.String (take_output conn)) ]
+
+let do_report conn =
+  Script.Interp.feed (the_interp conn) "report";
+  Json.Obj [ ("output", Json.String (take_output conn)) ]
+
+let do_query conn req =
+  let get name =
+    match int_member req name with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "missing %S (a stage id)" name)
+  in
+  let from_stage = get "from" and to_stage = get "to" in
+  let s = Script.Interp.session (the_interp conn) in
+  match Session.query s ~from_stage ~to_stage with
+  | None -> Json.Obj [ ("found", Json.Bool false) ]
+  | Some q ->
+    Json.Obj
+      [
+        ("found", Json.Bool true);
+        ("arrival_ps", Json.Float (q.Session.arrival *. ps));
+        ("stages", Json.List (List.map (fun i -> Json.Int i) q.Session.stages));
+      ]
+
+let do_timing conn req =
+  let k = Option.value (int_member req "k") ~default:1 in
+  let interp = the_interp conn in
+  Script.timing_json
+    ?clock_period:(Script.Interp.clock_period interp)
+    ~k
+    (Script.Interp.session interp)
+
+let do_slack conn req =
+  let interp = the_interp conn in
+  let s = Script.Interp.session interp in
+  let clock_period =
+    match float_member req "clock_period_ps" with
+    | Some p when Float.is_finite p && p > 0.0 -> p *. 1e-12
+    | Some _ -> invalid_arg "\"clock_period_ps\" must be finite and > 0"
+    | None -> effective_clock interp s
+  in
+  let r = Session.required s ~clock_period in
+  Json.Obj
+    [
+      ("clock_period_ps", Json.Float (clock_period *. ps));
+      ("wns_ps", Json.Float (r.Arrival.wns *. ps));
+      ("tns_ps", Json.Float (r.Arrival.tns *. ps));
+      ("worst_slack_ps", Json.Float (r.Arrival.req_worst_slack *. ps));
+      ("endpoints", Json.Int (Array.length r.Arrival.endpoints));
+    ]
+
+(* the critical cone into one pin, reported as a single-path
+   [tqwm-report/1] document: walk the critical-fanin chain backward from
+   the pin, then attribute it stage by stage through the session's own
+   cached solves *)
+let do_explain conn req =
+  let pin =
+    match int_member req "pin" with
+    | Some p -> p
+    | None -> invalid_arg "missing \"pin\" (a stage id)"
+  in
+  let interp = the_interp conn in
+  let s = Script.Interp.session interp in
+  let graph = Session.graph s in
+  let analysis = Session.analysis s in
+  let n = Array.length analysis.Arrival.timings in
+  if pin < 0 || pin >= n then
+    invalid_arg (Printf.sprintf "\"pin\" %d out of range (graph has %d stages)" pin n);
+  let rec walk acc id =
+    match analysis.Arrival.timings.(id).Arrival.critical_fanin with
+    | None -> id :: acc
+    | Some driver -> walk (id :: acc) driver
+  in
+  let stages = walk [] pin in
+  let clock_period = effective_clock interp s in
+  let arrival = analysis.Arrival.timings.(pin).Arrival.arrival_out in
+  let path = { Path_enum.stages; arrival; slack = clock_period -. arrival } in
+  let explained = Session.explain s path in
+  let required = Session.required s ~clock_period in
+  Report.timing_to_json graph analysis required [ explained ]
+
+let dispatch t conn req =
+  match req.Protocol.verb with
+  | "load" -> `Reply (do_load t conn req)
+  | "edit" | "script" -> `Reply (do_line conn req)
+  | "report" -> `Reply (do_report conn)
+  | "query" -> `Reply (do_query conn req)
+  | "timing" -> `Reply (do_timing conn req)
+  | "slack" -> `Reply (do_slack conn req)
+  | "explain" -> `Reply (do_explain conn req)
+  | "document" -> `Reply (Script.Interp.document (the_interp conn))
+  | "metrics" -> `Reply (Metrics.snapshot ())
+  | "close" -> `Close (Json.Obj [ ("closed", Json.Bool true) ])
+  | verb -> `Unknown verb
+
+let handle_request t conn fd req =
+  let id = req.Protocol.id in
+  let t0 = Unix.gettimeofday () in
+  let response, closing =
+    match dispatch t conn req with
+    | `Reply result -> (Protocol.ok ~id result, false)
+    | `Close result -> (Protocol.ok ~id result, true)
+    | `Unknown verb ->
+      Metrics.incr c_errors;
+      ( Protocol.error ~id ~code:"unknown_verb"
+          (Printf.sprintf "unknown verb %S" verb),
+        false )
+    | exception Script.Script_error { line = _; message } ->
+      (* the command failed; the session survives *)
+      Metrics.incr c_errors;
+      (Protocol.error ~id ~code:"script_error" message, false)
+    | exception Invalid_argument message ->
+      Metrics.incr c_errors;
+      (Protocol.error ~id ~code:"bad_request" message, false)
+    | exception ((Unix.Unix_error _ | Sys_error _) as e) ->
+      (* transport trouble: let the connection loop tear down *)
+      raise e
+    | exception e ->
+      Metrics.incr c_errors;
+      (Protocol.error ~id ~code:"internal" (Printexc.to_string e), false)
+  in
+  Metrics.incr c_requests;
+  (match List.assoc_opt req.Protocol.verb latency with
+  | Some h -> Metrics.observe h ((Unix.gettimeofday () -. t0) *. 1e3)
+  | None -> ());
+  Protocol.write_line fd response;
+  if closing then `Close else `Continue
+
+let serve_connection t fd =
+  Metrics.incr c_connections;
+  Metrics.set g_sessions (float_of_int (Atomic.get t.open_conns));
+  let finally () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Atomic.decr t.open_conns;
+    Metrics.set g_sessions (float_of_int (Atomic.get t.open_conns))
+  in
+  Fun.protect ~finally @@ fun () ->
+  let outbuf = Buffer.create 256 in
+  let conn = { interp = None; outbuf; fmt = Format.formatter_of_buffer outbuf } in
+  let reader = Protocol.reader fd in
+  let rec loop () =
+    match Protocol.read_frame reader with
+    | Protocol.Eof -> ()
+    | Protocol.Oversized ->
+      Metrics.incr c_errors;
+      Protocol.write_line fd
+        (Protocol.error ~id:Json.Null ~code:"oversized_line"
+           (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes));
+      loop ()
+    | Protocol.Line "" -> loop ()
+    | Protocol.Line line -> (
+      match Protocol.request_of_line line with
+      | Error message ->
+        Metrics.incr c_errors;
+        Protocol.write_line fd (Protocol.error ~id:Json.Null ~code:"parse_error" message);
+        loop ()
+      | Ok req -> (
+        match handle_request t conn fd req with
+        | `Continue -> loop ()
+        | `Close -> ()))
+  in
+  (* a vanished client is a normal way for a session to end *)
+  try loop () with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ()
+
+(* ---- accept / worker loops ---- *)
+
+let enqueue t fd =
+  Mutex.lock t.qlock;
+  Queue.push fd t.queue;
+  Metrics.set g_queue_depth (float_of_int (Queue.length t.queue));
+  Condition.signal t.qcond;
+  Mutex.unlock t.qlock
+
+let dequeue t =
+  Mutex.lock t.qlock;
+  let rec wait () =
+    match Queue.take_opt t.queue with
+    | Some fd ->
+      Metrics.set g_queue_depth (float_of_int (Queue.length t.queue));
+      Some fd
+    | None ->
+      if Atomic.get t.stopping then None
+      else begin
+        Condition.wait t.qcond t.qlock;
+        wait ()
+      end
+  in
+  let r = wait () in
+  Mutex.unlock t.qlock;
+  r
+
+(* poll-accept: closing a descriptor does not wake a sibling domain
+   blocked in accept(2), so the acceptor must never block indefinitely —
+   it selects with a timeout and rechecks the stop flag each lap *)
+let rec accept_loop t =
+  if Atomic.get t.stopping then ()
+  else
+    match Unix.select [ t.listen_fd ] [] [] 0.05 with
+    | [], _, _ -> accept_loop t
+    | exception Unix.Unix_error (EINTR, _, _) -> accept_loop t
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+    | _ -> accept_ready t
+
+and accept_ready t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) ->
+    accept_loop t
+  | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+    if Atomic.get t.stopping then () else accept_loop t
+  | fd, _ ->
+    if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+    else begin
+      let n = Atomic.fetch_and_add t.open_conns 1 in
+      if n >= t.max_sessions then begin
+        Atomic.decr t.open_conns;
+        Metrics.incr c_errors;
+        (try
+           Protocol.write_line fd
+             (Protocol.error ~id:Json.Null ~code:"server_full"
+                (Printf.sprintf "session limit %d reached" t.max_sessions))
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else enqueue t fd;
+      accept_loop t
+    end
+
+let worker_loop t =
+  let rec loop () =
+    match dequeue t with
+    | None -> ()
+    | Some fd ->
+      serve_connection t fd;
+      loop ()
+  in
+  loop ()
+
+let start ~tech ?graph ?(workers = 1) ?(session_domains = 1) ?(epsilon = 0.0)
+    ?(max_sessions = 64) address =
+  if workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if max_sessions < 1 then invalid_arg "Server.start: max_sessions must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let model = Models.table tech in
+  let cache = Stage_cache.create () in
+  let baseline =
+    Option.map
+      (fun g ->
+        let s = Session.create ~model ~cache ~domains:session_domains ~epsilon g in
+        (* warm once: forks start from computed arrivals and a full table *)
+        ignore (Session.analysis s);
+        s)
+      graph
+  in
+  let domain, sockaddr =
+    match address with
+    | Protocol.Unix_sock _ as a -> (Unix.PF_UNIX, Protocol.sockaddr_of_address a)
+    | Protocol.Tcp _ as a -> (Unix.PF_INET, Protocol.sockaddr_of_address a)
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     if domain = Unix.PF_INET then Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd sockaddr;
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      listen_fd;
+      bound = Unix.getsockname listen_fd;
+      tech;
+      model;
+      cache;
+      baseline;
+      session_domains;
+      epsilon;
+      max_sessions;
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = Atomic.make false;
+      open_conns = Atomic.make 0;
+      acceptor = None;
+      worker_domains = [];
+      stopped = false;
+    }
+  in
+  t.worker_domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let address t = Protocol.string_of_sockaddr t.bound
+
+let active_sessions t = Atomic.get t.open_conns
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.qlock;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qlock;
+    (match t.acceptor with Some d -> Domain.join d | None -> ());
+    List.iter Domain.join t.worker_domains;
+    (* connections accepted but never picked up *)
+    Mutex.lock t.qlock;
+    Queue.iter
+      (fun fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Atomic.decr t.open_conns)
+      t.queue;
+    Queue.clear t.queue;
+    Metrics.set g_queue_depth 0.0;
+    Mutex.unlock t.qlock;
+    match t.bound with
+    | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Unix.ADDR_INET _ -> ()
+  end

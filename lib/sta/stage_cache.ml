@@ -42,6 +42,27 @@ let create ?(slew_bucket = 1e-12) () =
     misses = Atomic.make 0;
   }
 
+(* Fork: share the solve table (and its single-flight lock/condition) so
+   every fork benefits from — and contributes to — the same memoized
+   solves, while [uses] provenance and hit/miss stats restart
+   per-fork. With [copy_uses] the fork inherits the parent's current
+   per-key request counts, as if it had submitted the parent's work
+   itself — the mode a server uses when handing a client a baseline
+   session whose full propagation already happened. *)
+let fork ?(copy_uses = false) t =
+  Mutex.lock t.lock;
+  let uses = if copy_uses then Hashtbl.copy t.uses else Hashtbl.create 256 in
+  Mutex.unlock t.lock;
+  {
+    slew_bucket = t.slew_bucket;
+    table = t.table;
+    uses;
+    lock = t.lock;
+    cond = t.cond;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
 let slew_bucket t = t.slew_bucket
 
 let bucket_slew t s =

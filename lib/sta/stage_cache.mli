@@ -39,6 +39,18 @@ val create : ?slew_bucket:float -> unit -> t
 (** [slew_bucket] (default 1 ps, must be positive) quantizes input slews
     before they are used as cache keys — see {!bucket_slew}. *)
 
+val fork : ?copy_uses:bool -> t -> t
+(** A new cache handle sharing this cache's solve table — and its
+    single-flight coordination — so solves memoized through any fork are
+    hits for every other fork, while {!uses} provenance and {!stats}
+    restart at zero for the fork. With [copy_uses] (default false) the
+    fork starts from a snapshot of the parent's per-key request counts
+    instead, as if it had submitted the parent's work itself — the mode
+    for forking a session whose baseline analysis already ran, keeping
+    path-explain attribution identical to a from-scratch session.
+    {!clear} on any fork clears the shared table but only the calling
+    fork's own counts. *)
+
 val slew_bucket : t -> float
 
 val bucket_slew : t -> float -> float

@@ -33,6 +33,21 @@ let create () =
 
 let invalidate t = t.cache <- None
 
+(* Copy-on-write fork: fresh mutable containers over shared immutable
+   content. Scenario values and adjacency lists are never mutated in
+   place (edits replace whole cells), so sharing them is safe; sharing
+   the frozen snapshot means a fork's first [freeze] is free and each
+   side re-freezes privately only after its own first mutation. *)
+let copy t =
+  {
+    stages = Array.copy t.stages;
+    count = t.count;
+    fanin_rev = Array.copy t.fanin_rev;
+    fanout_rev = Array.copy t.fanout_rev;
+    num_connections = t.num_connections;
+    cache = t.cache;
+  }
+
 let ensure_capacity t =
   let cap = Array.length t.stages in
   if t.count >= cap then begin

@@ -41,6 +41,15 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** Copy-on-write fork: an independent graph with the same stages and
+    edges. The copy shares the (immutable) scenario values, adjacency
+    lists and — until either side mutates — the memoized frozen
+    snapshot, so forking is O(stages) and a fork's first {!freeze} costs
+    nothing. Mutating one side never affects the other; this is the
+    session-isolation primitive the what-if server forks client overlays
+    from. *)
+
 val add_stage : t -> Tqwm_circuit.Scenario.t -> stage_id
 
 val connect : t -> from_stage:stage_id -> to_stage:stage_id -> input:string -> unit

@@ -1,0 +1,261 @@
+(* Tests for the timing daemon: a server session must be byte-identical
+   to an offline [qwm_sim --incr] replay of the same commands,
+   concurrent sessions must be fully isolated from each other and from
+   the shared baseline, and malformed input of every kind must produce a
+   structured error without killing the daemon or leaking its slot. *)
+
+open Tqwm_device
+module Json = Tqwm_obs.Json
+module Script = Tqwm_incr.Script
+module Protocol = Tqwm_server.Protocol
+module Server = Tqwm_server.Server
+module Client = Tqwm_server.Client
+
+let tech = Tech.cmosp35
+
+let table = lazy (Models.table tech)
+
+let with_server ?graph ?(workers = 2) ?max_sessions f =
+  let path = Filename.temp_file "tqwm-test-server" ".sock" in
+  Sys.remove path;
+  let server =
+    Server.start ~tech ?graph ~workers ?max_sessions (Protocol.Unix_sock path)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let check_json what expected actual =
+  Alcotest.(check string) what (Json.to_string expected) (Json.to_string actual)
+
+let error_code resp =
+  match Json.member "error" resp with
+  | Some err -> (
+    match Json.member "code" err with
+    | Some (Json.String code) -> code
+    | _ -> Alcotest.failf "error without a code: %s" (Json.to_string resp))
+  | None -> Alcotest.failf "expected an error response: %s" (Json.to_string resp)
+
+(* the offline oracle: [Script.run] plus [Script.timing_json], exactly
+   what [qwm_sim --incr SCRIPT --json --timing-json] writes *)
+let offline_replay ?(k = 1) text =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  let outcome = Script.run ~tech ~model:(Lazy.force table) ~out:fmt text in
+  Format.pp_print_flush fmt ();
+  let timing =
+    match outcome.Script.clock_period with
+    | None -> None
+    | Some clock_period ->
+      Some (Script.timing_json ~clock_period ~k outcome.Script.session)
+  in
+  (Buffer.contents buf, outcome.Script.json, timing)
+
+let eco_script =
+  "graph decoder 3 2\n\
+   clock 700\n\
+   report\n\
+   resize 0 0 1.5\n\
+   load 4 12e-15\n\
+   report\n\
+   retime 0 4 25\n\
+   swap 7 decoder3\n\
+   report\n\
+   timing 2\n\
+   query 0 12\n"
+
+(* Replaying a script through a live daemon must produce the same
+   progress text, the same [tqwm-incr-report/1] document and the same
+   [tqwm-report/1] timing document as the offline run — byte for
+   byte. *)
+let test_replay_identity () =
+  with_server (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let replayed = Client.replay ~k:2 c eco_script in
+          let output, document, timing = offline_replay ~k:2 eco_script in
+          Alcotest.(check string) "progress text" output replayed.Client.output;
+          check_json "incr document" document replayed.Client.document;
+          match (timing, replayed.Client.timing) with
+          | Some offline, Some served ->
+            check_json "timing document" offline served
+          | None, _ | _, None ->
+            Alcotest.fail "script sets a clock: both replays must emit timing"))
+
+(* Two sessions forked from the same baseline apply conflicting edits to
+   the same stage; each must see only its own edit — equal to its own
+   single-session offline replay — and a third fork must still see the
+   pristine baseline. *)
+let test_session_isolation () =
+  let graph = Script.graph_of_spec ~tech "decoder 3 2" in
+  with_server ~graph (fun server ->
+      let addr = Server.address server in
+      let feed c line =
+        ignore (Client.request c "script" [ ("line", Json.String line) ])
+      in
+      let timing c = Client.request c "timing" [ ("k", Json.Int 2) ] in
+      (* the oracle replays the fork's life: a warm baseline (the
+         [report] before the edits — server forks copy the baseline's
+         computed analysis and cache attribution), then the edits *)
+      let offline edits =
+        let _, _, timing =
+          offline_replay ~k:2
+            ("graph decoder 3 2\nclock 800\nreport\n" ^ edits ^ "report\n")
+        in
+        Option.get timing
+      in
+      let c1 = Client.connect addr and c2 = Client.connect addr in
+      let t1, t2 =
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close c1;
+            Client.close c2)
+          (fun () ->
+            ignore (Client.request c1 "load" []);
+            ignore (Client.request c2 "load" []);
+            feed c1 "clock 800";
+            feed c2 "clock 800";
+            (* interleaved conflicting edits to stage 0 *)
+            feed c1 "resize 0 0 1.5";
+            feed c2 "resize 0 0 0.6";
+            feed c1 "report";
+            feed c2 "report";
+            (timing c1, timing c2))
+      in
+      check_json "session 1 = its own offline replay"
+        (offline "resize 0 0 1.5\n") t1;
+      check_json "session 2 = its own offline replay"
+        (offline "resize 0 0 0.6\n") t2;
+      Alcotest.(check bool)
+        "conflicting edits diverge" false
+        (Json.to_string t1 = Json.to_string t2);
+      (* the shared baseline is unmodified: a fresh fork times like an
+         edit-free offline run *)
+      let c3 = Client.connect addr in
+      let t3 =
+        Fun.protect
+          ~finally:(fun () -> Client.close c3)
+          (fun () ->
+            ignore (Client.request c3 "load" []);
+            feed c3 "clock 800";
+            feed c3 "report";
+            timing c3)
+      in
+      check_json "baseline fork untouched by other sessions" (offline "") t3)
+
+let wait_drained server =
+  let rec loop tries =
+    if Server.active_sessions server = 0 then ()
+    else if tries = 0 then
+      Alcotest.failf "leaked session slots: %d still open"
+        (Server.active_sessions server)
+    else (
+      Unix.sleepf 0.02;
+      loop (tries - 1))
+  in
+  loop 250
+
+(* Malformed JSON, unknown verbs, oversized lines, failing script
+   commands and mid-request disconnects: each yields a structured error
+   (or a clean teardown) and the daemon keeps serving with no leaked
+   session slot. *)
+let test_protocol_robustness () =
+  with_server (fun server ->
+      let addr = Server.address server in
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send_line c "this is not json";
+          (match Client.recv_response c with
+          | Some resp ->
+            Alcotest.(check string) "malformed JSON" "parse_error"
+              (error_code resp)
+          | None -> Alcotest.fail "connection died on malformed JSON");
+          (match
+             Client.request_raw c
+               (Json.Obj
+                  [ ("id", Json.Int 1); ("verb", Json.String "frobnicate") ])
+           with
+          | Some resp ->
+            Alcotest.(check string) "unknown verb" "unknown_verb"
+              (error_code resp)
+          | None -> Alcotest.fail "connection died on unknown verb");
+          Client.send_line c (String.make (Protocol.max_line_bytes + 16) 'x');
+          (match Client.recv_response c with
+          | Some resp ->
+            Alcotest.(check string) "oversized line" "oversized_line"
+              (error_code resp)
+          | None -> Alcotest.fail "connection died on oversized line");
+          (* the same connection is still usable after all three *)
+          ignore (Client.request c "load" [ ("graph", Json.String "chain 4") ]);
+          (* a failing command errors but leaves the session alive *)
+          (try
+             ignore
+               (Client.request c "script"
+                  [ ("line", Json.String "resize 99 0 1.5") ]);
+             Alcotest.fail "resize of a bogus stage must fail"
+           with Client.Server_error { code; _ } ->
+             Alcotest.(check string) "failing command" "script_error" code);
+          ignore (Client.request c "report" []);
+          (* missing arguments are a structured bad_request *)
+          try
+            ignore (Client.request c "query" []);
+            Alcotest.fail "query without from/to must fail"
+          with Client.Server_error { code; _ } ->
+            Alcotest.(check string) "missing argument" "bad_request" code);
+      (* mid-request disconnect: ship half a request, hang up *)
+      let sockaddr = Protocol.sockaddr_of_address (Protocol.parse_address addr) in
+      let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+      Unix.connect fd sockaddr;
+      let partial = "{\"verb\":\"load\"" in
+      ignore (Unix.write_substring fd partial 0 (String.length partial));
+      Unix.close fd;
+      (* the daemon shrugged it off and still serves new sessions *)
+      let c2 = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c2)
+        (fun () ->
+          ignore (Client.request c2 "load" [ ("graph", Json.String "chain 2") ]);
+          ignore (Client.request c2 "report" []));
+      wait_drained server)
+
+(* Beyond [max_sessions], a new connection is answered with a
+   [server_full] error and closed — and the slot frees once an existing
+   session disconnects. *)
+let test_session_cap () =
+  with_server ~workers:1 ~max_sessions:1 (fun server ->
+      let addr = Server.address server in
+      let c1 = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c1)
+        (fun () ->
+          ignore (Client.request c1 "load" [ ("graph", Json.String "chain 2") ]);
+          let c2 = Client.connect addr in
+          (match Client.recv_response c2 with
+          | Some resp ->
+            Alcotest.(check string) "over the cap" "server_full"
+              (error_code resp)
+          | None -> Alcotest.fail "no server_full response");
+          Client.close c2);
+      wait_drained server;
+      (* the slot is free again *)
+      let c3 = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c3)
+        (fun () ->
+          ignore (Client.request c3 "load" [ ("graph", Json.String "chain 2") ])))
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "server"
+    [
+      ("identity", [ quick "script replay" test_replay_identity ]);
+      ("isolation", [ quick "concurrent sessions" test_session_isolation ]);
+      ( "robustness",
+        [
+          quick "protocol errors" test_protocol_robustness;
+          quick "session cap" test_session_cap;
+        ] );
+    ]

@@ -233,6 +233,53 @@ def check_timing_report(record, ctx):
                     fail(f"{sctx}: negative {field}")
 
 
+# the daemon's verb vocabulary (lib/server/server.ml); a bench record
+# naming any other verb is malformed, not merely novel
+SERVER_VERBS = frozenset(
+    ("load", "edit", "script", "report", "query", "timing", "slack",
+     "explain", "document", "metrics", "close"))
+
+VERB_LATENCY_FIELDS = frozenset(("count", "p50_ms", "p99_ms"))
+
+
+def check_bench_server(record, ctx):
+    expect(record, "smoke", bool, ctx)
+    for field in ("workers", "clients", "sessions", "rounds", "requests"):
+        if expect(record, field, int, ctx) < 0:
+            fail(f"{ctx}: negative {field}")
+    if record["sessions"] < record["clients"]:
+        fail(f"{ctx}: sessions {record['sessions']} < clients {record['clients']}")
+    for field in ("duration_s", "qps"):
+        if not expect(record, field, NUM, ctx) >= 0:
+            fail(f"{ctx}: {field} is not a non-negative number")
+    expect(record, "available_cores", int, ctx)
+    expect(record, "degraded", bool, ctx)
+    graph = expect(record, "graph", dict, ctx)
+    expect(graph, "name", str, ctx + ".graph")
+    for field in ("fanout", "depth", "stages"):
+        expect(graph, field, int, ctx + ".graph")
+    verbs = expect(record, "verbs", dict, ctx)
+    if not verbs:
+        fail(f"{ctx}: empty verbs table")
+    for verb, lat in verbs.items():
+        vctx = f"{ctx}: verbs[{verb!r}]"
+        if verb not in SERVER_VERBS:
+            known = ", ".join(sorted(SERVER_VERBS))
+            fail(f"{vctx}: unknown verb (known: {known})")
+        if expect(lat, "count", int, vctx) <= 0:
+            fail(f"{vctx}: count is not positive")
+        for field in ("p50_ms", "p99_ms"):
+            if not expect(lat, field, NUM, vctx) >= 0:
+                fail(f"{vctx}: {field} is not a non-negative number")
+        # latency entries are a closed shape: an unrecognized field means
+        # the bench and the checker disagree about the schema
+        unknown = set(lat) - VERB_LATENCY_FIELDS
+        if unknown:
+            fail(f"{vctx}: unknown latency fields {sorted(unknown)}")
+    if expect(record, "identical", bool, ctx) is not True:
+        fail(f"{ctx}: server replay and offline documents differ")
+
+
 def check_bench_report(record, ctx):
     expect(record, "smoke", bool, ctx)
     workload = expect(record, "workload", dict, ctx)
@@ -265,6 +312,7 @@ SCHEMAS = {
     "tqwm-incr-report/1": check_incr_report,
     "tqwm-report/1": check_timing_report,
     "tqwm-bench-report/1": check_bench_report,
+    "tqwm-bench-server/1": check_bench_server,
 }
 
 
@@ -339,7 +387,74 @@ def check_file(path):
     fail(f"{path}: top level is {type(doc).__name__}, wanted object or array")
 
 
+def _server_sample():
+    return {
+        "schema": "tqwm-bench-server/1",
+        "date": "2026-08-08",
+        "commit": "0000000",
+        "smoke": True,
+        "workers": 2,
+        "clients": 4,
+        "sessions": 5,
+        "rounds": 5,
+        "requests": 90,
+        "duration_s": 0.07,
+        "qps": 1285.7,
+        "available_cores": 1,
+        "degraded": True,
+        "graph": {"name": "decoder-tree", "fanout": 3, "depth": 2, "stages": 13},
+        "verbs": {
+            "load": {"count": 4, "p50_ms": 1.2, "p99_ms": 3.4},
+            "edit": {"count": 20, "p50_ms": 0.4, "p99_ms": 1.1},
+            "timing": {"count": 4, "p50_ms": 2.0, "p99_ms": 2.8},
+        },
+        "identical": True,
+    }
+
+
+def self_test():
+    """Unit-check the validators against known-good and known-bad records
+    (run by CI so schema drift in this file itself fails loudly)."""
+    cases = []
+
+    def bad(label, mutate):
+        record = _server_sample()
+        mutate(record)
+        cases.append((label, record, False))
+
+    cases.append(("good server record", _server_sample(), True))
+    bad("unknown verb", lambda r: r["verbs"].update(
+        {"frobnicate": {"count": 1, "p50_ms": 0.1, "p99_ms": 0.1}}))
+    bad("unknown latency field", lambda r: r["verbs"]["load"].update(
+        {"p95_ms": 2.0}))
+    bad("missing percentile", lambda r: r["verbs"]["edit"].pop("p99_ms"))
+    bad("non-identical replay", lambda r: r.update({"identical": False}))
+    bad("negative qps", lambda r: r.update({"qps": -1.0}))
+    bad("sessions below clients", lambda r: r.update({"sessions": 2}))
+    bad("unknown schema", lambda r: r.update({"schema": "tqwm-bench-server/9"}))
+
+    failures = 0
+    for label, record, expect_ok in cases:
+        try:
+            check_versioned(record, f"self-test: {label}")
+            outcome = True
+            detail = "validated"
+        except Invalid as e:
+            outcome = False
+            detail = str(e)
+        if outcome == expect_ok:
+            print(f"self-test: {label}: OK ({detail})")
+        else:
+            verdict = "accepted" if outcome else "rejected"
+            print(f"self-test: {label}: FAIL (wrongly {verdict}: {detail})",
+                  file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv):
+    if "--self-test" in argv:
+        return self_test()
     allow_missing = "--allow-missing" in argv
     paths = [a for a in argv[1:] if a != "--allow-missing"]
     if not paths:
