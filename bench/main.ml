@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- --table II
      dune exec bench/main.exe -- --table parallel [--domains N]
      dune exec bench/main.exe -- --table server [--smoke] [--domains N] [--clients C]
+     dune exec bench/main.exe -- --table obs [--smoke] [--domains N] [--clients C]
      dune exec bench/main.exe -- --table incr [--smoke]
      dune exec bench/main.exe -- --table audit [--smoke]
      dune exec bench/main.exe -- --table alloc [--smoke]
@@ -1037,6 +1038,175 @@ let sta_server ?(smoke = false) ?(domains = 2) ?(clients = 4) () =
       ("identical", Json.Bool identical);
     ]
 
+module Trace = Tqwm_obs.Trace
+
+(* Telemetry overhead of the serving stack: the same multi-client
+   edit/report/slack workload run twice against fresh daemons — once
+   with every observability feature off (the deployment default) and
+   once with request-scoped tracing plus the JSONL access log on — and
+   the throughput delta reported. The "off" pass is the one the < 3%
+   regression gate in ISSUE 9 watches via the tqwm-bench-obs/1 ledger. *)
+let sta_obs ?(smoke = false) ?(domains = 2) ?(clients = 2) () =
+  let fanout, depth = if smoke then (3, 2) else (4, 3) in
+  let rounds = if smoke then 5 else 25 in
+  let workers = max 1 domains in
+  if clients < 1 then invalid_arg "--clients must be >= 1";
+  let graph = Workloads.decoder_tree ~fanout ~depth tech in
+  let n_stages = Timing_graph.num_stages graph in
+  Printf.printf
+    "\n=== Telemetry overhead: %d worker%s, %d session%s, %d rounds each — serve \
+     with tracing+access-log on vs off ===\n"
+    workers
+    (if workers = 1 then "" else "s")
+    clients
+    (if clients = 1 then "" else "s")
+    rounds;
+  let run_pass ~label ~access_log ~tracing =
+    if tracing then Trace.enable ~cap:1_000_000 () else Trace.disable ();
+    let sock =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tqwm-bench-obs-%s-%d.sock" label (Unix.getpid ()))
+    in
+    (try Sys.remove sock with Sys_error _ -> ());
+    let server =
+      Server.start ~tech ~graph ~workers ~max_sessions:(clients + 4) ?access_log
+        (Server_protocol.Unix_sock sock)
+    in
+    let addr = Server.address server in
+    let run_client idx =
+      let c = Server_client.connect addr in
+      let n = ref 0 in
+      let send verb args =
+        let (_ : Json.t) = Server_client.request c verb args in
+        incr n
+      in
+      send "load" [];
+      for round = 1 to rounds do
+        let stage = (idx + (3 * round)) mod n_stages in
+        let scale = 0.8 +. (0.1 *. float_of_int ((idx + round) mod 8)) in
+        send "edit"
+          [ ("line", Json.String (Printf.sprintf "resize %d 0 %.2f" stage scale)) ];
+        send "report" [];
+        send "slack" [ ("clock_period_ps", Json.Float 900.0) ]
+      done;
+      Server_client.close c;
+      !n
+    in
+    let t0 = Unix.gettimeofday () in
+    let client_domains =
+      List.init clients (fun i -> Domain.spawn (fun () -> run_client i))
+    in
+    let requests = List.fold_left ( + ) 0 (List.map Domain.join client_domains) in
+    let duration = Unix.gettimeofday () -. t0 in
+    let trace_events =
+      if not tracing then 0
+      else
+        match Trace.to_json () with
+        | Json.Obj fields -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (Json.List events) -> List.length events
+          | _ -> 0)
+        | _ -> 0
+    in
+    Server.stop server;
+    Trace.disable ();
+    (requests, duration, float_of_int requests /. duration, trace_events)
+  in
+  (* untimed warmup: the first pass would otherwise pay the lazy model
+     characterization and cold code paths, dragging the measured "off"
+     qps down and making the telemetry overhead look negative *)
+  let (_ : int * float * float * int) =
+    run_pass ~label:"warmup" ~access_log:None ~tracing:false
+  in
+  let log_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tqwm-bench-obs-%d.jsonl" (Unix.getpid ()))
+  in
+  (* every logged line must be whole, valid JSON with the closed schema's
+     field count — torn concurrent writes would fail to parse here *)
+  let validate_log () =
+    let ic = open_in log_path in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           (match Json.of_string line with
+           | Json.Obj fields when List.length fields = 8 -> ()
+           | _ -> failwith ("bench obs: bad access-log line: " ^ line));
+           incr n
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  in
+  (* alternate off/on passes and keep the best of each mode: a single
+     pass on an oversubscribed runner measures the scheduler's mood,
+     not the telemetry *)
+  let passes = if smoke then 1 else 3 in
+  let best a b =
+    let (_, _, qa, _), _ = a and (_, _, qb, _), _ = b in
+    if qb > qa then b else a
+  in
+  let measure () =
+    let off = (run_pass ~label:"off" ~access_log:None ~tracing:false, 0) in
+    (try Sys.remove log_path with Sys_error _ -> ());
+    let on_run = run_pass ~label:"on" ~access_log:(Some log_path) ~tracing:true in
+    let lines = validate_log () in
+    (try Sys.remove log_path with Sys_error _ -> ());
+    (off, (on_run, lines))
+  in
+  let first = measure () in
+  let best_off, best_on =
+    List.fold_left
+      (fun (bo, bn) () ->
+        let o, n = measure () in
+        (best bo o, best bn n))
+      first
+      (List.init (passes - 1) (fun _ -> ()))
+  in
+  let (off_requests, off_duration, off_qps, _), _ = best_off in
+  let (on_requests, on_duration, on_qps, trace_events), log_lines = best_on in
+  let overhead_pct = 100.0 *. (off_qps -. on_qps) /. off_qps in
+  Printf.printf "%-14s %10s %12s %10s\n" "telemetry" "requests" "duration" "qps";
+  Printf.printf "%-14s %10d %10.2f s %10.0f\n" "off" off_requests off_duration off_qps;
+  Printf.printf "%-14s %10d %10.2f s %10.0f\n" "on" on_requests on_duration on_qps;
+  Printf.printf
+    "overhead with tracing+log on: %.1f%% (%d trace events, %d access-log lines)\n"
+    overhead_pct trace_events log_lines;
+  if log_lines < on_requests then
+    failwith
+      (Printf.sprintf "bench obs: %d access-log lines for %d requests" log_lines
+         on_requests);
+  Json.Obj
+    [
+      ("schema", Json.String "tqwm-bench-obs/1");
+      ("smoke", Json.Bool smoke);
+      ("workers", Json.Int workers);
+      ("clients", Json.Int clients);
+      ("rounds", Json.Int rounds);
+      ( "off",
+        Json.Obj
+          [
+            ("requests", Json.Int off_requests);
+            ("duration_s", Json.Float off_duration);
+            ("qps", Json.Float off_qps);
+          ] );
+      ( "on",
+        Json.Obj
+          [
+            ("requests", Json.Int on_requests);
+            ("duration_s", Json.Float on_duration);
+            ("qps", Json.Float on_qps);
+            ("trace_events", Json.Int trace_events);
+            ("log_lines", Json.Int log_lines);
+          ] );
+      ("overhead_pct", Json.Float overhead_pct);
+    ]
+
 let smoke () =
   (* bounded CI smoke: one cheap accuracy row + the small parallel experiment *)
   let scenario = Scenario.nand_falling ~n:2 tech in
@@ -1067,8 +1237,8 @@ let write_json json_path doc =
     | None ->
       Printf.eprintf
         "bench: --json is only produced by --table parallel, --table server, \
-         --table incr, --table audit, --table alloc, --table report and \
-         --smoke; ignoring\n")
+         --table obs, --table incr, --table audit, --table alloc, --table \
+         report and --smoke; ignoring\n")
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
@@ -1185,6 +1355,8 @@ let () =
       Some (sta_parallel ~smoke:(List.mem "--smoke" rest) ?domains ())
     | _ :: "--table" :: "server" :: rest ->
       Some (sta_server ~smoke:(List.mem "--smoke" rest) ?domains ?clients ())
+    | _ :: "--table" :: "obs" :: rest ->
+      Some (sta_obs ~smoke:(List.mem "--smoke" rest) ?domains ?clients ())
     | _ :: "--table" :: "incr" :: rest -> Some (sta_incr ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--table" :: "audit" :: rest -> Some (sta_audit ~smoke:(List.mem "--smoke" rest) ())
     | _ :: "--table" :: "alloc" :: rest -> Some (alloc_table ~smoke:(List.mem "--smoke" rest) ())
@@ -1203,7 +1375,7 @@ let () =
     | [ _ ] -> all (); None
     | _ :: _ :: _ | [] ->
       prerr_endline
-        "usage: main.exe [--table I|II|parallel|server|incr|audit|alloc|report|ablation-linsolve|ablation-sc|ablation-grid] \
+        "usage: main.exe [--table I|II|parallel|server|obs|incr|audit|alloc|report|ablation-linsolve|ablation-sc|ablation-grid] \
          [--figure 5|7|8|9|10] [--bechamel] [--smoke] [--json FILE] [--domains N] \
          [--clients C]";
       exit 1

@@ -155,7 +155,8 @@ let run_sta ~tech ~depth ~fanout ~domains ~scheduler ~chunk ~use_cache
 
 (* --serve: the timing daemon — load once, serve concurrent what-if
    sessions over the protocol in lib/server until SIGINT/SIGTERM *)
-let run_serve ~tech ~addr ~graph_spec ~domains ~epsilon_ps ~max_sessions =
+let run_serve ~tech ~addr ~graph_spec ~domains ~epsilon_ps ~max_sessions ~prom
+    ~access_log ~slow_ms =
   let address =
     match Tqwm_server.Protocol.parse_address addr with
     | a -> a
@@ -166,6 +167,19 @@ let run_serve ~tech ~addr ~graph_spec ~domains ~epsilon_ps ~max_sessions =
   if max_sessions < 1 then (
     Printf.eprintf "qwm_sim: --max-sessions must be >= 1 (got %d)\n" max_sessions;
     exit 2);
+  if slow_ms < 0.0 || not (Float.is_finite slow_ms) then (
+    Printf.eprintf "qwm_sim: --slow-ms must be finite and >= 0 (got %g)\n" slow_ms;
+    exit 2);
+  let prom_addr =
+    match prom with
+    | None -> None
+    | Some spec -> (
+      match Tqwm_server.Protocol.parse_address spec with
+      | a -> Some (Tqwm_server.Protocol.sockaddr_of_address a)
+      | exception Invalid_argument msg ->
+        Printf.eprintf "qwm_sim: --prom: %s\n" msg;
+        exit 2)
+  in
   let graph =
     match graph_spec with
     | None -> None
@@ -179,8 +193,9 @@ let run_serve ~tech ~addr ~graph_spec ~domains ~epsilon_ps ~max_sessions =
   let workers = max 1 domains in
   let server =
     Tqwm_server.Server.start ~tech ?graph ~workers ~epsilon:(epsilon_ps *. 1e-12)
-      ~max_sessions address
+      ~max_sessions ?access_log ~slow_threshold:(slow_ms *. 1e-3) address
   in
+  let prom_server = Option.map Tqwm_obs.Prometheus.serve prom_addr in
   Printf.printf "serve: listening on %s (%d worker%s%s, max %d sessions)\n%!"
     (Tqwm_server.Server.address server)
     workers
@@ -190,6 +205,17 @@ let run_serve ~tech ~addr ~graph_spec ~domains ~epsilon_ps ~max_sessions =
       Printf.sprintf ", baseline %d stages" (Timing_graph.num_stages g)
     | None -> "")
     max_sessions;
+  Option.iter
+    (fun p ->
+      Printf.printf "serve: Prometheus metrics on http://%s/metrics\n%!"
+        (match Tqwm_obs.Prometheus.bound p with
+        | Unix.ADDR_INET (a, port) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) port
+        | Unix.ADDR_UNIX path -> path))
+    prom_server;
+  Option.iter
+    (fun path -> Printf.printf "serve: access log at %s\n%!" path)
+    access_log;
   let stop_requested = Atomic.make false in
   let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
   Sys.set_signal Sys.sigint handler;
@@ -198,6 +224,7 @@ let run_serve ~tech ~addr ~graph_spec ~domains ~epsilon_ps ~max_sessions =
     Unix.sleepf 0.1
   done;
   Printf.printf "serve: shutting down\n%!";
+  Option.iter Tqwm_obs.Prometheus.stop prom_server;
   Tqwm_server.Server.stop server;
   0
 
@@ -340,12 +367,12 @@ let run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache report_timing
     report_slack k_paths clock_period_ps json_file audit baseline_file
     update_baseline tol_pct serve graph_spec max_sessions timing_json_file
-    timing_k =
+    timing_k prom access_log slow_ms =
   match serve with
   | Some addr ->
     run_serve ~tech:Tech.cmosp35 ~addr ~graph_spec
       ~domains:(Option.value domains ~default:1)
-      ~epsilon_ps ~max_sessions
+      ~epsilon_ps ~max_sessions ~prom ~access_log ~slow_ms
   | None ->
   if audit then
     run_audit ~tech:Tech.cmosp35
@@ -405,14 +432,21 @@ let main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
     epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache report_timing
     report_slack k_paths clock_period_ps json_file audit baseline_file
     update_baseline tol_pct serve graph_spec max_sessions timing_json_file
-    timing_k trace_file metrics_file =
-  if trace_file <> None then Trace.enable ();
+    timing_k trace_file trace_out metrics_file prom access_log slow_ms =
+  (* --trace-out is the serve-mode spelling; either flag records, the
+     daemon gets a bounded buffer so a long run cannot grow without
+     limit *)
+  let trace_file =
+    match (trace_file, trace_out) with Some f, _ -> Some f | None, o -> o
+  in
+  if trace_file <> None then
+    if serve <> None then Trace.enable ~cap:262_144 () else Trace.enable ();
   let code =
     run_main circuit engine dt_ps waveform ramp_ps partition incr_script scratch
       epsilon_ps sta_depth sta_fanout domains scheduler chunk no_cache
       report_timing report_slack k_paths clock_period_ps json_file audit
       baseline_file update_baseline tol_pct serve graph_spec max_sessions
-      timing_json_file timing_k
+      timing_json_file timing_k prom access_log slow_ms
   in
   (match trace_file with
   | None -> ()
@@ -563,8 +597,8 @@ let serve =
      0 picks a free port): one shared frozen baseline graph, --domains \
      worker domains, each client connection an isolated what-if session \
      speaking newline-delimited JSON (verbs: load, edit, script, report, \
-     query, timing, slack, explain, document, metrics, close). Runs until \
-     SIGINT/SIGTERM."
+     query, timing, slack, explain, document, metrics, health, stats, \
+     trace, close). Runs until SIGINT/SIGTERM."
   in
   Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"ADDR" ~doc)
 
@@ -599,6 +633,41 @@ let trace_file =
   let doc = "Record Chrome trace events (per-stage spans, per-domain workers, QWM regions) and write them to $(docv); load in chrome://tracing or ui.perfetto.dev." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let trace_out =
+  let doc =
+    "Synonym of --trace for --serve mode: record request-scoped Chrome \
+     trace events (request and session ids on every span, merged across \
+     worker domains) and write the single merged trace to $(docv) at \
+     shutdown. The live buffer is also available over the wire via the \
+     [trace] verb."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let prom =
+  let doc =
+    "In --serve mode, expose Prometheus text-format metrics over HTTP on \
+     $(docv) (unix:PATH or HOST:PORT; port 0 picks a free port): GET \
+     /metrics renders the live registry — counters, gauges and \
+     histograms with cumulative buckets."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"ADDR" ~doc)
+
+let access_log =
+  let doc =
+    "In --serve mode, append one JSON line per request to $(docv): ts, \
+     request id, session, verb, outcome (ok or the error code), bytes \
+     in/out, latency in microseconds."
+  in
+  Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+
+let slow_ms =
+  let doc =
+    "In --serve mode, the slow-request threshold in milliseconds: \
+     requests at or above it bump server.slow_requests and, with tracing \
+     on, emit a server.slow_request trace instant."
+  in
+  Arg.(value & opt float 250.0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
 let metrics_file =
   let doc = "Write a JSON snapshot of telemetry counters and histograms (solver regions/iterations, cache hits, SPICE steps) to $(docv) on exit." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
@@ -613,6 +682,7 @@ let cmd =
       $ scheduler $ chunk $ no_cache $ report_timing $ report_slack $ k_paths
       $ clock_period_ps $ json_file $ audit $ baseline_file
       $ update_baseline $ tol_pct $ serve $ graph_spec $ max_sessions
-      $ timing_json_file $ timing_k $ trace_file $ metrics_file)
+      $ timing_json_file $ timing_k $ trace_file $ trace_out $ metrics_file
+      $ prom $ access_log $ slow_ms)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@ module Workloads = Tqwm_sta.Workloads
 module Path_enum = Tqwm_sta.Path_enum
 module Report = Tqwm_sta.Report
 module Json = Tqwm_obs.Json
+module Trace = Tqwm_obs.Trace
 
 exception Script_error of { line : int; message : string }
 
@@ -312,7 +313,13 @@ module Interp = struct
   let feed t ?line raw =
     t.fed <- t.fed + 1;
     let line = match line with Some l -> l | None -> t.fed in
-    command t line (tokenize raw)
+    let tokens = tokenize raw in
+    if not (Trace.enabled ()) then command t line tokens
+    else
+      let verb = match tokens with [] -> "" | v :: _ -> v in
+      Trace.with_span ~name:"script.command" ~cat:"script"
+        ~args:[ ("command", Json.String verb); ("line", Json.Int line) ]
+        (fun () -> command t line tokens)
 
   let document t =
     let s = session t in

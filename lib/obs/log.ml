@@ -1,0 +1,17 @@
+type t = { path : string; oc : out_channel; lock : Mutex.t }
+
+let open_file path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+  in
+  { path; oc; lock = Mutex.create () }
+
+let path t = t.path
+
+let write t fields =
+  Mutex.protect t.lock (fun () ->
+      Json.to_channel t.oc (Json.Obj fields);
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t = Mutex.protect t.lock (fun () -> close_out t.oc)

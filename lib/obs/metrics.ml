@@ -122,6 +122,27 @@ let find_gauge name =
       | Some (Gauge g) -> Some (gauge_value g)
       | Some (Counter _ | Histogram _) | None -> None)
 
+type exported =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of { bounds : float array; counts : int array; sum : float }
+
+let export () =
+  List.map
+    (fun (name, m) ->
+      match m with
+      | Counter c -> (name, Counter_value (value c))
+      | Gauge g -> (name, Gauge_value (gauge_value g))
+      | Histogram h ->
+        ( name,
+          Histogram_value
+            {
+              bounds = Array.copy h.bounds;
+              counts = histogram_counts h;
+              sum = Atomic.get h.sum;
+            } ))
+    (sorted_metrics ())
+
 let snapshot () =
   let metrics = sorted_metrics () in
   let counters =

@@ -61,6 +61,19 @@ val find_counter : string -> int option
 val find_gauge : string -> float option
 (** Current value of a gauge by name; [None] if not registered. *)
 
+type exported =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of { bounds : float array; counts : int array; sum : float }
+      (** [counts] has one entry per bound plus the trailing overflow
+          bucket, mirroring {!histogram_counts}. *)
+
+val export : unit -> (string * exported) list
+(** Typed point-in-time view of every registered instrument, sorted by
+    name. Each histogram's arrays are fresh copies. This is the feed for
+    the Prometheus renderer ({!Prometheus.render}) and for rolling
+    {!Series} samples. *)
+
 val snapshot : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name: {bounds,
     counts, total, sum}}}] — the metrics document written by

@@ -1,0 +1,137 @@
+type hist = { bounds : float array; counts : int array; sum : float }
+
+type sample = {
+  t : float;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  ring : sample option array;
+  mutable next : int;  (** slot the next sample goes into *)
+  mutable len : int;
+}
+
+let create ?(capacity = 120) () =
+  if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
+  { lock = Mutex.create (); ring = Array.make capacity None; next = 0; len = 0 }
+
+let capacity t = Array.length t.ring
+
+let length t = Mutex.protect t.lock (fun () -> t.len)
+
+let record t sample =
+  Mutex.protect t.lock (fun () ->
+      t.ring.(t.next) <- Some sample;
+      t.next <- (t.next + 1) mod Array.length t.ring;
+      t.len <- min (t.len + 1) (Array.length t.ring))
+
+let capture ?(extra_counters = []) ?(extra_gauges = []) ~now () =
+  let counters = ref extra_counters and gauges = ref extra_gauges in
+  let histograms = ref [] in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Metrics.Counter_value v -> counters := (name, v) :: !counters
+      | Metrics.Gauge_value v -> gauges := (name, v) :: !gauges
+      | Metrics.Histogram_value { bounds; counts; sum } ->
+        histograms := (name, { bounds; counts; sum }) :: !histograms)
+    (Metrics.export ());
+  { t = now; counters = !counters; gauges = !gauges; histograms = !histograms }
+
+(* oldest → newest *)
+let all t =
+  Mutex.protect t.lock (fun () ->
+      let cap = Array.length t.ring in
+      let first = (t.next - t.len + cap) mod cap in
+      List.init t.len (fun i ->
+          match t.ring.((first + i) mod cap) with
+          | Some s -> s
+          | None -> assert false))
+
+let latest t =
+  match all t with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+(* Samples whose timestamp falls within [seconds] of the NEWEST sample's
+   timestamp — windows are anchored to recorded data, not the wall
+   clock, so readers and tests see deterministic cuts. *)
+let window t ~seconds =
+  match all t with
+  | [] -> []
+  | samples ->
+      let newest = (List.nth samples (List.length samples - 1)).t in
+      List.filter (fun s -> newest -. s.t <= seconds) samples
+
+(* endpoints for a delta: the oldest and newest window samples that
+   actually carry the instrument — mixed samplers (e.g. GC extras only
+   recorded by the dedicated sampler domain) stay comparable *)
+let bracket t ~seconds ~mem =
+  match List.filter mem (window t ~seconds) with
+  | [] | [ _ ] -> None
+  | first :: rest ->
+      let last = List.nth rest (List.length rest - 1) in
+      if last.t > first.t then Some (first, last) else None
+
+let counter_rate t ~seconds name =
+  match bracket t ~seconds ~mem:(fun s -> List.mem_assoc name s.counters) with
+  | None -> None
+  | Some (a, b) -> (
+      match (List.assoc_opt name a.counters, List.assoc_opt name b.counters) with
+      | Some va, Some vb -> Some (float_of_int (vb - va) /. (b.t -. a.t))
+      | _ -> None)
+
+let gauge_rate t ~seconds name =
+  match bracket t ~seconds ~mem:(fun s -> List.mem_assoc name s.gauges) with
+  | None -> None
+  | Some (a, b) -> (
+      match (List.assoc_opt name a.gauges, List.assoc_opt name b.gauges) with
+      | Some va, Some vb -> Some ((vb -. va) /. (b.t -. a.t))
+      | _ -> None)
+
+let histogram_delta t ~seconds name =
+  match
+    bracket t ~seconds ~mem:(fun s -> List.mem_assoc name s.histograms)
+  with
+  | None -> None
+  | Some (a, b) -> (
+      match
+        (List.assoc_opt name a.histograms, List.assoc_opt name b.histograms)
+      with
+      | Some ha, Some hb when Array.length ha.counts = Array.length hb.counts ->
+          Some
+            {
+              bounds = hb.bounds;
+              counts = Array.mapi (fun i c -> c - ha.counts.(i)) hb.counts;
+              sum = hb.sum -. ha.sum;
+            }
+      | _ -> None)
+
+(* Prometheus-style quantile estimation from cumulative bucket counts:
+   find the bucket holding rank q*total, then interpolate linearly
+   inside it. Observations in the overflow bucket report the last
+   finite bound (we cannot do better without the raw values). *)
+let quantile ~bounds ~counts q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Series.quantile: q outside [0,1]";
+  let n = Array.length bounds in
+  if Array.length counts <> n + 1 then
+    invalid_arg "Series.quantile: counts/bounds length mismatch";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total <= 0 then None
+  else begin
+    let rank = Float.max 1.0 (q *. float_of_int total) in
+    let rec find i cum =
+      if i >= n then Some bounds.(n - 1)
+      else
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= rank && counts.(i) > 0 then begin
+          let lo = if i = 0 then Float.min 0.0 bounds.(0) else bounds.(i - 1) in
+          let hi = bounds.(i) in
+          let within = (rank -. float_of_int cum) /. float_of_int counts.(i) in
+          Some (lo +. ((hi -. lo) *. within))
+        end
+        else find (i + 1) cum'
+    in
+    find 0 0
+  end

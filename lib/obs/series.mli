@@ -1,0 +1,80 @@
+(** Rolling time-series window over {!Metrics} snapshots.
+
+    A [Series.t] is a fixed-size ring of periodic samples (each a
+    point-in-time copy of every counter, gauge, and histogram); once
+    full, new samples evict the oldest. A sampler records into it at a
+    fixed period while readers compute rates and quantile estimates
+    over the trailing window — this is what backs the daemon's [stats]
+    verb (qps, per-verb latency quantiles, GC rates).
+
+    All operations are domain-safe: recording and reading take an
+    internal lock, so a dedicated sampler domain can feed the ring
+    while server workers answer [stats] requests. Windows are anchored
+    to the newest {e recorded} sample's timestamp rather than the wall
+    clock, so results are deterministic given the samples. *)
+
+type hist = { bounds : float array; counts : int array; sum : float }
+
+type sample = {
+  t : float;  (** wall-clock seconds at capture time *)
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of at most [capacity] samples (default 120 — two minutes at a
+    one-second period).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Samples currently held, at most [capacity]. *)
+
+val record : t -> sample -> unit
+
+val capture :
+  ?extra_counters:(string * int) list ->
+  ?extra_gauges:(string * float) list ->
+  now:float ->
+  unit ->
+  sample
+(** Snapshot every registered instrument (via {!Metrics.export}) into a
+    sample stamped [now]. [extra_counters] / [extra_gauges] prepend
+    values not held in the registry — e.g. cumulative GC statistics. *)
+
+val latest : t -> sample option
+
+val window : t -> seconds:float -> sample list
+(** Samples within [seconds] of the newest sample, oldest first. *)
+
+val counter_rate : t -> seconds:float -> string -> float option
+(** Per-second increase of a counter between the oldest and newest
+    window samples {e that carry it} — samples without the counter are
+    skipped, so instruments recorded by only one producer (e.g.
+    per-domain GC statistics attached by a dedicated sampler domain)
+    still yield consistent rates when other producers record samples
+    in between. [None] when fewer than two window samples carry the
+    counter. *)
+
+val gauge_rate : t -> seconds:float -> string -> float option
+(** Like {!counter_rate} for a (monotone) gauge — used for cumulative
+    float quantities such as [Gc.minor_words]. *)
+
+val histogram_delta : t -> seconds:float -> string -> hist option
+(** Bucket-wise difference newest − oldest across the window samples
+    that carry the histogram: the observation counts that landed
+    {e during} the window. *)
+
+val quantile : bounds:float array -> counts:int array -> float -> float option
+(** [quantile ~bounds ~counts q] estimates the [q]-quantile from
+    per-bucket counts ([counts] = one per bound plus overflow, as in
+    {!Metrics.histogram_counts}), interpolating linearly within the
+    selected bucket exactly like Prometheus' [histogram_quantile].
+    Observations beyond the last bound clamp to it. [None] when all
+    counts are zero.
+    @raise Invalid_argument on [q] outside [0,1] or mismatched array
+    lengths. *)

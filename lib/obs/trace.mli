@@ -4,20 +4,31 @@
     sink is null: [enabled] is a single mutable-bool load, [with_span]
     calls its thunk directly and no clock is read, so instrumented hot
     paths cost nothing when tracing is off. With the memory sink
-    enabled, events accumulate (mutex-guarded, safe from any domain)
-    and [write_file] produces a JSON document loadable by
-    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. The
-    stderr sink prints each event as a JSON line immediately — the
-    replacement for the old [Qwm_solver.debug] stderr dump.
+    enabled, events accumulate in per-domain sharded buffers (each
+    emitting domain locks only its own shard, so concurrent emission
+    from worker domains never contends on a global mutex) and
+    [write_file] merges the shards into one time-sorted JSON document
+    loadable by [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}. The stderr sink prints each event as a JSON line
+    immediately — the replacement for the old [Qwm_solver.debug] stderr
+    dump.
 
-    Timestamps are microseconds relative to module initialization; the
-    thread id is the emitting domain's id, so parallel STA traces show
-    one lane per domain. *)
+    Domain safety: emission, export, [clear], and sink swaps may race
+    freely across domains. Export snapshots each shard under its lock,
+    so no event is ever lost or torn by concurrent emission; an emitter
+    racing a sink swap may at worst drop that one event. Timestamps are
+    microseconds relative to module initialization; the thread id is
+    the emitting domain's id, so parallel STA traces show one lane per
+    domain. *)
 
 val enabled : unit -> bool
 
-val enable : unit -> unit
-(** Install the in-memory sink (empty). *)
+val enable : ?cap:int -> unit -> unit
+(** Install the in-memory sink (empty). [cap] bounds the total number
+    of retained events (approximately: it is split evenly across the
+    internal shards); once a shard is full, further events on that
+    shard are dropped and counted in the [trace.dropped_events]
+    counter. Default: unbounded — long-lived daemons should pass a cap. *)
 
 val enable_stderr : unit -> unit
 (** Install the line-per-event stderr sink. *)
@@ -30,6 +41,21 @@ val clear : unit -> unit
 val now : unit -> float
 (** Wall-clock seconds; pair with {!complete} for hand-rolled spans
     whose args are only known after the timed work ran. *)
+
+val with_context : (string * Json.t) list -> (unit -> 'a) -> 'a
+(** [with_context ctx f] runs [f] with [ctx] appended to the ambient
+    span context of the calling domain: every event emitted within the
+    dynamic extent of [f] (on this domain) carries [ctx] merged into
+    its args. Scopes nest — inner contexts append to outer ones — and
+    the previous context is restored even if [f] raises. The context is
+    domain-local; see {!current_context} for crossing a [Domain.spawn].
+    An empty [ctx] is free. *)
+
+val current_context : unit -> (string * Json.t) list
+(** The calling domain's ambient context, outermost bindings first.
+    Capture it before [Domain.spawn] and reinstall with {!with_context}
+    inside the child so request-scoped args follow work onto worker
+    domains. *)
 
 val complete :
   ?args:(string * Json.t) list ->
@@ -50,7 +76,7 @@ val with_span : ?args:(string * Json.t) list -> name:string -> cat:string -> (un
     raises. When disabled, the thunk runs with zero overhead. *)
 
 val to_json : unit -> Json.t
-(** [{"traceEvents": [...], ...}] from the memory sink's buffer (empty
-    for other sinks). *)
+(** [{"traceEvents": [...], ...}] — all shards merged and sorted by
+    timestamp (empty for non-memory sinks). *)
 
 val write_file : string -> unit

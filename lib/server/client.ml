@@ -45,7 +45,7 @@ let recv_response t =
       raise (Protocol_failure ("unparseable response: " ^ m)))
 
 let request_raw t json =
-  Protocol.write_line t.fd json;
+  ignore (Protocol.write_line t.fd json);
   recv_response t
 
 let request t verb args =
@@ -83,6 +83,16 @@ let close t =
     | Server_error _ | Protocol_failure _ | Unix.Unix_error _ -> ());
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+let health t = request t "health" []
+
+let stats ?window_s t =
+  let args =
+    match window_s with
+    | None -> []
+    | Some w -> [ ("window_s", Json.Float w) ]
+  in
+  request t "stats" args
 
 type replayed = { output : string; document : Json.t; timing : Json.t option }
 

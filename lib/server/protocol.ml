@@ -107,7 +107,8 @@ let write_line fd json =
       | exception Unix.Unix_error (EINTR, _, _) -> loop off
     end
   in
-  loop 0
+  loop 0;
+  len
 
 (* ---- requests and responses ---- *)
 

@@ -51,10 +51,11 @@ val read_frame : reader -> frame
 (** Blocks for the next frame. Connection-reset errors read as {!Eof};
     other [Unix.Unix_error]s propagate. *)
 
-val write_line : Unix.file_descr -> Json.t -> unit
-(** One compact JSON line, newline-terminated, fully written. With
-    [SIGPIPE] ignored, writing to a hung-up peer raises
-    [Unix.Unix_error (EPIPE, _, _)]. *)
+val write_line : Unix.file_descr -> Json.t -> int
+(** One compact JSON line, newline-terminated, fully written; returns
+    the number of bytes put on the wire (newline included), which the
+    server's access log records as [bytes_out]. With [SIGPIPE] ignored,
+    writing to a hung-up peer raises [Unix.Unix_error (EPIPE, _, _)]. *)
 
 (** {2 Requests and responses} *)
 

@@ -1,5 +1,8 @@
 module Json = Tqwm_obs.Json
 module Metrics = Tqwm_obs.Metrics
+module Trace = Tqwm_obs.Trace
+module Series = Tqwm_obs.Series
+module Log = Tqwm_obs.Log
 module Models = Tqwm_device.Models
 module Timing_graph = Tqwm_sta.Timing_graph
 module Stage_cache = Tqwm_sta.Stage_cache
@@ -16,8 +19,19 @@ let ps = 1e12
 let c_requests = Metrics.counter "server.requests"
 let c_errors = Metrics.counter "server.errors"
 let c_connections = Metrics.counter "server.connections"
+let c_slow = Metrics.counter "server.slow_requests"
 let g_sessions = Metrics.gauge "server.sessions"
+
+(* synonym kept in lockstep with [server.sessions] under the
+   conventional serving-stack name *)
+let g_sessions_active = Metrics.gauge "server.sessions_active"
 let g_queue_depth = Metrics.gauge "server.queue_depth"
+let g_uptime = Metrics.gauge "server.uptime_seconds"
+
+let set_sessions n =
+  let v = float_of_int n in
+  Metrics.set g_sessions v;
+  Metrics.set g_sessions_active v
 
 let latency_bounds =
   [| 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0 |]
@@ -27,7 +41,7 @@ let latency_bounds =
 let verbs =
   [
     "load"; "edit"; "script"; "report"; "query"; "timing"; "slack"; "explain";
-    "document"; "metrics"; "close";
+    "document"; "metrics"; "health"; "stats"; "trace"; "close";
   ]
 
 let latency =
@@ -52,7 +66,16 @@ type t = {
   qcond : Condition.t;
   stopping : bool Atomic.t;
   open_conns : int Atomic.t;  (** accepted and not yet torn down *)
+  started : float;  (** wall clock at [start], for uptime *)
+  series : Series.t;  (** rolling metric samples behind [stats] *)
+  sample_period : float;
+  access_log : Log.t option;
+  slow_threshold : float;  (** seconds; at or above emits a trace instant *)
+  session_counter : int Atomic.t;  (** mints session ids *)
+  request_counter : int Atomic.t;  (** mints request ids *)
+  workers : int;
   mutable acceptor : unit Domain.t option;
+  mutable sampler : unit Domain.t option;
   mutable worker_domains : unit Domain.t list;
   mutable stopped : bool;
 }
@@ -60,6 +83,7 @@ type t = {
 (* ---- per-connection session ---- *)
 
 type conn = {
+  sid : string;  (** session id, unique per accepted connection *)
   mutable interp : Script.Interp.t option;
   outbuf : Buffer.t;
   fmt : Format.formatter;
@@ -232,6 +256,101 @@ let do_explain conn req =
   let required = Session.required s ~clock_period in
   Report.timing_to_json graph analysis required [ explained ]
 
+(* ---- live telemetry (health / stats / trace verbs) ---- *)
+
+(* One rolling-window sample: every registered instrument, plus — when
+   [gc] — the GC's cumulative statistics, which live outside the
+   registry. OCaml 5 GC counters are per-domain, so only the dedicated
+   sampler domain records them ([gc = true]); samples captured from
+   worker domains (the [stats] verb closing its window at "now") omit
+   them, and {!Series} rate endpoints skip samples lacking the key. *)
+let sample_now ?(gc = false) t =
+  let now = Unix.gettimeofday () in
+  Metrics.set g_uptime (now -. t.started);
+  let extra_counters, extra_gauges =
+    if gc then
+      let q = Gc.quick_stat () in
+      ( [
+          ("gc.minor_collections", q.Gc.minor_collections);
+          ("gc.major_collections", q.Gc.major_collections);
+        ],
+        [ ("gc.minor_words", Gc.minor_words ()) ] )
+    else ([], [])
+  in
+  Series.record t.series (Series.capture ~extra_counters ~extra_gauges ~now ())
+
+let do_health t =
+  let now = Unix.gettimeofday () in
+  Metrics.set g_uptime (now -. t.started);
+  Json.Obj
+    [
+      ("ready", Json.Bool (not (Atomic.get t.stopping)));
+      ("uptime_s", Json.Float (now -. t.started));
+      ("sessions", Json.Int (Atomic.get t.open_conns));
+      ("max_sessions", Json.Int t.max_sessions);
+      ("workers", Json.Int t.workers);
+      ("session_domains", Json.Int t.session_domains);
+      ("tracing", Json.Bool (Trace.enabled ()));
+      ("access_log", Json.Bool (t.access_log <> None));
+    ]
+
+let do_stats t req =
+  let seconds = Option.value (float_member req "window_s") ~default:60.0 in
+  if not (Float.is_finite seconds && seconds > 0.0) then
+    invalid_arg "\"window_s\" must be finite and > 0";
+  (* close the window at "now" so rates cover traffic since the last
+     periodic sample too *)
+  sample_now t;
+  let rate name =
+    Option.value (Series.counter_rate t.series ~seconds name) ~default:0.0
+  in
+  let verb_stats =
+    List.filter_map
+      (fun v ->
+        match
+          Series.histogram_delta t.series ~seconds ("server.latency_ms." ^ v)
+        with
+        | None -> None
+        | Some d ->
+          let total = Array.fold_left ( + ) 0 d.Series.counts in
+          if total = 0 then None
+          else
+            let quantile p =
+              match Series.quantile ~bounds:d.Series.bounds ~counts:d.Series.counts p with
+              | Some v -> Json.Float v
+              | None -> Json.Null
+            in
+            Some
+              ( v,
+                Json.Obj
+                  [
+                    ("count", Json.Int total);
+                    ("p50_ms", quantile 0.5);
+                    ("p99_ms", quantile 0.99);
+                  ] ))
+      verbs
+  in
+  let gc =
+    [
+      ( "minor_words_per_s",
+        Option.value (Series.gauge_rate t.series ~seconds "gc.minor_words") ~default:0.0 );
+      ("minor_collections_per_s", rate "gc.minor_collections");
+      ("major_collections_per_s", rate "gc.major_collections");
+    ]
+    |> List.map (fun (k, v) -> (k, Json.Float v))
+  in
+  Json.Obj
+    [
+      ("window_s", Json.Float seconds);
+      ("samples", Json.Int (List.length (Series.window t.series ~seconds)));
+      ("qps", Json.Float (rate "server.requests"));
+      ("errors_per_s", Json.Float (rate "server.errors"));
+      ("sessions", Json.Int (Atomic.get t.open_conns));
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+      ("verbs", Json.Obj verb_stats);
+      ("gc", Json.Obj gc);
+    ]
+
 let dispatch t conn req =
   match req.Protocol.verb with
   | "load" -> `Reply (do_load t conn req)
@@ -243,72 +362,138 @@ let dispatch t conn req =
   | "explain" -> `Reply (do_explain conn req)
   | "document" -> `Reply (Script.Interp.document (the_interp conn))
   | "metrics" -> `Reply (Metrics.snapshot ())
+  | "health" -> `Reply (do_health t)
+  | "stats" -> `Reply (do_stats t req)
+  | "trace" -> `Reply (Trace.to_json ())
   | "close" -> `Close (Json.Obj [ ("closed", Json.Bool true) ])
   | verb -> `Unknown verb
 
-let handle_request t conn fd req =
+let mint_rid t sid =
+  Printf.sprintf "%s.r%d" sid (Atomic.fetch_and_add t.request_counter 1 + 1)
+
+let access t ~t0 ~rid ~sid ~verb ~outcome ~bytes_in ~bytes_out ~latency_s =
+  match t.access_log with
+  | None -> ()
+  | Some log ->
+    Log.write log
+      [
+        ("ts", Json.Float t0);
+        ("request", Json.String rid);
+        ("session", Json.String sid);
+        ("verb", Json.String verb);
+        ("outcome", Json.String outcome);
+        ("bytes_in", Json.Int bytes_in);
+        ("bytes_out", Json.Int bytes_out);
+        ("latency_us", Json.Float (latency_s *. 1e6));
+      ]
+
+let handle_request t conn fd req ~bytes_in =
   let id = req.Protocol.id in
   let t0 = Unix.gettimeofday () in
-  let response, closing =
+  (* request ids are only minted when something will record them, so the
+     all-telemetry-off request path stays allocation-identical to PR 8 *)
+  let observed = Trace.enabled () || t.access_log <> None in
+  let rid = if observed then mint_rid t conn.sid else "" in
+  let ctx =
+    if Trace.enabled () then
+      [ ("request", Json.String rid); ("session", Json.String conn.sid) ]
+    else []
+  in
+  Trace.with_context ctx @@ fun () ->
+  let response, closing, outcome =
+    Trace.with_span ~name:"server.request" ~cat:"server"
+      ~args:[ ("verb", Json.String req.Protocol.verb) ]
+    @@ fun () ->
     match dispatch t conn req with
-    | `Reply result -> (Protocol.ok ~id result, false)
-    | `Close result -> (Protocol.ok ~id result, true)
+    | `Reply result -> (Protocol.ok ~id result, false, "ok")
+    | `Close result -> (Protocol.ok ~id result, true, "ok")
     | `Unknown verb ->
       Metrics.incr c_errors;
       ( Protocol.error ~id ~code:"unknown_verb"
           (Printf.sprintf "unknown verb %S" verb),
-        false )
+        false,
+        "unknown_verb" )
     | exception Script.Script_error { line = _; message } ->
       (* the command failed; the session survives *)
       Metrics.incr c_errors;
-      (Protocol.error ~id ~code:"script_error" message, false)
+      (Protocol.error ~id ~code:"script_error" message, false, "script_error")
     | exception Invalid_argument message ->
       Metrics.incr c_errors;
-      (Protocol.error ~id ~code:"bad_request" message, false)
+      (Protocol.error ~id ~code:"bad_request" message, false, "bad_request")
     | exception ((Unix.Unix_error _ | Sys_error _) as e) ->
       (* transport trouble: let the connection loop tear down *)
       raise e
     | exception e ->
       Metrics.incr c_errors;
-      (Protocol.error ~id ~code:"internal" (Printexc.to_string e), false)
+      (Protocol.error ~id ~code:"internal" (Printexc.to_string e), false, "internal")
   in
   Metrics.incr c_requests;
+  let bytes_out = Protocol.write_line fd response in
+  let dt = Unix.gettimeofday () -. t0 in
   (match List.assoc_opt req.Protocol.verb latency with
-  | Some h -> Metrics.observe h ((Unix.gettimeofday () -. t0) *. 1e3)
+  | Some h -> Metrics.observe h (dt *. 1e3)
   | None -> ());
-  Protocol.write_line fd response;
+  if dt >= t.slow_threshold then begin
+    Metrics.incr c_slow;
+    Trace.instant ~name:"server.slow_request" ~cat:"server"
+      ~args:
+        [
+          ("verb", Json.String req.Protocol.verb);
+          ("latency_ms", Json.Float (dt *. 1e3));
+        ]
+      ()
+  end;
+  if observed then
+    access t ~t0 ~rid ~sid:conn.sid ~verb:req.Protocol.verb ~outcome ~bytes_in
+      ~bytes_out ~latency_s:dt;
   if closing then `Close else `Continue
 
 let serve_connection t fd =
   Metrics.incr c_connections;
-  Metrics.set g_sessions (float_of_int (Atomic.get t.open_conns));
+  set_sessions (Atomic.get t.open_conns);
   let finally () =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Atomic.decr t.open_conns;
-    Metrics.set g_sessions (float_of_int (Atomic.get t.open_conns))
+    set_sessions (Atomic.get t.open_conns)
   in
   Fun.protect ~finally @@ fun () ->
+  let sid =
+    Printf.sprintf "s%d" (Atomic.fetch_and_add t.session_counter 1 + 1)
+  in
   let outbuf = Buffer.create 256 in
-  let conn = { interp = None; outbuf; fmt = Format.formatter_of_buffer outbuf } in
+  let conn =
+    { sid; interp = None; outbuf; fmt = Format.formatter_of_buffer outbuf }
+  in
   let reader = Protocol.reader fd in
+  (* frames that never became requests still get an access-log line
+     (verb "-"); [bytes_in] is what the frame put on the wire, 0 when
+     the oversized line was discarded unmeasured *)
+  let reject ~code ~bytes_in message =
+    Metrics.incr c_errors;
+    let t0 = Unix.gettimeofday () in
+    let rid = if t.access_log <> None then mint_rid t sid else "" in
+    let bytes_out =
+      Protocol.write_line fd (Protocol.error ~id:Json.Null ~code message)
+    in
+    access t ~t0 ~rid ~sid ~verb:"-" ~outcome:code ~bytes_in ~bytes_out
+      ~latency_s:(Unix.gettimeofday () -. t0)
+  in
   let rec loop () =
     match Protocol.read_frame reader with
     | Protocol.Eof -> ()
     | Protocol.Oversized ->
-      Metrics.incr c_errors;
-      Protocol.write_line fd
-        (Protocol.error ~id:Json.Null ~code:"oversized_line"
-           (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes));
+      reject ~code:"oversized_line" ~bytes_in:0
+        (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes);
       loop ()
     | Protocol.Line "" -> loop ()
     | Protocol.Line line -> (
+      let bytes_in = String.length line + 1 in
       match Protocol.request_of_line line with
       | Error message ->
-        Metrics.incr c_errors;
-        Protocol.write_line fd (Protocol.error ~id:Json.Null ~code:"parse_error" message);
+        reject ~code:"parse_error" ~bytes_in message;
         loop ()
       | Ok req -> (
-        match handle_request t conn fd req with
+        match handle_request t conn fd req ~bytes_in with
         | `Continue -> loop ()
         | `Close -> ()))
   in
@@ -368,9 +553,10 @@ and accept_ready t =
         Atomic.decr t.open_conns;
         Metrics.incr c_errors;
         (try
-           Protocol.write_line fd
-             (Protocol.error ~id:Json.Null ~code:"server_full"
-                (Printf.sprintf "session limit %d reached" t.max_sessions))
+           ignore
+             (Protocol.write_line fd
+                (Protocol.error ~id:Json.Null ~code:"server_full"
+                   (Printf.sprintf "session limit %d reached" t.max_sessions)))
          with Unix.Unix_error _ -> ());
         try Unix.close fd with Unix.Unix_error _ -> ()
       end
@@ -388,10 +574,26 @@ let worker_loop t =
   in
   loop ()
 
+(* periodic Series feed; sleeps in short laps so [stop] is prompt *)
+let sampler_loop t =
+  let rec nap left =
+    if left > 0.0 && not (Atomic.get t.stopping) then begin
+      Unix.sleepf (Float.min 0.05 left);
+      nap (left -. 0.05)
+    end
+  in
+  while not (Atomic.get t.stopping) do
+    sample_now ~gc:true t;
+    nap t.sample_period
+  done
+
 let start ~tech ?graph ?(workers = 1) ?(session_domains = 1) ?(epsilon = 0.0)
-    ?(max_sessions = 64) address =
+    ?(max_sessions = 64) ?access_log ?(slow_threshold = 0.25)
+    ?(sample_period = 1.0) address =
   if workers < 1 then invalid_arg "Server.start: workers must be >= 1";
   if max_sessions < 1 then invalid_arg "Server.start: max_sessions must be >= 1";
+  if not (Float.is_finite sample_period && sample_period > 0.0) then
+    invalid_arg "Server.start: sample_period must be finite and > 0";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let model = Models.table tech in
   let cache = Stage_cache.create () in
@@ -433,12 +635,24 @@ let start ~tech ?graph ?(workers = 1) ?(session_domains = 1) ?(epsilon = 0.0)
       qcond = Condition.create ();
       stopping = Atomic.make false;
       open_conns = Atomic.make 0;
+      started = Unix.gettimeofday ();
+      series = Series.create ();
+      sample_period;
+      access_log = Option.map Log.open_file access_log;
+      slow_threshold;
+      session_counter = Atomic.make 0;
+      request_counter = Atomic.make 0;
+      workers;
       acceptor = None;
+      sampler = None;
       worker_domains = [];
       stopped = false;
     }
   in
+  (* an initial sample so [stats] has an anchor before the first tick *)
+  sample_now t;
   t.worker_domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.sampler <- Some (Domain.spawn (fun () -> sampler_loop t));
   t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
   t
 
@@ -455,7 +669,9 @@ let stop t =
     Condition.broadcast t.qcond;
     Mutex.unlock t.qlock;
     (match t.acceptor with Some d -> Domain.join d | None -> ());
+    (match t.sampler with Some d -> Domain.join d | None -> ());
     List.iter Domain.join t.worker_domains;
+    Option.iter Log.close t.access_log;
     (* connections accepted but never picked up *)
     Mutex.lock t.qlock;
     Queue.iter

@@ -33,7 +33,20 @@
     - [explain] — [{"pin": 7}]: the critical cone into one stage as a
       single-path [tqwm-report/1] document.
     - [document] — the session's [tqwm-incr-report/1] document.
-    - [metrics] — the server process's {!Tqwm_obs.Metrics.snapshot}.
+    - [metrics] — the server {e process}'s {!Tqwm_obs.Metrics.snapshot}.
+      The registry is process-global: counters, gauges and histograms
+      are shared across every session and worker domain, so the numbers
+      are daemon-wide totals, {e not} per-session figures.
+    - [health] — liveness summary: [ready], [uptime_s], [sessions] /
+      [max_sessions], [workers], [session_domains], [tracing],
+      [access_log].
+    - [stats] — [{"window_s": 60}] (optional): rates over the rolling
+      {!Tqwm_obs.Series} window — [qps], [errors_per_s], per-verb
+      request counts with p50/p99 latency estimates, session occupancy
+      and GC rates.
+    - [trace] — snapshot of the in-memory trace buffer as a Chrome
+      trace document (empty unless the daemon runs with tracing
+      enabled).
     - [close] — end the session (equivalently: just disconnect).
 
     Malformed JSON, unknown verbs, oversized lines and failing commands
@@ -41,12 +54,34 @@
     both the connection (where possible) and the daemon serving; a
     mid-request disconnect tears the session down and frees its slot.
 
+    {2 Request-scoped observability}
+
+    Every accepted connection is assigned a session id ([s7]) and every
+    request a request id ([s7.r42]). When tracing is enabled, both ride
+    as ambient {!Tqwm_obs.Trace.with_context} args on every span the
+    request produces — from the [server.request] dispatch span through
+    [script.command] and [incr.recompute] down to individual
+    [sta.stage] solves, across the session's worker domains — so a
+    multi-domain daemon exports one merged Chrome trace attributable
+    request by request. When an access log is configured, each request
+    additionally appends one JSONL record: [ts], [request], [session],
+    [verb], [outcome] ("ok" or the error code), [bytes_in],
+    [bytes_out], [latency_us]. Requests at or above the slow-request
+    threshold also emit a [server.slow_request] trace instant and bump
+    [server.slow_requests].
+
     {2 Telemetry}
 
-    [server.requests] / [server.errors] / [server.connections] counters,
-    [server.sessions] (live connections) and [server.queue_depth]
-    (accepted, not yet picked up by a worker) gauges, and per-verb
-    [server.latency_ms.<verb>] histograms. *)
+    All instruments live in the process-global registry:
+    [server.requests] / [server.errors] / [server.connections] /
+    [server.slow_requests] counters, [server.sessions] and its synonym
+    [server.sessions_active] (live connections), [server.queue_depth]
+    (accepted, not yet picked up by a worker) and
+    [server.uptime_seconds] gauges, and per-verb
+    [server.latency_ms.<verb>] histograms. A sampler domain snapshots
+    the registry into the rolling window every [sample_period] seconds;
+    the same registry renders to Prometheus text format via
+    {!Tqwm_obs.Prometheus}. *)
 
 type t
 
@@ -57,6 +92,9 @@ val start :
   ?session_domains:int ->
   ?epsilon:float ->
   ?max_sessions:int ->
+  ?access_log:string ->
+  ?slow_threshold:float ->
+  ?sample_period:float ->
   Protocol.address ->
   t
 (** Bind, warm the baseline and start serving. [graph] is the shared
@@ -67,8 +105,12 @@ val start :
     default 0) is the sessions' cutoff tolerance; [max_sessions]
     (default 64) bounds concurrently open connections — beyond it new
     connections are answered with a [server_full] error and closed.
-    Ignores [SIGPIPE] process-wide (hung-up clients must read as
-    [EPIPE], not kill the daemon).
+    [access_log] appends one JSONL record per request to the given path
+    (created if missing); [slow_threshold] (seconds, default 0.25) is
+    the latency at which a request counts as slow; [sample_period]
+    (seconds, default 1) is the rolling-window sampling interval behind
+    the [stats] verb. Ignores [SIGPIPE] process-wide (hung-up clients
+    must read as [EPIPE], not kill the daemon).
     @raise Unix.Unix_error when binding fails (address in use, ...). *)
 
 val address : t -> string

@@ -151,9 +151,13 @@ let propagate_ready ~eval frozen timings ~domains n =
   in
   Array.iter (fun i -> if s.remaining.(i) = 0 then Queue.push i s.ready)
     frozen.Timing_graph.order;
+  (* hand the spawner's trace context (request/session ids) to each
+     worker domain so stage spans stay attributable *)
+  let ctx = Trace.current_context () in
   let team =
     Array.init (min (domains - 1) (max (n - 1) 0)) (fun _ ->
-        Domain.spawn (fun () -> worker ~eval frozen timings s))
+        Domain.spawn (fun () ->
+            Trace.with_context ctx (fun () -> worker ~eval frozen timings s)))
   in
   worker ~eval frozen timings s;
   Array.iter Domain.join team;
@@ -382,9 +386,11 @@ let run_stealing ~domains ~exec ~levels ~chunks =
       gate_cond = Condition.create ();
     }
   in
+  let ctx = Trace.current_context () in
   let team =
     Array.init (teams - 1) (fun i ->
-        Domain.spawn (fun () -> steal_worker ~exec s (i + 1)))
+        Domain.spawn (fun () ->
+            Trace.with_context ctx (fun () -> steal_worker ~exec s (i + 1))))
   in
   steal_worker ~exec s 0;
   Array.iter Domain.join team;

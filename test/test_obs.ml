@@ -7,7 +7,10 @@
 open Tqwm_device
 module Alloc = Tqwm_obs.Alloc
 module Json = Tqwm_obs.Json
+module Log = Tqwm_obs.Log
 module Metrics = Tqwm_obs.Metrics
+module Prometheus = Tqwm_obs.Prometheus
+module Series = Tqwm_obs.Series
 module Trace = Tqwm_obs.Trace
 module Newton = Tqwm_num.Newton
 module Parallel = Tqwm_sta.Parallel
@@ -188,6 +191,404 @@ let test_trace_disabled_is_silent () =
   Alcotest.(check bool)
     "no buffered events" true
     (Json.member "traceEvents" (Trace.to_json ()) = Some (Json.List []))
+
+let trace_events () =
+  match Json.member "traceEvents" (Trace.to_json ()) with
+  | Some (Json.List events) -> events
+  | _ -> Alcotest.fail "trace document lacks traceEvents"
+
+let test_trace_concurrent_emission () =
+  (* the domain-safety contract: four domains hammering the sink
+     concurrently lose nothing and tear nothing — every event comes back
+     whole, exactly once, in timestamp order *)
+  let domains = 4 and per_domain = 2000 in
+  (* the cap splits evenly across the 64 internal shards while only
+     [domains] shards are active here, so size it per shard *)
+  Trace.enable ~cap:(64 * 2 * per_domain) ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      let emit d =
+        for i = 1 to per_domain do
+          Trace.instant ~name:"stress" ~cat:"test"
+            ~args:[ ("d", Json.Int d); ("i", Json.Int i) ]
+            ()
+        done
+      in
+      let spawned =
+        List.init (domains - 1) (fun d -> Domain.spawn (fun () -> emit (d + 1)))
+      in
+      emit 0;
+      List.iter Domain.join spawned;
+      let events = trace_events () in
+      Alcotest.(check int)
+        "no event lost" (domains * per_domain)
+        (List.length events);
+      (* each (d, i) pair exactly once, and always whole: a torn event
+         would surface as a missing or mismatched arg *)
+      let seen = Hashtbl.create (domains * per_domain) in
+      List.iter
+        (fun e ->
+          let args = Option.get (Json.member "args" e) in
+          match (Json.member "d" args, Json.member "i" args) with
+          | Some (Json.Int d), Some (Json.Int i) ->
+            if Hashtbl.mem seen (d, i) then
+              Alcotest.failf "event (%d,%d) duplicated" d i;
+            Hashtbl.add seen (d, i) ()
+          | _ -> Alcotest.fail "torn event: args incomplete")
+        events;
+      Alcotest.(check int)
+        "every (domain, seq) pair present" (domains * per_domain)
+        (Hashtbl.length seen);
+      let ts e =
+        match Json.member "ts" e with
+        | Some (Json.Float t) -> t
+        | Some (Json.Int t) -> float_of_int t
+        | _ -> Alcotest.fail "event lacks ts"
+      in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> ts a <= ts b && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "merged shards are time-sorted" true
+        (sorted events))
+
+let test_trace_cap_drops_and_counts () =
+  (* a capped sink drops excess events instead of growing without bound,
+     and owns up to it through the metrics registry *)
+  Metrics.reset ();
+  Trace.enable ~cap:64 ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      for i = 1 to 500 do
+        Trace.instant ~name:"flood" ~cat:"test" ~args:[ ("i", Json.Int i) ] ()
+      done;
+      let kept = List.length (trace_events ()) in
+      let dropped =
+        Option.value (Metrics.find_counter "trace.dropped_events") ~default:0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "kept %d <= cap" kept)
+        true (kept <= 64);
+      Alcotest.(check int) "kept + dropped = emitted" 500 (kept + dropped))
+
+let test_trace_context_scoping () =
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Alcotest.(check bool) "ambient context starts empty" true
+        (Trace.current_context () = []);
+      let rid = ("request", Json.String "s1.r1") in
+      let sid = ("session", Json.String "s1") in
+      Trace.with_context [ sid ] (fun () ->
+          Trace.with_context [ rid ] (fun () ->
+              Alcotest.(check bool) "scopes nest, outermost first" true
+                (Trace.current_context () = [ sid; rid ]);
+              Trace.instant ~name:"tagged" ~cat:"test"
+                ~args:[ ("own", Json.Int 1) ]
+                ()));
+      Alcotest.(check bool) "context restored" true
+        (Trace.current_context () = []);
+      (try
+         Trace.with_context [ rid ] (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "restored after a raise" true
+        (Trace.current_context () = []);
+      Trace.instant ~name:"untagged" ~cat:"test" ();
+      let find name =
+        List.find
+          (fun e -> Json.member "name" e = Some (Json.String name))
+          (trace_events ())
+      in
+      let args = Option.get (Json.member "args" (find "tagged")) in
+      Alcotest.(check bool) "event carries its own arg" true
+        (Json.member "own" args = Some (Json.Int 1));
+      Alcotest.(check bool) "event carries the session context" true
+        (Json.member "session" args = Some (Json.String "s1"));
+      Alcotest.(check bool) "event carries the request context" true
+        (Json.member "request" args = Some (Json.String "s1.r1"));
+      Alcotest.(check bool) "later event is untagged" true
+        (Json.member "args" (find "untagged") = None))
+
+let test_trace_context_crosses_domains () =
+  (* the Server/Parallel idiom: capture before spawn, reinstall inside *)
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Trace.with_context
+        [ ("request", Json.String "s9.r9") ]
+        (fun () ->
+          let ctx = Trace.current_context () in
+          Domain.join
+            (Domain.spawn (fun () ->
+                 Alcotest.(check bool) "child domain starts clean" true
+                   (Trace.current_context () = []);
+                 Trace.with_context ctx (fun () ->
+                     Trace.instant ~name:"child" ~cat:"test" ()))));
+      match trace_events () with
+      | [ e ] ->
+        let args = Option.get (Json.member "args" e) in
+        Alcotest.(check bool) "child event carries the request id" true
+          (Json.member "request" args = Some (Json.String "s9.r9"))
+      | events -> Alcotest.failf "expected 1 event, got %d" (List.length events))
+
+(* ---------- rolling series ---------- *)
+
+let sample ?(counters = []) ?(gauges = []) ?(histograms = []) t =
+  { Series.t; counters; gauges; histograms }
+
+let test_series_ring_eviction () =
+  let s = Series.create ~capacity:4 () in
+  Alcotest.(check int) "capacity" 4 (Series.capacity s);
+  for i = 1 to 6 do
+    Series.record s (sample ~counters:[ ("n", i) ] (float_of_int i))
+  done;
+  Alcotest.(check int) "oldest evicted" 4 (Series.length s);
+  (match Series.latest s with
+  | Some { Series.counters = [ ("n", 6) ]; _ } -> ()
+  | Some _ | None -> Alcotest.fail "latest is not the last recorded");
+  (* the window is anchored to the newest sample's timestamp *)
+  Alcotest.(check int) "window cuts by age" 3
+    (List.length (Series.window s ~seconds:2.0));
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Series.create: capacity must be positive") (fun () ->
+      ignore (Series.create ~capacity:0 ()))
+
+let test_series_rates_skip_foreign_samples () =
+  (* instruments recorded by only one producer (the daemon's per-domain
+     GC statistics) must yield rates from that producer's samples alone;
+     interleaved samples lacking the key — recorded by other domains —
+     must neither break the rate nor drag it negative *)
+  let s = Series.create () in
+  Series.record s
+    (sample ~counters:[ ("requests", 10); ("gc", 100) ]
+       ~gauges:[ ("words", 1000.0) ] 0.0);
+  Series.record s (sample ~counters:[ ("requests", 30) ] 5.0);
+  Series.record s
+    (sample ~counters:[ ("requests", 50); ("gc", 140) ]
+       ~gauges:[ ("words", 1800.0) ] 10.0);
+  Series.record s (sample ~counters:[ ("requests", 60) ] 12.0);
+  Alcotest.(check (option (float 1e-9)))
+    "counter present everywhere uses the full window" (Some (50.0 /. 12.0))
+    (Series.counter_rate s ~seconds:60.0 "requests");
+  Alcotest.(check (option (float 1e-9)))
+    "sparse counter uses only the samples that carry it" (Some 4.0)
+    (Series.counter_rate s ~seconds:60.0 "gc");
+  Alcotest.(check (option (float 1e-9)))
+    "sparse gauge likewise" (Some 80.0)
+    (Series.gauge_rate s ~seconds:60.0 "words");
+  Alcotest.(check (option (float 1e-9)))
+    "absent instrument" None
+    (Series.counter_rate s ~seconds:60.0 "nonesuch");
+  (* fewer than two carrying samples: no rate *)
+  let s1 = Series.create () in
+  Series.record s1 (sample ~counters:[ ("gc", 5) ] 0.0);
+  Series.record s1 (sample 1.0);
+  Alcotest.(check (option (float 1e-9)))
+    "one carrying sample is not a rate" None
+    (Series.counter_rate s1 ~seconds:60.0 "gc")
+
+let test_series_histogram_delta () =
+  let bounds = [| 1.0; 2.0 |] in
+  let h counts sum = { Series.bounds; counts; sum } in
+  let s = Series.create () in
+  Series.record s (sample ~histograms:[ ("lat", h [| 1; 2; 0 |] 3.5) ] 0.0);
+  Series.record s (sample 0.5);
+  Series.record s (sample ~histograms:[ ("lat", h [| 4; 2; 1 |] 9.0) ] 1.0);
+  match Series.histogram_delta s ~seconds:60.0 "lat" with
+  | None -> Alcotest.fail "no delta"
+  | Some d ->
+    Alcotest.(check (array int)) "bucket-wise difference" [| 3; 0; 1 |]
+      d.Series.counts;
+    Alcotest.(check (float 1e-9)) "sum difference" 5.5 d.Series.sum
+
+let test_series_quantile () =
+  let bounds = [| 1.0; 2.0; 5.0 |] in
+  let q counts p = Series.quantile ~bounds ~counts p in
+  Alcotest.(check (option (float 1e-9)))
+    "all-zero counts" None
+    (q [| 0; 0; 0; 0 |] 0.5);
+  (* 10 observations all in (1, 2]: the median interpolates inside that
+     bucket — half way from bound 1.0 to bound 2.0 *)
+  Alcotest.(check (option (float 1e-9)))
+    "interpolates within the bucket" (Some 1.5)
+    (q [| 0; 10; 0; 0 |] 0.5);
+  (* the rank-1.0 clamp: a single observation reports its bucket's bound *)
+  Alcotest.(check (option (float 1e-9)))
+    "single observation hits the bound" (Some 2.0)
+    (q [| 0; 1; 0; 0 |] 0.5);
+  (* q = 1.0 on a full first bucket lands exactly on the bound *)
+  Alcotest.(check (option (float 1e-9)))
+    "on-bound" (Some 1.0)
+    (q [| 4; 0; 0; 0 |] 1.0);
+  (* overflow observations clamp to the last finite bound *)
+  Alcotest.(check (option (float 1e-9)))
+    "overflow clamps" (Some 5.0)
+    (q [| 0; 0; 0; 3 |] 0.99);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Series.quantile: q outside [0,1]") (fun () ->
+      ignore (q [| 1; 0; 0; 0 |] 1.5));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Series.quantile: counts/bounds length mismatch")
+    (fun () -> ignore (q [| 1; 0 |] 0.5))
+
+let test_series_capture_merges_extras () =
+  Metrics.reset ();
+  let c = Metrics.counter "test_obs.series_capture" in
+  Metrics.add c 3;
+  let s =
+    Series.capture
+      ~extra_counters:[ ("gc.minor_collections", 7) ]
+      ~extra_gauges:[ ("gc.minor_words", 123.0) ]
+      ~now:42.0 ()
+  in
+  Alcotest.(check (float 1e-9)) "stamped" 42.0 s.Series.t;
+  Alcotest.(check (option int)) "registry counter captured" (Some 3)
+    (List.assoc_opt "test_obs.series_capture" s.Series.counters);
+  Alcotest.(check (option int)) "extra counter merged" (Some 7)
+    (List.assoc_opt "gc.minor_collections" s.Series.counters);
+  Alcotest.(check (option (float 1e-9))) "extra gauge merged" (Some 123.0)
+    (List.assoc_opt "gc.minor_words" s.Series.gauges)
+
+(* ---------- Prometheus exposition ---------- *)
+
+let test_prometheus_sanitize () =
+  Alcotest.(check string) "dots to underscores" "server_latency_ms_load"
+    (Prometheus.sanitize "server.latency_ms.load");
+  Alcotest.(check string) "legal chars kept" "a_b:c_9"
+    (Prometheus.sanitize "a_b:c_9");
+  Alcotest.(check string) "leading digit illegal" "_lives"
+    (Prometheus.sanitize "9lives")
+
+let render_lines () =
+  String.split_on_char '\n' (Prometheus.render ())
+
+let assert_line expected =
+  if not (List.mem expected (render_lines ())) then
+    Alcotest.failf "render lacks the line %S" expected
+
+let test_prometheus_render_histogram () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test_prom.h" ~bounds:[| 1.0; 2.0; 5.0 |] in
+  (* on-bound observations count into their own bucket (le is <=), and
+     the overflow observation appears only in +Inf *)
+  List.iter (Metrics.observe h) [ 1.0; 1.0; 2.0; 3.0; 99.0 ];
+  assert_line "# TYPE test_prom_h histogram";
+  assert_line "test_prom_h_bucket{le=\"1\"} 2";
+  assert_line "test_prom_h_bucket{le=\"2\"} 3";
+  assert_line "test_prom_h_bucket{le=\"5\"} 4";
+  assert_line "test_prom_h_bucket{le=\"+Inf\"} 5";
+  assert_line "test_prom_h_sum 106";
+  assert_line "test_prom_h_count 5"
+
+let test_prometheus_render_empty_histogram () =
+  Metrics.reset ();
+  let (_ : Metrics.histogram) =
+    Metrics.histogram "test_prom.empty" ~bounds:[| 0.5 |]
+  in
+  assert_line "test_prom_empty_bucket{le=\"0.5\"} 0";
+  assert_line "test_prom_empty_bucket{le=\"+Inf\"} 0";
+  assert_line "test_prom_empty_sum 0";
+  assert_line "test_prom_empty_count 0"
+
+let test_prometheus_render_scalars () =
+  Metrics.reset ();
+  let c = Metrics.counter "test_prom.hits" in
+  Metrics.add c 41;
+  let g = Metrics.gauge "test_prom.temp" in
+  Metrics.set g 1.25;
+  assert_line "# TYPE test_prom_hits counter";
+  assert_line "test_prom_hits 41";
+  assert_line "# TYPE test_prom_temp gauge";
+  assert_line "test_prom_temp 1.25"
+
+let test_prometheus_scrape_http () =
+  Metrics.reset ();
+  let c = Metrics.counter "test_prom.scraped" in
+  Metrics.incr c;
+  let server =
+    Prometheus.serve (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+  in
+  Fun.protect
+    ~finally:(fun () -> Prometheus.stop server)
+    (fun () ->
+      let fetch path =
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Prometheus.bound server);
+            let req =
+              Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path
+            in
+            ignore (Unix.write_substring fd req 0 (String.length req));
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 4096 in
+            let rec drain () =
+              let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+              if n > 0 then begin
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+              end
+            in
+            drain ();
+            Buffer.contents buf)
+      in
+      let body = fetch "/metrics" in
+      Alcotest.(check bool) "200 on /metrics" true
+        (String.starts_with ~prefix:"HTTP/1.1 200 OK" body);
+      let contains needle haystack =
+        let nl = String.length needle and hl = String.length haystack in
+        let rec go i = i + nl <= hl
+          && (String.sub haystack i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "payload carries the counter" true
+        (contains "test_prom_scraped 1" body);
+      Alcotest.(check bool) "404 elsewhere" true
+        (String.starts_with ~prefix:"HTTP/1.1 404" (fetch "/nope")))
+
+(* ---------- structured JSONL log ---------- *)
+
+let test_log_concurrent_lines_whole () =
+  let path = Filename.temp_file "tqwm-log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let log = Log.open_file path in
+      Alcotest.(check string) "path" path (Log.path log);
+      let domains = 4 and per_domain = 250 in
+      let write d =
+        for i = 1 to per_domain do
+          Log.write log
+            [
+              ("d", Json.Int d);
+              ("i", Json.Int i);
+              ("pad", Json.String (String.make 64 'x'));
+            ]
+        done
+      in
+      let spawned =
+        List.init (domains - 1) (fun d ->
+            Domain.spawn (fun () -> write (d + 1)))
+      in
+      write 0;
+      List.iter Domain.join spawned;
+      Log.close log;
+      let ic = open_in path in
+      let seen = Hashtbl.create (domains * per_domain) in
+      (try
+         while true do
+           let line = input_line ic in
+           match Json.of_string line with
+           | Json.Obj fields ->
+             (match
+                (List.assoc_opt "d" fields, List.assoc_opt "i" fields)
+              with
+             | Some (Json.Int d), Some (Json.Int i) ->
+               Hashtbl.add seen (d, i) ()
+             | _ -> Alcotest.failf "malformed record: %s" line)
+           | _ -> Alcotest.failf "line is not an object: %s" line
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check int)
+        "every record present, none torn" (domains * per_domain)
+        (Hashtbl.length seen))
 
 (* ---------- allocation accounting ---------- *)
 
@@ -373,6 +774,39 @@ let () =
         [
           Alcotest.test_case "document shape" `Quick test_trace_document;
           Alcotest.test_case "disabled is silent" `Quick test_trace_disabled_is_silent;
+          Alcotest.test_case "concurrent emission loses nothing" `Quick
+            test_trace_concurrent_emission;
+          Alcotest.test_case "cap drops and counts" `Quick
+            test_trace_cap_drops_and_counts;
+          Alcotest.test_case "context scoping" `Quick test_trace_context_scoping;
+          Alcotest.test_case "context crosses domains" `Quick
+            test_trace_context_crosses_domains;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_series_ring_eviction;
+          Alcotest.test_case "rates skip foreign samples" `Quick
+            test_series_rates_skip_foreign_samples;
+          Alcotest.test_case "histogram delta" `Quick test_series_histogram_delta;
+          Alcotest.test_case "quantile estimation" `Quick test_series_quantile;
+          Alcotest.test_case "capture merges extras" `Quick
+            test_series_capture_merges_extras;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "name sanitization" `Quick test_prometheus_sanitize;
+          Alcotest.test_case "histogram exposition" `Quick
+            test_prometheus_render_histogram;
+          Alcotest.test_case "empty histogram exposition" `Quick
+            test_prometheus_render_empty_histogram;
+          Alcotest.test_case "counter and gauge exposition" `Quick
+            test_prometheus_render_scalars;
+          Alcotest.test_case "http scrape" `Quick test_prometheus_scrape_http;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "concurrent lines stay whole" `Quick
+            test_log_concurrent_lines_whole;
         ] );
       ( "alloc",
         [

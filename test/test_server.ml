@@ -15,11 +15,13 @@ let tech = Tech.cmosp35
 
 let table = lazy (Models.table tech)
 
-let with_server ?graph ?(workers = 2) ?max_sessions f =
+let with_server ?graph ?(workers = 2) ?max_sessions ?access_log ?slow_threshold
+    f =
   let path = Filename.temp_file "tqwm-test-server" ".sock" in
   Sys.remove path;
   let server =
-    Server.start ~tech ?graph ~workers ?max_sessions (Protocol.Unix_sock path)
+    Server.start ~tech ?graph ~workers ?max_sessions ?access_log
+      ?slow_threshold (Protocol.Unix_sock path)
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
 
@@ -246,6 +248,219 @@ let test_session_cap () =
         (fun () ->
           ignore (Client.request c3 "load" [ ("graph", Json.String "chain 2") ])))
 
+(* ---------- observability: health / stats / trace / access log ---------- *)
+
+module Trace = Tqwm_obs.Trace
+
+let member_exn what name doc =
+  match Json.member name doc with
+  | Some v -> v
+  | None -> Alcotest.failf "%s lacks %S: %s" what name (Json.to_string doc)
+
+let as_number what = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | j -> Alcotest.failf "%s is not a number: %s" what (Json.to_string j)
+
+let test_health_verb () =
+  with_server ~workers:2 (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let h = Client.health c in
+          Alcotest.(check bool) "ready" true
+            (member_exn "health" "ready" h = Json.Bool true);
+          Alcotest.(check bool) "own session counted" true
+            (as_number "sessions" (member_exn "health" "sessions" h) >= 1.0);
+          Alcotest.(check bool) "workers reported" true
+            (member_exn "health" "workers" h = Json.Int 2);
+          Alcotest.(check bool) "uptime non-negative" true
+            (as_number "uptime_s" (member_exn "health" "uptime_s" h) >= 0.0);
+          (* neither observability feature is on in this server *)
+          Alcotest.(check bool) "tracing off" true
+            (member_exn "health" "tracing" h = Json.Bool false);
+          Alcotest.(check bool) "no access log" true
+            (member_exn "health" "access_log" h = Json.Bool false)))
+
+let test_stats_verb () =
+  with_server (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          ignore (Client.request c "load" [ ("graph", Json.String "chain 4") ]);
+          for _ = 1 to 3 do
+            ignore (Client.request c "report" [])
+          done;
+          let s = Client.stats ~window_s:60.0 c in
+          Alcotest.(check bool) "window echoed" true
+            (as_number "window_s" (member_exn "stats" "window_s" s) = 60.0);
+          Alcotest.(check bool) "samples recorded" true
+            (as_number "samples" (member_exn "stats" "samples" s) >= 1.0);
+          Alcotest.(check bool) "qps positive after traffic" true
+            (as_number "qps" (member_exn "stats" "qps" s) > 0.0);
+          (let verbs = member_exn "stats" "verbs" s in
+           let row = member_exn "stats.verbs" "report" verbs in
+           Alcotest.(check bool) "report count" true
+             (as_number "count" (member_exn "report row" "count" row) >= 3.0);
+           Alcotest.(check bool) "report p50" true
+             (as_number "p50_ms" (member_exn "report row" "p50_ms" row) >= 0.0));
+          (match Json.member "gc" s with
+          | Some (Json.Obj _) -> ()
+          | _ -> Alcotest.fail "stats lacks a gc object");
+          (* a bogus window is a structured bad_request, not a hang-up *)
+          (try
+             ignore
+               (Client.request c "stats" [ ("window_s", Json.Float (-1.0)) ]);
+             Alcotest.fail "negative window must fail"
+           with Client.Server_error { code; _ } ->
+             Alcotest.(check string) "bad window" "bad_request" code);
+          ignore (Client.request c "report" [])))
+
+(* The tentpole property end to end: with tracing on, a served edit +
+   report recomputation emits [sta.stage] solve spans on worker domains,
+   every one carrying the request and session ids of the triggering
+   request. *)
+let test_trace_verb_request_scoped () =
+  Trace.enable ();
+  Fun.protect ~finally:(fun () ->
+      Trace.disable ();
+      Trace.clear ())
+  @@ fun () ->
+  with_server (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          ignore (Client.request c "load" [ ("graph", Json.String "decoder 3 2") ]);
+          Trace.clear ();
+          (* the edit dirties stage 0; the report forces the recompute *)
+          ignore
+            (Client.request c "script"
+               [ ("line", Json.String "resize 0 0 1.5") ]);
+          ignore (Client.request c "report" []);
+          let doc = Client.request c "trace" [] in
+          let events =
+            match Json.member "traceEvents" doc with
+            | Some (Json.List events) -> events
+            | _ -> Alcotest.fail "trace verb returned no traceEvents"
+          in
+          let arg name e =
+            Option.bind (Json.member "args" e) (Json.member name)
+          in
+          let stage_events =
+            List.filter
+              (fun e -> Json.member "cat" e = Some (Json.String "sta.stage"))
+              events
+          in
+          if stage_events = [] then
+            Alcotest.fail "recompute emitted no sta.stage spans";
+          List.iter
+            (fun e ->
+              match (arg "request" e, arg "session" e) with
+              | Some (Json.String rid), Some (Json.String sid) ->
+                if not (String.starts_with ~prefix:(sid ^ ".r") rid) then
+                  Alcotest.failf "request id %S not scoped to session %S" rid
+                    sid
+              | _ ->
+                Alcotest.failf "untagged stage span: %s" (Json.to_string e))
+            stage_events;
+          (* distinct requests got distinct ids *)
+          let rids =
+            List.sort_uniq compare
+              (List.filter_map (fun e ->
+                   match arg "request" e with
+                   | Some (Json.String rid) -> Some rid
+                   | _ -> None)
+                 (List.filter
+                    (fun e ->
+                      Json.member "name" e
+                      = Some (Json.String "server.request"))
+                    events))
+          in
+          (* the script and report requests (the trace request's own span
+             only completes after the document was captured) *)
+          Alcotest.(check bool)
+            (Printf.sprintf "one id per request (got %d)" (List.length rids))
+            true
+            (List.length rids >= 2)))
+
+let test_access_log () =
+  let log_path = Filename.temp_file "tqwm-test-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+  @@ fun () ->
+  with_server ~access_log:log_path ~slow_threshold:0.0 (fun server ->
+      let c = Client.connect (Server.address server) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          ignore (Client.request c "load" [ ("graph", Json.String "chain 4") ]);
+          ignore (Client.request c "report" []);
+          (try
+             ignore (Client.request c "frobnicate" [])
+           with Client.Server_error _ -> ());
+          Client.send_line c "not json";
+          match Client.recv_response c with
+          | Some _ -> ()
+          | None -> Alcotest.fail "connection died on malformed JSON"));
+  (* read back after Server.stop closed the log *)
+  let fields_of_line line =
+    match Json.of_string line with
+    | Json.Obj fields -> fields
+    | _ -> Alcotest.failf "access-log line is not an object: %s" line
+  in
+  let ic = open_in log_path in
+  let records = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then records := fields_of_line line :: !records
+     done
+   with End_of_file -> close_in ic);
+  let records = List.rev !records in
+  if List.length records < 4 then
+    Alcotest.failf "expected >= 4 access records, got %d" (List.length records);
+  let expected_fields =
+    [ "ts"; "request"; "session"; "verb"; "outcome"; "bytes_in"; "bytes_out";
+      "latency_us" ]
+  in
+  List.iter
+    (fun fields ->
+      Alcotest.(check (list string))
+        "closed record shape" expected_fields (List.map fst fields);
+      match List.assoc "request" fields with
+      | Json.String rid ->
+        (match List.assoc "session" fields with
+        | Json.String sid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "request id %s scoped to session %s" rid sid)
+            true
+            (String.starts_with ~prefix:(sid ^ ".r") rid)
+        | _ -> Alcotest.fail "session is not a string")
+      | _ -> Alcotest.fail "request is not a string")
+    records;
+  let outcomes =
+    List.filter_map
+      (fun fields ->
+        match List.assoc "outcome" fields with
+        | Json.String o -> Some o
+        | _ -> None)
+      records
+  in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) (o ^ " logged") true (List.mem o outcomes))
+    [ "ok"; "unknown_verb"; "parse_error" ];
+  (* the parse error could not name a verb *)
+  List.iter
+    (fun fields ->
+      if List.assoc "outcome" fields = Json.String "parse_error" then
+        Alcotest.(check bool) "unparsed frame logs verb -" true
+          (List.assoc "verb" fields = Json.String "-"))
+    records
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -257,5 +472,12 @@ let () =
         [
           quick "protocol errors" test_protocol_robustness;
           quick "session cap" test_session_cap;
+        ] );
+      ( "observability",
+        [
+          quick "health verb" test_health_verb;
+          quick "stats verb" test_stats_verb;
+          quick "trace verb is request-scoped" test_trace_verb_request_scoped;
+          quick "access log" test_access_log;
         ] );
     ]

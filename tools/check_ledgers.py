@@ -237,7 +237,7 @@ def check_timing_report(record, ctx):
 # naming any other verb is malformed, not merely novel
 SERVER_VERBS = frozenset(
     ("load", "edit", "script", "report", "query", "timing", "slack",
-     "explain", "document", "metrics", "close"))
+     "explain", "document", "metrics", "health", "stats", "trace", "close"))
 
 VERB_LATENCY_FIELDS = frozenset(("count", "p50_ms", "p99_ms"))
 
@@ -301,6 +301,92 @@ def check_bench_report(record, ctx):
             expect(path, field, NUM, pctx)
 
 
+def check_bench_obs(record, ctx):
+    """tqwm-bench-obs/1: telemetry-overhead comparison from
+    ``bench --table obs`` — the same serving workload with tracing and
+    the access log off, then on."""
+    expect(record, "smoke", bool, ctx)
+    for field in ("workers", "clients", "rounds"):
+        if expect(record, field, int, ctx) < 1:
+            fail(f"{ctx}: {field} is not positive")
+    passes = {}
+    for mode in ("off", "on"):
+        m = expect(record, mode, dict, ctx)
+        mctx = f"{ctx}.{mode}"
+        if expect(m, "requests", int, mctx) <= 0:
+            fail(f"{mctx}: requests is not positive")
+        for field in ("duration_s", "qps"):
+            if not expect(m, field, NUM, mctx) > 0:
+                fail(f"{mctx}: {field} is not positive")
+        passes[mode] = m
+    on = passes["on"]
+    if expect(on, "trace_events", int, ctx + ".on") <= 0:
+        fail(f"{ctx}.on: no trace events captured")
+    if expect(on, "log_lines", int, ctx + ".on") < on["requests"]:
+        fail(f"{ctx}.on: {on['log_lines']} access-log lines for "
+             f"{on['requests']} requests")
+    expect(record, "overhead_pct", NUM, ctx)
+
+
+# the daemon access log's closed record shape (lib/server/server.ml);
+# a line with unknown or missing fields means the server and this
+# checker disagree about the schema, which must fail loudly
+ACCESS_LOG_FIELDS = frozenset(
+    ("ts", "request", "session", "verb", "outcome", "bytes_in",
+     "bytes_out", "latency_us"))
+
+# Protocol.error codes plus "ok" (lib/server/protocol.ml)
+ACCESS_LOG_OUTCOMES = frozenset(
+    ("ok", "parse_error", "unknown_verb", "bad_request", "script_error",
+     "oversized_line", "server_full", "internal"))
+
+
+def check_access_record(record, ctx):
+    if not isinstance(record, dict):
+        fail(f"{ctx}: not an object")
+    unknown = set(record) - ACCESS_LOG_FIELDS
+    if unknown:
+        fail(f"{ctx}: unknown fields {sorted(unknown)}")
+    missing = ACCESS_LOG_FIELDS - set(record)
+    if missing:
+        fail(f"{ctx}: missing fields {sorted(missing)}")
+    for field in ("ts", "latency_us"):
+        if not expect(record, field, NUM, ctx) >= 0:
+            fail(f"{ctx}: {field} is negative")
+    for field in ("bytes_in", "bytes_out"):
+        if expect(record, field, int, ctx) < 0:
+            fail(f"{ctx}: {field} is negative")
+    for field in ("request", "session", "outcome"):
+        if not expect(record, field, str, ctx):
+            fail(f"{ctx}: empty {field}")
+    if record["outcome"] not in ACCESS_LOG_OUTCOMES:
+        known = ", ".join(sorted(ACCESS_LOG_OUTCOMES))
+        fail(f"{ctx}: unknown outcome {record['outcome']!r} (known: {known})")
+    # unparsed frames (parse errors, oversized lines) log verb "-"
+    if not expect(record, "verb", str, ctx):
+        fail(f"{ctx}: empty verb")
+
+
+def check_access_log(path):
+    """One JSON object per line, every line whole and schema-complete —
+    a torn concurrent write surfaces here as a parse failure."""
+    records = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            ctx = f"{path}:{lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{ctx}: not valid JSON ({e})")
+            check_access_record(record, ctx)
+            records += 1
+    if not records:
+        fail(f"{path}: empty access log")
+    return f"access log, {records} records"
+
+
 SCHEMAS = {
     "tqwm-bench-parallel/1": lambda r, c: check_bench_parallel(r, c, 1),
     "tqwm-bench-parallel/2": lambda r, c: check_bench_parallel(r, c, 2),
@@ -313,6 +399,7 @@ SCHEMAS = {
     "tqwm-report/1": check_timing_report,
     "tqwm-bench-report/1": check_bench_report,
     "tqwm-bench-server/1": check_bench_server,
+    "tqwm-bench-obs/1": check_bench_obs,
 }
 
 
@@ -371,6 +458,9 @@ def check_metrics(doc, ctx):
 
 
 def check_file(path):
+    # the access log is JSON *lines*, not a single JSON document
+    if path.endswith(".jsonl"):
+        return check_access_log(path)
     with open(path) as f:
         doc = json.load(f)
     if isinstance(doc, list):
@@ -412,17 +502,47 @@ def _server_sample():
     }
 
 
+def _obs_sample():
+    return {
+        "schema": "tqwm-bench-obs/1",
+        "date": "2026-08-08",
+        "commit": "0000000",
+        "smoke": True,
+        "workers": 2,
+        "clients": 2,
+        "rounds": 5,
+        "off": {"requests": 32, "duration_s": 0.05, "qps": 640.0},
+        "on": {"requests": 32, "duration_s": 0.06, "qps": 533.3,
+               "trace_events": 250, "log_lines": 34},
+        "overhead_pct": 16.7,
+    }
+
+
+def _access_sample():
+    return {
+        "ts": 1754600000.25,
+        "request": "s1.r1",
+        "session": "s1",
+        "verb": "load",
+        "outcome": "ok",
+        "bytes_in": 34,
+        "bytes_out": 86,
+        "latency_us": 42.5,
+    }
+
+
 def self_test():
     """Unit-check the validators against known-good and known-bad records
     (run by CI so schema drift in this file itself fails loudly)."""
     cases = []
 
-    def bad(label, mutate):
-        record = _server_sample()
+    def bad(label, mutate, sample=_server_sample):
+        record = sample()
         mutate(record)
-        cases.append((label, record, False))
+        cases.append((label, record, False, check_versioned))
 
-    cases.append(("good server record", _server_sample(), True))
+    cases.append(("good server record", _server_sample(), True,
+                  check_versioned))
     bad("unknown verb", lambda r: r["verbs"].update(
         {"frobnicate": {"count": 1, "p50_ms": 0.1, "p99_ms": 0.1}}))
     bad("unknown latency field", lambda r: r["verbs"]["load"].update(
@@ -432,11 +552,43 @@ def self_test():
     bad("negative qps", lambda r: r.update({"qps": -1.0}))
     bad("sessions below clients", lambda r: r.update({"sessions": 2}))
     bad("unknown schema", lambda r: r.update({"schema": "tqwm-bench-server/9"}))
+    # observability verbs are part of the closed vocabulary
+    cases.append(("stats verb accepted", dict(
+        _server_sample(), verbs={
+            "stats": {"count": 2, "p50_ms": 0.1, "p99_ms": 0.2}}), True,
+        check_versioned))
+
+    cases.append(("good obs record", _obs_sample(), True, check_versioned))
+    bad("obs zero trace events",
+        lambda r: r["on"].update({"trace_events": 0}), _obs_sample)
+    bad("obs lost log lines",
+        lambda r: r["on"].update({"log_lines": 3}), _obs_sample)
+    bad("obs zero duration",
+        lambda r: r["off"].update({"duration_s": 0}), _obs_sample)
+    bad("obs missing on pass", lambda r: r.pop("on"), _obs_sample)
+
+    def bad_access(label, mutate):
+        record = _access_sample()
+        mutate(record)
+        cases.append((label, record, False, check_access_record))
+
+    cases.append(("good access record", _access_sample(), True,
+                  check_access_record))
+    cases.append(("access unparsed frame", dict(
+        _access_sample(), verb="-", outcome="parse_error", bytes_in=12), True,
+        check_access_record))
+    bad_access("access unknown field", lambda r: r.update({"user": "root"}))
+    bad_access("access missing latency", lambda r: r.pop("latency_us"))
+    bad_access("access unknown outcome", lambda r: r.update(
+        {"outcome": "mostly_ok"}))
+    bad_access("access empty verb", lambda r: r.update({"verb": ""}))
+    bad_access("access negative bytes", lambda r: r.update({"bytes_out": -1}))
+    bad_access("access string ts", lambda r: r.update({"ts": "yesterday"}))
 
     failures = 0
-    for label, record, expect_ok in cases:
+    for label, record, expect_ok, checker in cases:
         try:
-            check_versioned(record, f"self-test: {label}")
+            checker(record, f"self-test: {label}")
             outcome = True
             detail = "validated"
         except Invalid as e:
