@@ -758,12 +758,47 @@ let alloc_table ?(smoke = false) () =
         Json.Obj [ ("name", Json.String name); ("cold", cold); ("warm", warm) ])
       scenarios
   in
+  (* Arena leg: one sequential propagation over a decoder tree through
+     the SoA timing arena, reporting the packed per-level waveform
+     footprint and the whole-propagation allocation per stage. *)
+  let arena_json =
+    let fanout, depth = if smoke then (3, 2) else (4, 3) in
+    let graph = Workloads.decoder_tree ~fanout ~depth tech in
+    let n = Timing_graph.num_stages graph in
+    let levels = Array.length (Timing_graph.levels graph) in
+    ignore (Arrival.propagate ~model graph);  (* warm-up *)
+    Gc.full_major ();
+    let a0 = Tqwm_obs.Alloc.sample () in
+    let _, arena = Arrival.propagate_arena ~model graph in
+    let d = Tqwm_obs.Alloc.since a0 in
+    let packed = ref 0 in
+    for id = 0 to Tqwm_sta.Timing_arena.length arena - 1 do
+      match Tqwm_sta.Timing_arena.output arena id with
+      | Some q -> packed := !packed + Tqwm_wave.Waveform.packed_size q
+      | None -> ()
+    done;
+    let words_per_stage = d.Tqwm_obs.Alloc.minor_words /. float_of_int n in
+    Printf.printf
+      "arena: decoder-tree %d stages / %d levels, %d packed floats, %.0f minor \
+       words/stage\n"
+      n levels !packed words_per_stage;
+    Json.Obj
+      [
+        ("workload", Json.String "decoder-tree");
+        ("stages", Json.Int n);
+        ("levels", Json.Int levels);
+        ("packed_floats", Json.Int !packed);
+        ("minor_words_per_stage", Json.Float words_per_stage);
+      ]
+  in
   Json.Obj
     [
-      ("schema", Json.String "tqwm-bench-alloc/1");
+      ("schema", Json.String "tqwm-bench-alloc/2");
       ("smoke", Json.Bool smoke);
       ("solves_per_mode", Json.Int solves);
+      ("storage", Json.String "bigarray-float64");
       ("scenarios", Json.List rows);
+      ("arena", arena_json);
     ]
 
 (* ---------- Timing report: k-worst enumeration + seq-vs-parallel identity ---------- *)

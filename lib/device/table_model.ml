@@ -19,7 +19,7 @@ type t = {
   vg_axis : Interp.axis;
   vs_axis : Interp.axis;
   fits : fit array array;  (** indexed [vg][vs] *)
-  vth_by_vs : float array;
+  vth_by_vs : Tqwm_num.Vec.t;
 }
 
 let reference_w = 1.0e-6
@@ -75,7 +75,7 @@ let characterize ?(grid_step = 0.1) ?(vd_samples = 9) (tech : Tech.t) ~polarity
     Array.init count (fun i ->
         Array.init count (fun j -> fit_point (Interp.knot vg_axis i) (Interp.knot vs_axis j)))
   in
-  let vth_by_vs = Array.init count (fun j -> fits.(0).(j).vth) in
+  let vth_by_vs = Tqwm_num.Vec.init count (fun j -> fits.(0).(j).vth) in
   { tech; polarity; vg_axis; vs_axis; fits; vth_by_vs }
 
 let of_analytic ?grid_step ?vd_samples (tech : Tech.t) polarity =
@@ -310,7 +310,7 @@ let of_string (tech : Tech.t) text =
     in
     let all = Array.of_list (List.map parse_fit fit_lines) in
     let fits = Array.init count (fun i -> Array.init count (fun j -> all.((i * count) + j))) in
-    let vth_by_vs = Array.init count (fun j -> fits.(0).(j).vth) in
+    let vth_by_vs = Tqwm_num.Vec.init count (fun j -> fits.(0).(j).vth) in
     { tech; polarity; vg_axis = axis; vs_axis = axis; fits; vth_by_vs }
   | _ -> fail "truncated header"
 

@@ -12,8 +12,8 @@ let to_mat t =
     for j = 0 to n - 1 do
       Mat.set m i j (Mat.get core i j)
     done;
-    Mat.set m i n t.last_col.(i);
-    Mat.set m n i t.last_row.(i)
+    Mat.set m i n t.last_col.{i};
+    Mat.set m n i t.last_row.{i}
   done;
   Mat.set m n n t.corner;
   m
@@ -37,25 +37,25 @@ let solve_into ~n ~lower ~diag ~upper ~last_col ~last_row ~corner ~cp ~dp ~y ~z
   Vec.check_prefix1 "Bordered.solve_into" (n + 1) x;
   if n = 0 then begin
     if Float.abs corner < 1e-300 then raise Singular;
-    x.(0) <- b.(0) /. corner
+    Vec.unsafe_set x 0 (Vec.unsafe_get b 0 /. corner)
   end
   else begin
-    let g = b.(n) in
+    let g = Vec.unsafe_get b n in
     Tridiag.solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b ~x:y;
     Tridiag.solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b:last_col ~x:z;
     let schur = corner -. Vec.dot_n n last_row z in
     if Float.abs schur < 1e-300 then raise Singular;
     let xd = (g -. Vec.dot_n n last_row y) /. schur in
     for i = 0 to n - 1 do
-      x.(i) <- y.(i) -. (z.(i) *. xd)
+      Vec.unsafe_set x i (Vec.unsafe_get y i -. (Vec.unsafe_get z i *. xd))
     done;
-    x.(n) <- xd
+    Vec.unsafe_set x n xd
   end
 
 let solve t b =
   let n = Tridiag.dim t.core in
-  if Array.length b <> n + 1 then invalid_arg "Bordered.solve: dimension mismatch";
-  if Array.length t.last_col <> n || Array.length t.last_row <> n then
+  if Vec.dim b <> n + 1 then invalid_arg "Bordered.solve: dimension mismatch";
+  if Vec.dim t.last_col <> n || Vec.dim t.last_row <> n then
     invalid_arg "Bordered.solve: border length mismatch";
   let cp = Vec.create (n + 1) and dp = Vec.create (n + 1) in
   let y = Vec.create (n + 1) and z = Vec.create (n + 1) in

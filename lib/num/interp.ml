@@ -22,11 +22,11 @@ let locate ax x =
   (i, locate_frac ax x i)
 
 let linear ax samples x =
-  if Array.length samples <> ax.count then
+  if Vec.dim samples <> ax.count then
     invalid_arg "Interp.linear: sample count mismatch";
   let i = locate_index ax x in
   let t = locate_frac ax x i in
-  samples.(i) +. (t *. (samples.(i + 1) -. samples.(i)))
+  samples.{i} +. (t *. (samples.{i + 1} -. samples.{i}))
 
 let check_sorted xs =
   let n = Array.length xs in

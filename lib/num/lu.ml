@@ -50,21 +50,21 @@ let factorize a =
 
 let solve_factored { lu; perm; sign = _ } b =
   let n, _ = Mat.dims lu in
-  if Array.length b <> n then invalid_arg "Lu.solve_factored: dimension mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  if Vec.dim b <> n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  let x = Vec.init n (fun i -> b.{perm.(i)}) in
   for i = 1 to n - 1 do
-    let s = ref x.(i) in
+    let s = ref x.{i} in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get lu i j *. x.(j))
+      s := !s -. (Mat.get lu i j *. x.{j})
     done;
-    x.(i) <- !s
+    x.{i} <- !s
   done;
   for i = n - 1 downto 0 do
-    let s = ref x.(i) in
+    let s = ref x.{i} in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get lu i j *. x.(j))
+      s := !s -. (Mat.get lu i j *. x.{j})
     done;
-    x.(i) <- !s /. Mat.get lu i i
+    x.{i} <- !s /. Mat.get lu i i
   done;
   x
 
@@ -123,21 +123,21 @@ let solve_factored_into ~n m ~perm ~b ~x =
   if Array.length perm < n then
     invalid_arg "Lu.solve_factored_into: perm too short";
   for i = 0 to n - 1 do
-    x.(i) <- b.(perm.(i))
+    Vec.unsafe_set x i (Vec.unsafe_get b perm.(i))
   done;
   for i = 1 to n - 1 do
-    let s = ref x.(i) in
+    let s = ref (Vec.unsafe_get x i) in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get m i j *. x.(j))
+      s := !s -. (Mat.get m i j *. Vec.unsafe_get x j)
     done;
-    x.(i) <- !s
+    Vec.unsafe_set x i !s
   done;
   for i = n - 1 downto 0 do
-    let s = ref x.(i) in
+    let s = ref (Vec.unsafe_get x i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get m i j *. x.(j))
+      s := !s -. (Mat.get m i j *. Vec.unsafe_get x j)
     done;
-    x.(i) <- !s /. Mat.get m i i
+    Vec.unsafe_set x i (!s /. Mat.get m i i)
   done
 
 let solve a b = solve_factored (factorize a) b
@@ -159,10 +159,10 @@ let inverse a =
   let inv = Mat.create n n in
   for j = 0 to n - 1 do
     let e = Vec.create n in
-    e.(j) <- 1.0;
+    e.{j} <- 1.0;
     let col = solve_factored f e in
     for i = 0 to n - 1 do
-      Mat.set inv i j col.(i)
+      Mat.set inv i j col.{i}
     done
   done;
   inv

@@ -1,27 +1,33 @@
-type t = { rows : int; cols : int; data : float array }
+type t = { rows : int; cols : int; data : Vec.t }
 
 let create rows cols =
   if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
-  { rows; cols; data = Array.make (rows * cols) 0.0 }
+  { rows; cols; data = Vec.create (rows * cols) }
+
+let of_vec ~rows ~cols data =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.of_vec: negative dimension";
+  if Vec.dim data <> rows * cols then
+    invalid_arg "Mat.of_vec: data length mismatch";
+  { rows; cols; data }
 
 let init rows cols f =
   let m = create rows cols in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      m.data.((i * cols) + j) <- f i j
+      m.data.{(i * cols) + j} <- f i j
     done
   done;
   m
 
 let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
 
-let copy m = { m with data = Array.copy m.data }
+let copy m = { m with data = Vec.copy m.data }
 
-let get m i j = m.data.((i * m.cols) + j)
+let get m i j = m.data.{(i * m.cols) + j}
 
-let set m i j x = m.data.((i * m.cols) + j) <- x
+let set m i j x = m.data.{(i * m.cols) + j} <- x
 
-let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
+let add_to m i j x = m.data.{(i * m.cols) + j} <- m.data.{(i * m.cols) + j} +. x
 
 let dims m = (m.rows, m.cols)
 
@@ -56,20 +62,20 @@ let mul a b =
   m
 
 let mul_vec a x =
-  if a.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
-  Array.init a.rows (fun i ->
+  if a.cols <> Vec.dim x then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Vec.init a.rows (fun i ->
       let s = ref 0.0 in
       for j = 0 to a.cols - 1 do
-        s := !s +. (get a i j *. x.(j))
+        s := !s +. (get a i j *. x.{j})
       done;
       !s)
 
-let scale k m = { m with data = Array.map (fun x -> k *. x) m.data }
+let scale k m = { m with data = Vec.scale k m.data }
 
 let binop name f a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg (Printf.sprintf "Mat.%s: dimension mismatch" name);
-  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+  { a with data = Vec.map2 f a.data b.data }
 
 let add a b = binop "add" ( +. ) a b
 
@@ -78,9 +84,7 @@ let sub a b = binop "sub" ( -. ) a b
 let max_abs_diff a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg "Mat.max_abs_diff: dimension mismatch";
-  let m = ref 0.0 in
-  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.data.(i)))) a.data;
-  !m
+  Vec.max_abs_diff a.data b.data
 
 let pp fmt m =
   for i = 0 to m.rows - 1 do

@@ -1,13 +1,18 @@
-(** Dense row-major matrices. *)
+(** Dense row-major matrices over Bigarray-backed storage. *)
 
 type t = {
   rows : int;
   cols : int;
-  data : float array;  (** row-major, length [rows * cols] *)
+  data : Vec.t;  (** row-major, length [rows * cols] *)
 }
 
 val create : int -> int -> t
 (** [create r c] is the zero [r]x[c] matrix. *)
+
+val of_vec : rows:int -> cols:int -> Vec.t -> t
+(** [of_vec ~rows ~cols v] wraps [v] (length [rows * cols]) as a matrix
+    without copying — [v] may be a {!Vec.view} into a larger slab, so
+    workspace matrices share their storage with the owning arena. *)
 
 val init : int -> int -> (int -> int -> float) -> t
 

@@ -51,7 +51,7 @@ let solve ?(config = default_config) problem x0 =
         let dx = clamp_step config.max_step dx in
         let step_norm = Vec.norm_inf dx in
         let x' =
-          Array.init (Array.length x) (fun i -> x.(i) -. (config.damping *. dx.(i)))
+          Vec.init (Vec.dim x) (fun i -> x.{i} -. (config.damping *. dx.{i}))
         in
         if step_norm <= config.step_tolerance then
           (* the iteration can no longer move: accept at a deliberately

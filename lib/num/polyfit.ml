@@ -10,13 +10,13 @@ let fit ~degree pts =
         powers.(k) <- powers.(k - 1) *. x
       done;
       for i = 0 to m - 1 do
-        b.(i) <- b.(i) +. (powers.(i) *. y);
+        b.{i} <- b.{i} +. (powers.(i) *. y);
         for j = 0 to m - 1 do
           Mat.add_to a i j powers.(i + j)
         done
       done)
     pts;
-  Lu.solve a b
+  Vec.to_array (Lu.solve a b)
 
 let eval c x =
   let acc = ref 0.0 in

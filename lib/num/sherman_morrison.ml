@@ -6,7 +6,7 @@ let solve ~base_solve ~u ~v b =
   let denom = 1.0 +. Vec.dot v z in
   if Float.abs denom < 1e-300 then raise Singular;
   let coeff = Vec.dot v y /. denom in
-  Array.init (Array.length y) (fun i -> y.(i) -. (coeff *. z.(i)))
+  Vec.init (Vec.dim y) (fun i -> y.{i} -. (coeff *. z.{i}))
 
 let solve_tridiag t ~u ~v b = solve ~base_solve:(Tridiag.solve t) ~u ~v b
 
@@ -32,5 +32,5 @@ let solve_tridiag_into ~n ~lower ~diag ~upper ~u ~v ~cp ~dp ~y ~z ~b ~x =
   if Float.abs denom < 1e-300 then raise Singular;
   let coeff = Vec.dot_n n v y /. denom in
   for i = 0 to n - 1 do
-    x.(i) <- y.(i) -. (coeff *. z.(i))
+    Vec.unsafe_set x i (Vec.unsafe_get y i -. (coeff *. Vec.unsafe_get z i))
   done

@@ -3,36 +3,37 @@ type t = { lower : Vec.t; diag : Vec.t; upper : Vec.t }
 exception Singular of int
 
 let make ~lower ~diag ~upper =
-  let n = Array.length diag in
-  if Array.length lower <> n || Array.length upper <> n then
+  let n = Vec.dim diag in
+  if Vec.dim lower <> n || Vec.dim upper <> n then
     invalid_arg "Tridiag.make: band length mismatch";
   { lower; diag; upper }
 
-let dim t = Array.length t.diag
+let dim t = Vec.dim t.diag
 
 let of_mat m =
   let n, cols = Mat.dims m in
   if n <> cols then invalid_arg "Tridiag.of_mat: non-square matrix";
   let lower = Vec.create n and diag = Vec.create n and upper = Vec.create n in
   for i = 0 to n - 1 do
-    if i > 0 then lower.(i) <- Mat.get m i (i - 1);
-    diag.(i) <- Mat.get m i i;
-    if i < n - 1 then upper.(i) <- Mat.get m i (i + 1)
+    if i > 0 then lower.{i} <- Mat.get m i (i - 1);
+    diag.{i} <- Mat.get m i i;
+    if i < n - 1 then upper.{i} <- Mat.get m i (i + 1)
   done;
   { lower; diag; upper }
 
 let to_mat t =
   let n = dim t in
   Mat.init n n (fun i j ->
-      if j = i - 1 then t.lower.(i)
-      else if j = i then t.diag.(i)
-      else if j = i + 1 then t.upper.(i)
+      if j = i - 1 then t.lower.{i}
+      else if j = i then t.diag.{i}
+      else if j = i + 1 then t.upper.{i}
       else 0.0)
 
 (* In-place Thomas kernel over the first [n] entries of capacity-sized
    buffers: exactly the arithmetic of [solve], allocation-free. [cp]/[dp]
    hold the forward sweep's modified coefficients, [x] receives the
-   solution; entries past [n] are never read or written. *)
+   solution; entries past [n] are never read or written. The prefix
+   checks are hoisted here so the sweep loops index unchecked. *)
 let solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b ~x =
   Vec.check_prefix1 "Tridiag.solve_into" n lower;
   Vec.check_prefix1 "Tridiag.solve_into" n diag;
@@ -42,25 +43,29 @@ let solve_into ~n ~lower ~diag ~upper ~cp ~dp ~b ~x =
   Vec.check_prefix1 "Tridiag.solve_into" n b;
   Vec.check_prefix1 "Tridiag.solve_into" n x;
   if n > 0 then begin
-    if Float.abs diag.(0) < 1e-300 then raise (Singular 0);
-    cp.(0) <- upper.(0) /. diag.(0);
-    dp.(0) <- b.(0) /. diag.(0);
+    let d0 = Vec.unsafe_get diag 0 in
+    if Float.abs d0 < 1e-300 then raise (Singular 0);
+    Vec.unsafe_set cp 0 (Vec.unsafe_get upper 0 /. d0);
+    Vec.unsafe_set dp 0 (Vec.unsafe_get b 0 /. d0);
     for i = 1 to n - 1 do
-      let denom = diag.(i) -. (lower.(i) *. cp.(i - 1)) in
+      let li = Vec.unsafe_get lower i in
+      let denom = Vec.unsafe_get diag i -. (li *. Vec.unsafe_get cp (i - 1)) in
       if Float.abs denom < 1e-300 then raise (Singular i);
-      if i < n - 1 then cp.(i) <- upper.(i) /. denom;
-      dp.(i) <- (b.(i) -. (lower.(i) *. dp.(i - 1))) /. denom
+      if i < n - 1 then Vec.unsafe_set cp i (Vec.unsafe_get upper i /. denom);
+      Vec.unsafe_set dp i
+        ((Vec.unsafe_get b i -. (li *. Vec.unsafe_get dp (i - 1))) /. denom)
     done;
-    x.(n - 1) <- dp.(n - 1);
+    Vec.unsafe_set x (n - 1) (Vec.unsafe_get dp (n - 1));
     for i = n - 2 downto 0 do
-      x.(i) <- dp.(i) -. (cp.(i) *. x.(i + 1))
+      Vec.unsafe_set x i
+        (Vec.unsafe_get dp i -. (Vec.unsafe_get cp i *. Vec.unsafe_get x (i + 1)))
     done
   end
 
 let solve t b =
   let n = dim t in
-  if Array.length b <> n then invalid_arg "Tridiag.solve: dimension mismatch";
-  if n = 0 then [||]
+  if Vec.dim b <> n then invalid_arg "Tridiag.solve: dimension mismatch";
+  if n = 0 then Vec.create 0
   else begin
     let cp = Vec.create n and dp = Vec.create n in
     let x = Vec.create n in
@@ -70,9 +75,9 @@ let solve t b =
 
 let mul_vec t x =
   let n = dim t in
-  if Array.length x <> n then invalid_arg "Tridiag.mul_vec: dimension mismatch";
-  Array.init n (fun i ->
-      let s = ref (t.diag.(i) *. x.(i)) in
-      if i > 0 then s := !s +. (t.lower.(i) *. x.(i - 1));
-      if i < n - 1 then s := !s +. (t.upper.(i) *. x.(i + 1));
+  if Vec.dim x <> n then invalid_arg "Tridiag.mul_vec: dimension mismatch";
+  Vec.init n (fun i ->
+      let s = ref (t.diag.{i} *. x.{i}) in
+      if i > 0 then s := !s +. (t.lower.{i} *. x.{i - 1});
+      if i < n - 1 then s := !s +. (t.upper.{i} *. x.{i + 1});
       !s)

@@ -1,56 +1,86 @@
-type t = float array
+(* Bigarray-backed storage: float64/c_layout means the kernels index
+   unboxed, contiguous memory, and larger slabs can be carved into
+   zero-copy [Array1.sub] views (see [view]) that share that memory. *)
 
-let create n = Array.make n 0.0
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-let init = Array.init
+let create n =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill v 0.0;
+  v
 
-let copy = Array.copy
+external dim : t -> int = "%caml_ba_dim_1"
 
-let dim = Array.length
+external unsafe_get : t -> int -> float = "%caml_ba_unsafe_ref_1"
 
-let of_list = Array.of_list
+external unsafe_set : t -> int -> float -> unit = "%caml_ba_unsafe_set_1"
 
-let to_list = Array.to_list
+external get : t -> int -> float = "%caml_ba_ref_1"
 
-let fill v x = Array.fill v 0 (Array.length v) x
+external set : t -> int -> float -> unit = "%caml_ba_set_1"
+
+let init n f =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    unsafe_set v i (f i)
+  done;
+  v
+
+let copy x =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (dim x) in
+  Bigarray.Array1.blit x v;
+  v
+
+let of_array a = Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout a
+
+let to_array x = Array.init (dim x) (fun i -> x.{i})
+
+let of_list l = of_array (Array.of_list l)
+
+let to_list x = Array.to_list (to_array x)
+
+let fill v x = Bigarray.Array1.fill v x
+
+let view v ~pos ~len = Bigarray.Array1.sub v pos len
 
 let check_dims name x y =
-  if Array.length x <> Array.length y then
+  if dim x <> dim y then
     invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
-                   (Array.length x) (Array.length y))
+                   (dim x) (dim y))
 
 let map2 f x y =
   check_dims "map2" x y;
-  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+  init (dim x) (fun i -> f x.{i} y.{i})
 
 let add x y = map2 ( +. ) x y
 
 let sub x y = map2 ( -. ) x y
 
-let scale a x = Array.map (fun v -> a *. v) x
+let scale a x = init (dim x) (fun i -> a *. x.{i})
 
 let axpy a x y =
   check_dims "axpy" x y;
-  for i = 0 to Array.length x - 1 do
-    y.(i) <- (a *. x.(i)) +. y.(i)
+  for i = 0 to dim x - 1 do
+    unsafe_set y i ((a *. unsafe_get x i) +. unsafe_get y i)
   done
 
 let dot x y =
   check_dims "dot" x y;
   let s = ref 0.0 in
-  for i = 0 to Array.length x - 1 do
-    s := !s +. (x.(i) *. y.(i))
+  for i = 0 to dim x - 1 do
+    s := !s +. (unsafe_get x i *. unsafe_get y i)
   done;
   !s
 
 (* Single-buffer form: the hot-path kernels call this once per operand so
    the check itself never allocates (the list-taking [check_prefix] builds
-   its argument list at every call site). *)
+   its argument list at every call site). After it passes, indices below
+   [n] are in bounds, so the kernels may use [unsafe_get]/[unsafe_set]. *)
 let[@inline] check_prefix1 name n x =
   if n < 0 then invalid_arg (Printf.sprintf "%s: negative prefix %d" name n);
-  if Array.length x < n then
+  if dim x < n then
     invalid_arg
-      (Printf.sprintf "%s: prefix %d exceeds length %d" name n (Array.length x))
+      (Printf.sprintf "%s: prefix %d exceeds length %d" name n (dim x))
 
 let check_prefix name n xs =
   if n < 0 then invalid_arg (Printf.sprintf "%s: negative prefix %d" name n);
@@ -61,36 +91,44 @@ let dot_n n x y =
   check_prefix1 "Vec.dot_n" n y;
   let s = ref 0.0 in
   for i = 0 to n - 1 do
-    s := !s +. (x.(i) *. y.(i))
+    s := !s +. (unsafe_get x i *. unsafe_get y i)
   done;
   !s
 
 let blit_n n x y =
   check_prefix1 "Vec.blit_n" n x;
   check_prefix1 "Vec.blit_n" n y;
-  Array.blit x 0 y 0 n
+  for i = 0 to n - 1 do
+    unsafe_set y i (unsafe_get x i)
+  done
 
 let fill_n n v x =
   check_prefix1 "Vec.fill_n" n v;
-  Array.fill v 0 n x
+  for i = 0 to n - 1 do
+    unsafe_set v i x
+  done
 
 let norm2 x = sqrt (dot x x)
 
-let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+let norm_inf x =
+  let m = ref 0.0 in
+  for i = 0 to dim x - 1 do
+    m := Float.max !m (Float.abs (unsafe_get x i))
+  done;
+  !m
 
 let max_abs_diff x y =
   check_dims "max_abs_diff" x y;
   let m = ref 0.0 in
-  for i = 0 to Array.length x - 1 do
-    m := Float.max !m (Float.abs (x.(i) -. y.(i)))
+  for i = 0 to dim x - 1 do
+    m := Float.max !m (Float.abs (unsafe_get x i -. unsafe_get y i))
   done;
   !m
 
 let pp fmt v =
   Format.fprintf fmt "[|";
-  Array.iteri
-    (fun i x ->
-      if i > 0 then Format.fprintf fmt "; ";
-      Format.fprintf fmt "%g" x)
-    v;
+  for i = 0 to dim v - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Format.fprintf fmt "%g" v.{i}
+  done;
   Format.fprintf fmt "|]"

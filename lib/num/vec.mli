@@ -1,25 +1,58 @@
 (** Dense floating-point vectors.
 
-    Thin wrappers over [float array] used throughout the numeric kernels.
-    All functions are total unless stated otherwise; dimension mismatches
-    raise [Invalid_argument]. *)
+    Bigarray-backed ([float64]/[c_layout]) so the numeric kernels run
+    over unboxed, contiguous storage, and larger slabs can be carved
+    into zero-copy {!view}s sharing one allocation. The type is kept
+    transparent: consumers index with the [v.{i}] Bigarray syntax.
+    All functions are total unless stated otherwise; dimension
+    mismatches raise [Invalid_argument]. *)
 
-type t = float array
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 val create : int -> t
 (** [create n] is a zero vector of length [n]. *)
 
 val init : int -> (int -> float) -> t
+(** [init n f] fills indices [0 .. n-1] in increasing order. *)
 
 val copy : t -> t
 
-val dim : t -> int
+external dim : t -> int = "%caml_ba_dim_1"
+
+val of_array : float array -> t
+
+val to_array : t -> float array
 
 val of_list : float list -> t
 
 val to_list : t -> float list
 
 val fill : t -> float -> unit
+
+val view : t -> pos:int -> len:int -> t
+(** [view v ~pos ~len] is the zero-copy [Array1.sub] window
+    [v.(pos .. pos+len-1)]; writes through the view are visible in [v].
+    @raise Invalid_argument when the window exceeds [v]. *)
+
+external get : t -> int -> float = "%caml_ba_ref_1"
+
+external set : t -> int -> float -> unit = "%caml_ba_set_1"
+
+external unsafe_get : t -> int -> float = "%caml_ba_unsafe_ref_1"
+(** Unchecked access — only after {!check_prefix1} has validated the
+    index range.
+
+    The four accessors (and [dim]) are [external] compiler primitives
+    rather than wrapper functions on purpose: dune's dev profile builds
+    with [-opaque], which disables cross-module inlining, and a
+    non-inlined float-returning accessor boxes its result on every call
+    — the hot kernels would pay ~4 words per element access. A primitive
+    declared in the interface specializes at every call site (the
+    element kind and layout are statically known through {!t}), so reads
+    and writes compile to direct unboxed memory accesses in all
+    profiles. *)
+
+external unsafe_set : t -> int -> float -> unit = "%caml_ba_unsafe_set_1"
 
 val add : t -> t -> t
 (** Elementwise sum. *)
@@ -37,7 +70,8 @@ val dot : t -> t -> float
 val check_prefix1 : string -> int -> t -> unit
 (** [check_prefix1 name n v] validates that [v] has at least [n] entries
     (and [n >= 0]); [name] labels the raised [Invalid_argument].
-    Allocation-free — the in-place kernels call it once per operand. *)
+    Allocation-free — the in-place kernels call it once per operand and
+    then index the first [n] entries unchecked. *)
 
 val check_prefix : string -> int -> t list -> unit
 (** List convenience over {!check_prefix1}; builds its argument list at

@@ -35,6 +35,46 @@ let since s0 =
     major_collections = s1.major_collections - s0.major_collections;
   }
 
+(* ---- cross-domain aggregation ----
+
+   GC counters are domain-local in OCaml 5, so any single-point sampler
+   (the daemon's stats domain, a CLI epilogue) under-reports by whatever
+   the other domains allocated. Instead of trying to read foreign
+   domains' counters (impossible), each domain folds its own growth into
+   these process-wide registry counters; a flush is two [Gc] reads plus
+   five atomic adds, cheap enough for per-request / per-worker use. *)
+
+let c_minor = Metrics.counter "qwm.alloc.domains_minor_words"
+let c_promoted = Metrics.counter "qwm.alloc.domains_promoted_words"
+let c_major = Metrics.counter "qwm.alloc.domains_major_words"
+let c_minor_gcs = Metrics.counter "qwm.alloc.domains_minor_collections"
+let c_major_gcs = Metrics.counter "qwm.alloc.domains_major_collections"
+
+let zero =
+  {
+    minor_words = 0.0;
+    promoted_words = 0.0;
+    major_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+(* last flushed cumulative sample of the calling domain; fresh domains
+   start their GC counters at zero, so the zero baseline charges a
+   domain's whole life to its first flush *)
+let flushed : sample ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref zero)
+
+let flush_domain () =
+  let last = Domain.DLS.get flushed in
+  let now = sample () in
+  Metrics.add c_minor (int_of_float (now.minor_words -. !last.minor_words));
+  Metrics.add c_promoted
+    (int_of_float (now.promoted_words -. !last.promoted_words));
+  Metrics.add c_major (int_of_float (now.major_words -. !last.major_words));
+  Metrics.add c_minor_gcs (now.minor_collections - !last.minor_collections);
+  Metrics.add c_major_gcs (now.major_collections - !last.major_collections);
+  last := now
+
 let to_json s =
   Json.Obj
     [

@@ -25,6 +25,18 @@ val since : sample -> sample
     the few words [quick_stat] itself allocates — noise of ~10 words,
     irrelevant at per-solve granularity. *)
 
+val flush_domain : unit -> unit
+(** Fold the calling domain's GC counter growth since its previous flush
+    (or since the domain was born) into the process-wide
+    [qwm.alloc.domains_*] registry counters ([minor_words],
+    [promoted_words], [major_words], [minor_collections],
+    [major_collections]). GC counters are domain-local in OCaml 5, so a
+    single-point sampler only sees its own domain; every worker domain
+    flushing on completion — and the sampler flushing before it reads —
+    makes the exported counters cover the whole process. Two [Gc] reads
+    plus five atomic adds; safe from any domain, idempotent between
+    allocations. *)
+
 val to_json : sample -> Json.t
 
 val quick_stat_json : unit -> Json.t

@@ -33,8 +33,16 @@ let set_sessions n =
   Metrics.set g_sessions v;
   Metrics.set g_sessions_active v
 
+(* Lower edge extends to 2 µs: introspection verbs (health, document,
+   metrics, stats) answer in single-digit microseconds on a warm server,
+   and with 50 µs as the first bound every one of them landed in bucket
+   0 — p50 and p99 both degenerated to the first bound. Sub-50 µs verbs
+   now spread over five buckets, so the [stats] quantiles resolve. *)
 let latency_bounds =
-  [| 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0 |]
+  [|
+    0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0;
+    50.0; 100.0; 250.0;
+  |]
 
 (* per-verb latency histograms, pre-registered so an unknown verb never
    mints a metric name *)
@@ -260,13 +268,17 @@ let do_explain conn req =
 
 (* One rolling-window sample: every registered instrument, plus — when
    [gc] — the GC's cumulative statistics, which live outside the
-   registry. OCaml 5 GC counters are per-domain, so only the dedicated
-   sampler domain records them ([gc = true]); samples captured from
-   worker domains (the [stats] verb closing its window at "now") omit
-   them, and {!Series} rate endpoints skip samples lacking the key. *)
+   registry. OCaml 5 GC counters are per-domain, so the raw [gc.*]
+   extras only cover the sampler domain; the process-wide view lives in
+   the [qwm.alloc.domains_*] registry counters, which every sample
+   captures automatically once each domain flushes its growth
+   ({!Tqwm_obs.Alloc.flush_domain} — connection handlers after every
+   request, STA workers on retirement, and this sampler before it
+   reads). *)
 let sample_now ?(gc = false) t =
   let now = Unix.gettimeofday () in
   Metrics.set g_uptime (now -. t.started);
+  Tqwm_obs.Alloc.flush_domain ();
   let extra_counters, extra_gauges =
     if gc then
       let q = Gc.quick_stat () in
@@ -336,6 +348,11 @@ let do_stats t req =
         Option.value (Series.gauge_rate t.series ~seconds "gc.minor_words") ~default:0.0 );
       ("minor_collections_per_s", rate "gc.minor_collections");
       ("major_collections_per_s", rate "gc.major_collections");
+      (* all-domain totals (each domain flushes its own GC growth into
+         the registry), vs the sampler-domain-only [gc.*] keys above *)
+      ("domains_minor_words_per_s", rate "qwm.alloc.domains_minor_words");
+      ("domains_major_words_per_s", rate "qwm.alloc.domains_major_words");
+      ("domains_minor_collections_per_s", rate "qwm.alloc.domains_minor_collections");
     ]
     |> List.map (fun (k, v) -> (k, Json.Float v))
   in
@@ -428,6 +445,10 @@ let handle_request t conn fd req ~bytes_in =
       (Protocol.error ~id ~code:"internal" (Printexc.to_string e), false, "internal")
   in
   Metrics.incr c_requests;
+  (* handler domains are long-lived but only the sampler domain's GC
+     counters are visible to it: fold this domain's growth into the
+     shared counters while the request is still the hot context *)
+  Tqwm_obs.Alloc.flush_domain ();
   let bytes_out = Protocol.write_line fd response in
   let dt = Unix.gettimeofday () -. t0 in
   (match List.assoc_opt req.Protocol.verb latency with

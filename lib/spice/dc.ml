@@ -12,7 +12,7 @@ let solve ~model ?time ?(gmin = 1e-12) (scenario : Scenario.t) =
   let n = Mna.dimension ctx.Mna.index in
   let residual x =
     let f = Mna.out_currents ctx ~time x in
-    Vec.init n (fun i -> f.(i) +. (gmin *. x.(i)))
+    Vec.init n (fun i -> f.{i} +. (gmin *. x.{i}))
   in
   let solve_linearized x f =
     let j = Mna.conductance ctx ~time x in

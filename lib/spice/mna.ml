@@ -25,7 +25,7 @@ let full_voltages ctx x =
   let stage = ctx.scenario.Scenario.stage in
   Array.init stage.Stage.num_nodes (fun n ->
       let i = ctx.index.of_node.(n) in
-      if i >= 0 then x.(i) else ctx.scenario.Scenario.initial.(n))
+      if i >= 0 then x.{i} else ctx.scenario.Scenario.initial.(n))
 
 let terminal_voltages ctx ~time voltages (e : Stage.edge) =
   let input =
@@ -47,8 +47,8 @@ let out_currents ctx ~time x =
       let i = edge_current ctx ~time voltages e in
       let src_u = ctx.index.of_node.(e.src) and snk_u = ctx.index.of_node.(e.snk) in
       (* current src -> snk leaves src and enters snk *)
-      if src_u >= 0 then f.(src_u) <- f.(src_u) +. i;
-      if snk_u >= 0 then f.(snk_u) <- f.(snk_u) -. i)
+      if src_u >= 0 then f.{src_u} <- f.{src_u} +. i;
+      if snk_u >= 0 then f.{snk_u} <- f.{snk_u} -. i)
     stage.Stage.edges;
   f
 
@@ -80,6 +80,6 @@ let capacitances ?at ctx =
     | Some f -> f
     | None -> fun n -> scenario.Scenario.initial.(n)
   in
-  Array.map
-    (fun n -> Stage.node_capacitance ctx.model scenario.Scenario.stage n ~v:(bias n))
-    ctx.index.unknowns
+  Vec.init (Array.length ctx.index.unknowns) (fun i ->
+      let n = ctx.index.unknowns.(i) in
+      Stage.node_capacitance ctx.model scenario.Scenario.stage n ~v:(bias n))

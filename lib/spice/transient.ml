@@ -115,26 +115,26 @@ let chord_matrix ctx ~dt caps =
       end)
     stage.Tqwm_circuit.Stage.edges;
   for i = 0 to n - 1 do
-    Mat.add_to j i i (caps.(i) /. dt)
+    Mat.add_to j i i (caps.{i} /. dt)
   done;
   j
 
 (* one implicit step from (t_prev, x_prev) to t_prev + dt *)
 let implicit_step ctx ~config ~caps ~chord ~t_prev ~dt x_prev =
-  let n = Array.length x_prev in
+  let n = Vec.dim x_prev in
   let t = t_prev +. dt in
   let f_prev =
     match config.integration with
     | Trapezoidal -> Mna.out_currents ctx ~time:t_prev x_prev
-    | Backward_euler -> [||]
+    | Backward_euler -> Vec.create 0
   in
   let residual xv =
     let f = Mna.out_currents ctx ~time:t xv in
     Vec.init n (fun i ->
-        let dyn = caps.(i) *. (xv.(i) -. x_prev.(i)) /. dt in
+        let dyn = caps.{i} *. (xv.{i} -. x_prev.{i}) /. dt in
         match config.integration with
-        | Backward_euler -> dyn +. f.(i)
-        | Trapezoidal -> dyn +. (0.5 *. (f.(i) +. f_prev.(i))))
+        | Backward_euler -> dyn +. f.{i}
+        | Trapezoidal -> dyn +. (0.5 *. (f.{i} +. f_prev.{i})))
   in
   let jacobian xv =
     let g = Mna.conductance ctx ~time:t xv in
@@ -143,7 +143,7 @@ let implicit_step ctx ~config ~caps ~chord ~t_prev ~dt x_prev =
     in
     let j = Mat.scale scale g in
     for i = 0 to n - 1 do
-      Mat.add_to j i i (caps.(i) /. dt)
+      Mat.add_to j i i (caps.{i} /. dt)
     done;
     j
   in
@@ -242,8 +242,8 @@ let simulate ~model ~config (scenario : Scenario.t) =
         let f_prev = Mna.out_currents ctx ~time:t x in
         let err = ref 0.0 in
         for i = 0 to n - 1 do
-          let predictor = x.(i) -. (dt *. f_prev.(i) /. caps.(i)) in
-          err := Float.max !err (Float.abs (x_new.(i) -. predictor) /. 2.0)
+          let predictor = x.{i} -. (dt *. f_prev.{i} /. caps.{i}) in
+          err := Float.max !err (Float.abs (x_new.{i} -. predictor) /. 2.0)
         done;
         if (!err > lte_tolerance || not outcome.Tqwm_num.Newton.converged)
            && dt > dt_min *. 1.0001

@@ -79,6 +79,44 @@ val analysis_of_timings : stage_timing array -> analysis
 (** Worst arrival and critical-path walk over completed per-stage
     timings (indexed by stage id). *)
 
+(** {2 Arena-backed propagation}
+
+    The engines' hot path: fanin timings are read from, and results
+    stored into, a {!Timing_arena}'s contiguous columns — no per-stage
+    boxed records until the final analysis is materialized. Values are
+    bit-identical to the boxed building blocks above. *)
+
+val evaluate_stage_arena :
+  model:Tqwm_device.Device_model.t ->
+  config:Tqwm_core.Config.t ->
+  default_slew:float ->
+  ?cache:Stage_cache.t ->
+  ?pi:pi_timing option array ->
+  Timing_graph.frozen ->
+  Timing_arena.t ->
+  Timing_graph.stage_id ->
+  unit
+(** {!evaluate_stage} reading fanins from and storing into the arena
+    (timing columns and output waveform stash).
+    @raise Analysis_failure if a fanin stage has no timing yet. *)
+
+val timing_of_arena : Timing_arena.t -> Timing_graph.stage_id -> stage_timing
+(** Materialize one stage's boxed timing record from the arena columns. *)
+
+val analysis_of_arena : Timing_arena.t -> analysis
+(** {!analysis_of_timings} over every arena slot (all must be stored). *)
+
+val propagate_arena :
+  model:Tqwm_device.Device_model.t ->
+  ?config:Tqwm_core.Config.t ->
+  ?default_slew:float ->
+  ?cache:Stage_cache.t ->
+  ?pi:pi_timing option array ->
+  Timing_graph.t ->
+  analysis * Timing_arena.t
+(** {!propagate}, additionally returning the sealed arena (packed
+    per-level waveform slabs, see {!Timing_arena.level_digest}). *)
+
 val replay_stage :
   model:Tqwm_device.Device_model.t ->
   config:Tqwm_core.Config.t ->

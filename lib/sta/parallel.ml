@@ -1,6 +1,7 @@
 module Metrics = Tqwm_obs.Metrics
 module Trace = Tqwm_obs.Trace
 module Json = Tqwm_obs.Json
+module Alloc = Tqwm_obs.Alloc
 
 let c_propagations = Metrics.counter "sta.parallel_propagations"
 let c_wait_ns = Metrics.counter "sta.ready_wait_ns"
@@ -85,6 +86,7 @@ let worker ~eval (frozen : Timing_graph.frozen)
     else Some (Queue.pop s.ready)
   in
   let retire () =
+    Alloc.flush_domain ();
     Metrics.observe h_worker_stages (float_of_int !stages_done);
     Metrics.observe h_wait_us (!wait_seconds *. 1e6);
     Metrics.add c_wait_ns (int_of_float (!wait_seconds *. 1e9));
@@ -225,8 +227,7 @@ let deque_steal d =
 let deque_is_empty d = Atomic.get d.top >= Atomic.get d.bottom
 
 type steal_shared = {
-  levels : int array array;  (** work items (stage ids / result slots) per level *)
-  chunks : Timing_graph.chunk array array;  (** chunking of [levels] *)
+  chunks : Timing_graph.chunk array array;  (** chunking of the level schedule *)
   deques : deque array;  (** one per worker, refilled per level *)
   epoch : int Atomic.t;  (** highest distributed level; -1 before the first *)
   arrived : int Atomic.t;  (** monotone barrier: level k complete when
@@ -284,20 +285,17 @@ let distribute s k =
   Atomic.set s.epoch k;
   wake s
 
-let steal_worker ~exec s w =
+let steal_worker ~exec_chunk s w =
   let teams = Array.length s.deques in
   let t_start = Trace.now () in
   let stages = ref 0 and chunks = ref 0 and steals = ref 0 in
   let busy = ref 0.0 in
-  let num_levels = Array.length s.levels in
+  let num_levels = Array.length s.chunks in
+  let should_abort () = Atomic.get s.abort in
   let run_chunk k ci ~stolen =
     let c = s.chunks.(k).(ci) in
     let t0 = Trace.now () in
-    (try
-       for i = c.Timing_graph.start to c.Timing_graph.start + c.Timing_graph.length - 1 do
-         if not (Atomic.get s.abort) then exec s.levels.(k).(i)
-       done
-     with e -> fail s e);
+    (try exec_chunk ~level:k ~chunk:c ~should_abort with e -> fail s e);
     busy := !busy +. (Trace.now () -. t0);
     stages := !stages + c.Timing_graph.length;
     incr chunks;
@@ -341,6 +339,9 @@ let steal_worker ~exec s w =
   done;
   let wall = Trace.now () -. t_start in
   let occupancy = if wall > 0.0 then 100.0 *. !busy /. wall else 0.0 in
+  (* worker domains die at the join; fold their domain-local GC growth
+     into the process-wide alloc counters before that *)
+  Alloc.flush_domain ();
   Metrics.observe h_worker_stages (float_of_int !stages);
   Metrics.observe h_chunks_per_worker (float_of_int !chunks);
   Metrics.observe h_steals_per_worker (float_of_int !steals);
@@ -358,17 +359,19 @@ let steal_worker ~exec s w =
       ]
     ()
 
-(* run [exec] over every work item of [levels], level-batched, on
-   [domains] domains (the calling one included); re-raises the first
-   worker exception after the team is joined *)
-let run_stealing ~domains ~exec ~levels ~chunks =
+(* Run [exec_chunk] over every chunk of the level schedule, level-batched,
+   on [domains] domains (the calling one included); re-raises the first
+   worker exception after the team is joined. The chunk callback IS the
+   batched kernel: it receives a whole run of adjacent stages and loops
+   them itself (checking [should_abort] between stages), so the per-stage
+   work fuses in the caller with no per-item scheduler round-trip. *)
+let run_stealing ~domains ~exec_chunk ~chunks =
   let max_chunks =
     Array.fold_left (fun m c -> max m (Array.length c)) 0 chunks
   in
   let teams = max 1 (min domains max_chunks) in
   let s =
     {
-      levels;
       chunks;
       deques =
         Array.init teams (fun _ ->
@@ -390,9 +393,9 @@ let run_stealing ~domains ~exec ~levels ~chunks =
   let team =
     Array.init (teams - 1) (fun i ->
         Domain.spawn (fun () ->
-            Trace.with_context ctx (fun () -> steal_worker ~exec s (i + 1))))
+            Trace.with_context ctx (fun () -> steal_worker ~exec_chunk s (i + 1))))
   in
-  steal_worker ~exec s 0;
+  steal_worker ~exec_chunk s 0;
   Array.iter Domain.join team;
   match s.steal_failed with Some e -> raise e | None -> ()
 
@@ -413,8 +416,11 @@ let evaluate_stages ~domains ?chunk ~eval ids =
       match chunk with Some c -> c | None -> auto_chunk ~domains ~width:n
     in
     let results = Array.make n None in
-    let exec i = results.(i) <- Some (eval ids.(i)) in
-    let levels = [| Array.init n Fun.id |] in
+    let exec_chunk ~level:_ ~chunk:(c : Timing_graph.chunk) ~should_abort =
+      for i = c.Timing_graph.start to c.Timing_graph.start + c.Timing_graph.length - 1 do
+        if not (should_abort ()) then results.(i) <- Some (eval ids.(i))
+      done
+    in
     let nchunks = (n + chunk_size - 1) / chunk_size in
     let chunks =
       [|
@@ -427,12 +433,13 @@ let evaluate_stages ~domains ?chunk ~eval ids =
             });
       |]
     in
-    run_stealing ~domains ~exec ~levels ~chunks;
+    run_stealing ~domains ~exec_chunk ~chunks;
     Array.map Option.get results
   end
 
-let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-12)
-    ?cache ?pi ?domains ?(scheduler = Work_stealing) ?chunk graph =
+let propagate_arena ~model ?(config = Tqwm_core.Config.default)
+    ?(default_slew = 20e-12) ?cache ?pi ?domains ?(scheduler = Work_stealing) ?chunk
+    graph =
   if default_slew <= 0.0 then invalid_arg "Parallel.propagate: default_slew <= 0";
   (match chunk with
   | Some c when c < 1 -> invalid_arg "Parallel.propagate: chunk < 1"
@@ -440,14 +447,11 @@ let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-1
   let domains =
     match domains with Some d -> max d 1 | None -> default_domains ()
   in
-  if domains = 1 then Arrival.propagate ~model ~config ~default_slew ?cache ?pi graph
+  if domains = 1 then
+    Arrival.propagate_arena ~model ~config ~default_slew ?cache ?pi graph
   else begin
     let frozen = Timing_graph.freeze graph in
     let n = Array.length frozen.Timing_graph.scenarios in
-    let timings = Array.make n None in
-    let eval id =
-      Arrival.evaluate_stage ~model ~config ~default_slew ?cache ?pi frozen timings id
-    in
     Metrics.incr c_propagations;
     let chunk_size =
       match chunk with
@@ -464,11 +468,43 @@ let propagate ~model ?(config = Tqwm_core.Config.default) ?(default_slew = 20e-1
           ("chunk", Json.Int chunk_size);
         ]
       (fun () ->
+        let arena = Timing_arena.create frozen in
         (match scheduler with
-        | Ready_queue -> propagate_ready ~eval frozen timings ~domains n
+        | Ready_queue ->
+          (* legacy engine: per-stage handoff. Evaluation goes through
+             the arena (columns + waveform stash) so its sealed slabs
+             digest-match the stealing engine's; the boxed option array
+             only drives the engine's readiness bookkeeping. A fanin's
+             arena slot is published before its timing enters the boxed
+             array under the queue mutex, so readiness implies the arena
+             read is safe. *)
+          let timings = Array.make n None in
+          let eval id =
+            Arrival.evaluate_stage_arena ~model ~config ~default_slew ?cache ?pi
+              frozen arena id;
+            Arrival.timing_of_arena arena id
+          in
+          propagate_ready ~eval frozen timings ~domains n
         | Work_stealing ->
+          (* the batched chunk kernel: one callback per chunk runs the
+             fused loop over its adjacent stages, reading fanins from and
+             storing results into the arena's contiguous columns *)
           let chunks = Timing_graph.level_chunks frozen ~chunk_size in
-          let exec id = timings.(id) <- Some (eval id) in
-          run_stealing ~domains ~exec ~levels:frozen.Timing_graph.levels ~chunks);
-        Arrival.analysis_of_timings (Array.map Option.get timings))
+          let exec_chunk ~level ~chunk:(c : Timing_graph.chunk) ~should_abort =
+            let items = frozen.Timing_graph.levels.(level) in
+            for i = c.Timing_graph.start to c.Timing_graph.start + c.Timing_graph.length - 1
+            do
+              if not (should_abort ()) then
+                Arrival.evaluate_stage_arena ~model ~config ~default_slew ?cache ?pi
+                  frozen arena items.(i)
+            done
+          in
+          run_stealing ~domains ~exec_chunk ~chunks);
+        Timing_arena.seal arena;
+        (Arrival.analysis_of_arena arena, arena))
   end
+
+let propagate ~model ?config ?default_slew ?cache ?pi ?domains ?scheduler ?chunk graph =
+  fst
+    (propagate_arena ~model ?config ?default_slew ?cache ?pi ?domains ?scheduler ?chunk
+       graph)

@@ -73,6 +73,25 @@ val propagate :
     is re-raised after the team is joined.
     @raise Invalid_argument when [default_slew <= 0] or [chunk < 1]. *)
 
+val propagate_arena :
+  model:Tqwm_device.Device_model.t ->
+  ?config:Tqwm_core.Config.t ->
+  ?default_slew:float ->
+  ?cache:Stage_cache.t ->
+  ?pi:Arrival.pi_timing option array ->
+  ?domains:int ->
+  ?scheduler:scheduler ->
+  ?chunk:int ->
+  Timing_graph.t ->
+  Arrival.analysis * Timing_arena.t
+(** {!propagate}, additionally returning the sealed {!Timing_arena}.
+    With {!Work_stealing} each chunk runs as one batched kernel: its
+    adjacent stages are evaluated in a fused loop reading fanins from and
+    storing into the arena's contiguous columns, and [seal] packs every
+    level's output waveforms into one slab whose
+    {!Timing_arena.level_digest} is equal across schedulers, domain
+    counts and chunk sizes. *)
+
 val evaluate_stages :
   domains:int ->
   ?chunk:int ->

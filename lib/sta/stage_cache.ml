@@ -71,13 +71,29 @@ let bucket_slew t s =
 
 (* A scenario is pure data (stage arrays, source shapes, floats), as is a
    config, so marshalling yields a canonical byte string covering stage
-   topology, device sizes, loads, initial biases and (pre-bucketed) input
-   source shapes. Device models contain closures and cannot be marshalled;
-   only the model name enters the key, so a cache must not be shared
-   between models that answer differently under the same name. *)
+   topology, device sizes, loads and (pre-bucketed) input source shapes.
+   Device models contain closures and cannot be marshalled; only the
+   model name enters the key, so a cache must not be shared between
+   models that answer differently under the same name. The initial-bias
+   vector is the one bulk-numeric field: it is hashed as its raw float64
+   bits directly (the same flat encoding the timing arena digests use)
+   instead of having Marshal walk a boxed float array, and spliced into
+   the digest alongside the structural remainder. *)
 let fingerprint ~model ~config scenario =
-  Digest.string
-    (Marshal.to_string (model.Tqwm_device.Device_model.name, config, scenario) [])
+  let initial = scenario.Tqwm_circuit.Scenario.initial in
+  let n = Array.length initial in
+  let bits = Bytes.create (n * 8) in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le bits (i * 8) (Int64.bits_of_float initial.(i))
+  done;
+  let structural =
+    Marshal.to_string
+      ( model.Tqwm_device.Device_model.name,
+        config,
+        { scenario with Tqwm_circuit.Scenario.initial = [||] } )
+      []
+  in
+  Digest.string (structural ^ Bytes.unsafe_to_string bits)
 
 let run t ~model ~config scenario =
   let key = fingerprint ~model ~config scenario in

@@ -1,0 +1,74 @@
+(** Per-propagation structure-of-arrays timing and waveform storage.
+
+    One propagation over a frozen graph stores every stage's timing
+    scalars in four contiguous float64 columns (plus an int column for
+    the critical fanin) instead of an array of boxed option records, and
+    collects each stage's output waveform so that, once a run completes,
+    {!seal} packs every topological level's piecewise-quadratic
+    coefficients and sample grids into one contiguous slab per level.
+    Adjacent stages of a level — the unit a work-stealing chunk operates
+    on — then occupy one contiguous byte range, which {!range_digest}
+    hashes directly without walking boxed piece records.
+
+    Writes go to disjoint per-stage slots, so stages of one level may be
+    stored concurrently from different domains without coordination; the
+    level barrier of the scheduler orders every read of a fanin slot
+    after its write, exactly as for the boxed timing array it replaces. *)
+
+type t
+
+val create : Timing_graph.frozen -> t
+(** Empty arena sized for the frozen graph (no stage stored). *)
+
+val length : t -> int
+(** Number of stage slots. *)
+
+(** {2 Timing columns} *)
+
+val store :
+  t ->
+  Timing_graph.stage_id ->
+  arrival_in:float ->
+  delay:float ->
+  slew:float ->
+  arrival_out:float ->
+  critical_fanin:int ->
+  unit
+(** Record one stage's timing; [critical_fanin] is [-1] for a primary
+    input. Overwrites any previous value for the slot. *)
+
+val has : t -> Timing_graph.stage_id -> bool
+
+val arrival_in : t -> Timing_graph.stage_id -> float
+val delay : t -> Timing_graph.stage_id -> float
+val slew : t -> Timing_graph.stage_id -> float
+val arrival_out : t -> Timing_graph.stage_id -> float
+
+val critical_fanin : t -> Timing_graph.stage_id -> int
+(** [-1] when the stage is a primary input. *)
+
+(** {2 Waveform arena} *)
+
+val put_output : t -> Timing_graph.stage_id -> Tqwm_wave.Waveform.quadratic -> unit
+(** Stash the stage's output waveform for level packing. *)
+
+val seal : t -> unit
+(** Pack every level's stashed outputs into one contiguous slab per
+    level (stages in level order, each as a {!Tqwm_wave.Waveform}
+    packed block). Idempotent; stages without a stashed output occupy an
+    empty range. *)
+
+val output : t -> Timing_graph.stage_id -> Tqwm_wave.Waveform.quadratic option
+(** After {!seal}: the packed zero-copy view of the stage's output;
+    before {!seal}: the stashed waveform as given to {!put_output}. *)
+
+val level_digest : t -> int -> string
+(** After {!seal}: content hash of level [k]'s whole slab (raw float64
+    bits). Equal timing results hash equally across schedulers, domain
+    counts and chunk sizes.
+    @raise Invalid_argument before {!seal} or on an unknown level. *)
+
+val range_digest : t -> Timing_graph.chunk -> string
+(** After {!seal}: content hash of the slab range covered by one
+    schedule chunk (the waveforms of its adjacent stages).
+    @raise Invalid_argument before {!seal} or on an out-of-range chunk. *)

@@ -1,4 +1,5 @@
 module Quad = Tqwm_num.Quad
+module Vec = Tqwm_num.Vec
 
 type t = { times : float array; values : float array }
 
@@ -67,74 +68,124 @@ let first_crossing w ~level ~direction =
 
 type piece = { t0 : float; dt : float; v0 : float; dv : float; ddv : float }
 
-type quadratic = piece array
+(* Structure-of-arrays storage: five parallel float64 columns, usually
+   zero-copy views into one contiguous slab packed by the producer.  Piece
+   [i] lives at index [i] of every column; all evaluators below read the
+   columns directly so no piece record is materialised on the hot path. *)
+type quadratic = {
+  len : int;
+  t0c : Vec.t;
+  dtc : Vec.t;
+  v0c : Vec.t;
+  dvc : Vec.t;
+  ddvc : Vec.t;
+}
 
-let piece_value p t =
-  let x = t -. p.t0 in
-  p.v0 +. (p.dv *. x) +. (0.5 *. p.ddv *. x *. x)
+let quadratic_length q = q.len
+
+(* value of piece [i] at absolute time [t]: v0 + dv*x + ddv/2*x^2 *)
+let[@inline] col_value q i t =
+  let x = t -. q.t0c.{i} in
+  q.v0c.{i} +. (q.dvc.{i} *. x) +. (0.5 *. q.ddvc.{i} *. x *. x)
+
+let validate ctx q =
+  for i = 0 to q.len - 1 do
+    if q.dtc.{i} <= 0.0 then invalid_arg (ctx ^ ": non-positive dt");
+    if i > 0 then begin
+      if Float.abs (q.t0c.{i - 1} +. q.dtc.{i - 1} -. q.t0c.{i}) > 1e-15 then
+        invalid_arg (ctx ^ ": non-contiguous pieces")
+    end
+  done
+
+let of_columns ~t0 ~dt ~v0 ~dv ~ddv =
+  let len = Vec.dim t0 in
+  if len = 0 then invalid_arg "Waveform.quadratic_of_pieces: empty";
+  if Vec.dim dt <> len || Vec.dim v0 <> len || Vec.dim dv <> len
+     || Vec.dim ddv <> len
+  then invalid_arg "Waveform.of_columns: column length mismatch";
+  let q = { len; t0c = t0; dtc = dt; v0c = v0; dvc = dv; ddvc = ddv } in
+  validate "Waveform.quadratic_of_pieces" q;
+  q
 
 let quadratic_of_pieces pieces =
   if pieces = [] then invalid_arg "Waveform.quadratic_of_pieces: empty";
-  let arr = Array.of_list pieces in
-  Array.iteri
+  let len = List.length pieces in
+  let slab = Vec.create (len * 5) in
+  List.iteri
     (fun i p ->
-      if p.dt <= 0.0 then invalid_arg "Waveform.quadratic_of_pieces: non-positive dt";
-      if i > 0 then begin
-        let prev = arr.(i - 1) in
-        if Float.abs (prev.t0 +. prev.dt -. p.t0) > 1e-15 then
-          invalid_arg "Waveform.quadratic_of_pieces: non-contiguous pieces"
-      end)
-    arr;
-  arr
+      slab.{i} <- p.t0;
+      slab.{len + i} <- p.dt;
+      slab.{(2 * len) + i} <- p.v0;
+      slab.{(3 * len) + i} <- p.dv;
+      slab.{(4 * len) + i} <- p.ddv)
+    pieces;
+  of_columns
+    ~t0:(Vec.view slab ~pos:0 ~len)
+    ~dt:(Vec.view slab ~pos:len ~len)
+    ~v0:(Vec.view slab ~pos:(2 * len) ~len)
+    ~dv:(Vec.view slab ~pos:(3 * len) ~len)
+    ~ddv:(Vec.view slab ~pos:(4 * len) ~len)
 
-let quadratic_pieces q = Array.to_list q
+let quadratic_pieces q =
+  List.init q.len (fun i ->
+      {
+        t0 = q.t0c.{i};
+        dt = q.dtc.{i};
+        v0 = q.v0c.{i};
+        dv = q.dvc.{i};
+        ddv = q.ddvc.{i};
+      })
 
 let quadratic_value_at q t =
-  let n = Array.length q in
-  if t <= q.(0).t0 then q.(0).v0
+  let n = q.len in
+  if t <= q.t0c.{0} then q.v0c.{0}
   else begin
-    let last = q.(n - 1) in
-    if t >= last.t0 +. last.dt then piece_value last (last.t0 +. last.dt)
+    let last_end = q.t0c.{n - 1} +. q.dtc.{n - 1} in
+    if t >= last_end then col_value q (n - 1) last_end
     else begin
       (* pieces are few (one per region); linear scan is fine *)
       let rec find i =
-        let p = q.(i) in
-        if t <= p.t0 +. p.dt || i = n - 1 then piece_value p t else find (i + 1)
+        if t <= q.t0c.{i} +. q.dtc.{i} || i = n - 1 then col_value q i t
+        else find (i + 1)
       in
       find 0
     end
   end
 
 let quadratic_end_value q =
-  let last = q.(Array.length q - 1) in
-  piece_value last (last.t0 +. last.dt)
+  let n = q.len in
+  col_value q (n - 1) (q.t0c.{n - 1} +. q.dtc.{n - 1})
 
 let quadratic_first_crossing q ~level ~direction =
-  let piece_crossing p =
+  let piece_crossing i =
     (* roots of v0 + dv x + ddv/2 x^2 = level within [0, dt] *)
-    let roots = Quad.roots ~a:(0.5 *. p.ddv) ~b:p.dv ~c:(p.v0 -. level) in
+    let t0 = q.t0c.{i} and dt = q.dtc.{i} and dv = q.dvc.{i} and ddv = q.ddvc.{i} in
+    let roots = Quad.roots ~a:(0.5 *. ddv) ~b:dv ~c:(q.v0c.{i} -. level) in
     let ok x =
-      if x < -1e-18 || x > p.dt +. 1e-18 then None
+      if x < -1e-18 || x > dt +. 1e-18 then None
       else begin
-        let slope = p.dv +. (p.ddv *. x) in
+        let slope = dv +. (ddv *. x) in
         let dir_ok =
           match direction with
           | `Any -> true
           | `Rising -> slope > 0.0
           | `Falling -> slope < 0.0
         in
-        if dir_ok then Some (p.t0 +. Float.max x 0.0) else None
+        if dir_ok then Some (t0 +. Float.max x 0.0) else None
       end
     in
     List.filter_map ok roots |> function [] -> None | t :: _ -> Some t
   in
-  Array.to_seq q |> Seq.filter_map piece_crossing |> Seq.uncons |> Option.map fst
+  let rec scan i =
+    if i >= q.len then None
+    else match piece_crossing i with Some t -> Some t | None -> scan (i + 1)
+  in
+  scan 0
 
 let sample_quadratic q ~dt =
   if dt <= 0.0 then invalid_arg "Waveform.sample_quadratic: dt <= 0";
-  let t_start = q.(0).t0 in
-  let last = q.(Array.length q - 1) in
-  let t_end = last.t0 +. last.dt in
+  let t_start = q.t0c.{0} in
+  let t_end = q.t0c.{q.len - 1} +. q.dtc.{q.len - 1} in
   let steps = int_of_float (Float.ceil ((t_end -. t_start) /. dt)) in
   let pts =
     Array.init (steps + 1) (fun i ->
@@ -147,3 +198,42 @@ let sample_quadratic q ~dt =
     if n >= 2 && fst pts.(n - 1) <= fst pts.(n - 2) then Array.sub pts 0 (n - 1) else pts
   in
   of_samples pts
+
+(* Packed-block form: one waveform occupies [5 * len] consecutive floats
+   of a shared slab, columns in t0/dt/v0/dv/ddv order.  The STA waveform
+   arena packs every stage of a topological level this way, so a chunk of
+   adjacent stages is one contiguous byte range. *)
+let packed_size q = 5 * q.len
+
+let blit_packed q dst ~pos =
+  let n = q.len in
+  for i = 0 to n - 1 do
+    dst.{pos + i} <- q.t0c.{i};
+    dst.{pos + n + i} <- q.dtc.{i};
+    dst.{pos + (2 * n) + i} <- q.v0c.{i};
+    dst.{pos + (3 * n) + i} <- q.dvc.{i};
+    dst.{pos + (4 * n) + i} <- q.ddvc.{i}
+  done
+
+let of_packed slab ~pos ~len =
+  of_columns
+    ~t0:(Vec.view slab ~pos ~len)
+    ~dt:(Vec.view slab ~pos:(pos + len) ~len)
+    ~v0:(Vec.view slab ~pos:(pos + (2 * len)) ~len)
+    ~dv:(Vec.view slab ~pos:(pos + (3 * len)) ~len)
+    ~ddv:(Vec.view slab ~pos:(pos + (4 * len)) ~len)
+
+(* Stable content hash over the raw float64 bit patterns of all five
+   columns, in column-major piece order.  Used by the STA stage cache to
+   fingerprint slab ranges without walking boxed piece records. *)
+let quadratic_digest q =
+  let b = Bytes.create (q.len * 5 * 8) in
+  let put k x = Bytes.set_int64_le b (k * 8) (Int64.bits_of_float x) in
+  for i = 0 to q.len - 1 do
+    put i q.t0c.{i};
+    put (q.len + i) q.dtc.{i};
+    put ((2 * q.len) + i) q.v0c.{i};
+    put ((3 * q.len) + i) q.dvc.{i};
+    put ((4 * q.len) + i) q.ddvc.{i}
+  done;
+  Digest.bytes b

@@ -42,14 +42,54 @@ type piece = {
 (** On [t0, t0+dt]: [v(t) = v0 + dv*(t-t0) + ddv/2*(t-t0)^2]. *)
 
 type quadratic
-(** Contiguous sequence of quadratic pieces. *)
+(** Contiguous sequence of quadratic pieces, stored as five parallel
+    float64 columns (structure-of-arrays), usually zero-copy views into
+    one contiguous slab. *)
 
 val quadratic_of_pieces : piece list -> quadratic
-(** @raise Invalid_argument if pieces are empty, non-contiguous (ends and
+(** Packs the pieces into a fresh contiguous slab.
+    @raise Invalid_argument if pieces are empty, non-contiguous (ends and
     starts differing by more than 1e-15 s) or have non-positive
     durations. *)
 
+val of_columns :
+  t0:Tqwm_num.Vec.t ->
+  dt:Tqwm_num.Vec.t ->
+  v0:Tqwm_num.Vec.t ->
+  dv:Tqwm_num.Vec.t ->
+  ddv:Tqwm_num.Vec.t ->
+  quadratic
+(** Zero-copy constructor over caller-owned column views (e.g. slices of
+    a solver arena slab).  The columns are adopted, not copied: they must
+    not be mutated afterwards.  Validation matches
+    [quadratic_of_pieces]. *)
+
 val quadratic_pieces : quadratic -> piece list
+
+val quadratic_length : quadratic -> int
+(** Number of pieces. *)
+
+val quadratic_digest : quadratic -> string
+(** Stable content hash over the raw float64 bits of all columns; equal
+    waveforms (bit-identical pieces) hash equally regardless of which
+    slab backs them. *)
+
+(** {3 Packed-block form}
+
+    One waveform as [5 * length] consecutive floats of a shared slab
+    (columns in t0/dt/v0/dv/ddv order), so many waveforms packed
+    back-to-back form one contiguous range that can be blitted or hashed
+    without touching boxed structure. *)
+
+val packed_size : quadratic -> int
+(** Floats the packed form occupies: [5 * quadratic_length]. *)
+
+val blit_packed : quadratic -> Tqwm_num.Vec.t -> pos:int -> unit
+(** Copy the five columns into [dst] starting at [pos] in packed order. *)
+
+val of_packed : Tqwm_num.Vec.t -> pos:int -> len:int -> quadratic
+(** Zero-copy view of a packed block of [len] pieces at [pos]; validation
+    matches {!quadratic_of_pieces}. *)
 
 val quadratic_value_at : quadratic -> float -> float
 (** Constant extension outside the covered span. *)

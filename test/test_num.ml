@@ -19,11 +19,12 @@ let test_vec_basic () =
   check_float "add/sub roundtrip" 0.0 (Vec.max_abs_diff v w);
   let y = Vec.copy v in
   Vec.axpy 2.0 v y;
-  check_float "axpy" 9.0 y.(2)
+  check_float "axpy" 9.0 y.{2}
 
 let test_vec_errors () =
   Alcotest.check_raises "dim mismatch" (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)")
-    (fun () -> ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+    (fun () ->
+      ignore (Vec.dot (Vec.of_array [| 1.0; 2.0 |]) (Vec.of_array [| 1.0; 2.0; 3.0 |])))
 
 (* ---------- Mat ---------- *)
 
@@ -39,17 +40,17 @@ let test_mat_mul () =
 
 let test_mat_vec () =
   let a = Mat.of_rows [| [| 2.0; 0.0 |]; [| 1.0; 3.0 |] |] in
-  let y = Mat.mul_vec a [| 1.0; 2.0 |] in
-  check_float "mul_vec 0" 2.0 y.(0);
-  check_float "mul_vec 1" 7.0 y.(1)
+  let y = Mat.mul_vec a (Vec.of_list [ 1.0; 2.0 ]) in
+  check_float "mul_vec 0" 2.0 y.{0};
+  check_float "mul_vec 1" 7.0 y.{1}
 
 (* ---------- Lu ---------- *)
 
 let test_lu_solve () =
   let a = Mat.of_rows [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
-  let x = Lu.solve a [| 1.0; 2.0 |] in
-  check_close "x0" (1.0 /. 11.0) x.(0);
-  check_close "x1" (7.0 /. 11.0) x.(1)
+  let x = Lu.solve a (Vec.of_list [ 1.0; 2.0 ]) in
+  check_close "x0" (1.0 /. 11.0) x.{0};
+  check_close "x1" (7.0 /. 11.0) x.{1}
 
 let test_lu_det_inverse () =
   let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
@@ -71,7 +72,7 @@ let random_spd_system rng n =
         let v = QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-1.0) 1.0) in
         if i = j then 4.0 +. Float.abs v else v /. float_of_int n)
   in
-  let x = Array.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-5.0) 5.0)) in
+  let x = Vec.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-5.0) 5.0)) in
   (a, x)
 
 let prop_lu_roundtrip =
@@ -90,9 +91,9 @@ let random_tridiag rng n =
   let gen = QCheck2.Gen.float_range (-1.0) 1.0 in
   let g () = QCheck2.Gen.generate1 ~rand:rng gen in
   Tridiag.make
-    ~lower:(Array.init n (fun i -> if i = 0 then 0.0 else g ()))
-    ~diag:(Array.init n (fun _ -> 4.0 +. Float.abs (g ())))
-    ~upper:(Array.init n (fun i -> if i = n - 1 then 0.0 else g ()))
+    ~lower:(Vec.init n (fun i -> if i = 0 then 0.0 else g ()))
+    ~diag:(Vec.init n (fun _ -> 4.0 +. Float.abs (g ())))
+    ~upper:(Vec.init n (fun i -> if i = n - 1 then 0.0 else g ()))
 
 let prop_tridiag_vs_lu =
   QCheck2.Test.make ~name:"tridiagonal solve matches dense LU" ~count:100
@@ -100,24 +101,29 @@ let prop_tridiag_vs_lu =
     (fun (n, seed) ->
       let rng = Random.State.make [| seed; 17 |] in
       let t = random_tridiag rng n in
-      let b = Array.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0)) in
+      let b = Vec.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0)) in
       let x_t = Tridiag.solve t b in
       let x_d = Lu.solve (Tridiag.to_mat t) b in
       Vec.max_abs_diff x_t x_d < 1e-8)
 
 let test_tridiag_mul_vec () =
   let t =
-    Tridiag.make ~lower:[| 0.0; 1.0; 1.0 |] ~diag:[| 2.0; 2.0; 2.0 |]
-      ~upper:[| 1.0; 1.0; 0.0 |]
+    Tridiag.make
+      ~lower:(Vec.of_list [ 0.0; 1.0; 1.0 ])
+      ~diag:(Vec.of_list [ 2.0; 2.0; 2.0 ])
+      ~upper:(Vec.of_list [ 1.0; 1.0; 0.0 ])
   in
-  let y = Tridiag.mul_vec t [| 1.0; 1.0; 1.0 |] in
-  check_float "row 0" 3.0 y.(0);
-  check_float "row 1" 4.0 y.(1);
-  check_float "row 2" 3.0 y.(2)
+  let y = Tridiag.mul_vec t (Vec.of_list [ 1.0; 1.0; 1.0 ]) in
+  check_float "row 0" 3.0 y.{0};
+  check_float "row 1" 4.0 y.{1};
+  check_float "row 2" 3.0 y.{2}
 
 let test_tridiag_of_mat_roundtrip () =
   let t =
-    Tridiag.make ~lower:[| 0.0; -1.0 |] ~diag:[| 3.0; 5.0 |] ~upper:[| 2.0; 0.0 |]
+    Tridiag.make
+      ~lower:(Vec.of_list [ 0.0; -1.0 ])
+      ~diag:(Vec.of_list [ 3.0; 5.0 ])
+      ~upper:(Vec.of_list [ 2.0; 0.0 ])
   in
   let t' = Tridiag.of_mat (Tridiag.to_mat t) in
   check_float "roundtrip" 0.0 (Mat.max_abs_diff (Tridiag.to_mat t) (Tridiag.to_mat t'))
@@ -129,8 +135,8 @@ let random_bordered rng n =
   let g () = QCheck2.Gen.generate1 ~rand:rng gen in
   {
     Bordered.core = random_tridiag rng n;
-    last_col = Array.init n (fun _ -> g ());
-    last_row = Array.init n (fun _ -> g ());
+    last_col = Vec.init n (fun _ -> g ());
+    last_row = Vec.init n (fun _ -> g ());
     corner = 5.0 +. Float.abs (g ());
   }
 
@@ -141,7 +147,7 @@ let prop_bordered_vs_lu =
       let rng = Random.State.make [| seed; 23 |] in
       let sys = random_bordered rng n in
       let b =
-        Array.init (n + 1) (fun _ ->
+        Vec.init (n + 1) (fun _ ->
             QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0))
       in
       let x_b = Bordered.solve sys b in
@@ -156,22 +162,23 @@ let prop_sherman_morrison =
       let t = random_tridiag rng n in
       let gen = QCheck2.Gen.float_range (-0.3) 0.3 in
       let g () = QCheck2.Gen.generate1 ~rand:rng gen in
-      let u = Array.init n (fun _ -> g ()) and v = Array.init n (fun _ -> g ()) in
-      let b = Array.init n (fun _ -> g ()) in
+      let u = Vec.init n (fun _ -> g ()) and v = Vec.init n (fun _ -> g ()) in
+      let b = Vec.init n (fun _ -> g ()) in
       let x_sm = Sherman_morrison.solve_tridiag t ~u ~v b in
       let dense =
-        Mat.init n n (fun i j -> Mat.get (Tridiag.to_mat t) i j +. (u.(i) *. v.(j)))
+        Mat.init n n (fun i j -> Mat.get (Tridiag.to_mat t) i j +. (u.{i} *. v.{j}))
       in
       let x_d = Lu.solve dense b in
       Vec.max_abs_diff x_sm x_d < 1e-7)
 
 let test_bordered_dim_zero () =
   let sys =
-    { Bordered.core = Tridiag.make ~lower:[||] ~diag:[||] ~upper:[||];
-      last_col = [||]; last_row = [||]; corner = 2.0 }
+    let empty () = Vec.create 0 in
+    { Bordered.core = Tridiag.make ~lower:(empty ()) ~diag:(empty ()) ~upper:(empty ());
+      last_col = empty (); last_row = empty (); corner = 2.0 }
   in
-  let x = Bordered.solve sys [| 4.0 |] in
-  check_float "corner-only" 2.0 x.(0)
+  let x = Bordered.solve sys (Vec.of_list [ 4.0 ]) in
+  check_float "corner-only" 2.0 x.{0}
 
 (* ---------- In-place prefix kernels vs their allocating forms ----------
 
@@ -183,25 +190,25 @@ let test_bordered_dim_zero () =
    the poison would propagate into the solution and the exact-bits check
    would fail. *)
 
-let nan_filled len = Array.make len Float.nan
+let nan_filled len = Vec.init len (fun _ -> Float.nan)
 
 (* embed [src] in a NaN-poisoned buffer with random extra capacity *)
 let with_slack rng src =
   let slack = QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.int_range 0 5) in
-  let out = nan_filled (Array.length src + slack) in
-  Array.blit src 0 out 0 (Array.length src);
+  let out = nan_filled (Vec.dim src + slack) in
+  Vec.blit_n (Vec.dim src) src out;
   out
 
-let bits_equal_prefix n x y =
+let bits_equal_prefix n (x : Vec.t) (y : Vec.t) =
   let ok = ref true in
   for i = 0 to n - 1 do
-    if not (Int64.equal (Int64.bits_of_float x.(i)) (Int64.bits_of_float y.(i))) then
+    if not (Int64.equal (Int64.bits_of_float x.{i}) (Int64.bits_of_float y.{i})) then
       ok := false
   done;
   !ok
 
 let random_b rng n =
-  Array.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0))
+  Vec.init n (fun _ -> QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-3.0) 3.0))
 
 let prop_tridiag_solve_into =
   QCheck2.Test.make ~name:"solve_into on poisoned slack buffers is bit-identical" ~count:200
@@ -246,7 +253,7 @@ let prop_sherman_morrison_solve_into =
       let t = random_tridiag rng n in
       let gen = QCheck2.Gen.float_range (-0.3) 0.3 in
       let g () = QCheck2.Gen.generate1 ~rand:rng gen in
-      let u = Array.init n (fun _ -> g ()) and v = Array.init n (fun _ -> g ()) in
+      let u = Vec.init n (fun _ -> g ()) and v = Vec.init n (fun _ -> g ()) in
       let b = random_b rng n in
       let x_ref = Sherman_morrison.solve_tridiag t ~u ~v b in
       let scratch () = nan_filled (n + 2) in
@@ -283,42 +290,75 @@ let prop_lu_factorize_into =
       Lu.solve_factored_into ~n m ~perm ~b:(with_slack rng b) ~x;
       bits_equal_prefix n x_ref x)
 
+let prop_tridiag_solve_into_views =
+  QCheck2.Test.make
+    ~name:"solve_into on disjoint sub views of one slab is bit-identical and zero-copy"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 1 15) (int_bound 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 59 |] in
+      let t = random_tridiag rng n in
+      let b = random_b rng n in
+      let x_ref = Tridiag.solve t b in
+      (* the Workspace pattern: one NaN-poisoned slab, seven disjoint
+         capacity-sized [Array1.sub] views carved out of it as the
+         kernel's operands; aliasing one backing buffer must not change
+         a single bit of the solution *)
+      let cap = n + QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.int_range 0 4) in
+      let slab = nan_filled (7 * cap) in
+      let view k = Vec.view slab ~pos:(k * cap) ~len:cap in
+      let fill k src = Vec.blit_n n src (view k) in
+      fill 0 t.Tridiag.lower;
+      fill 1 t.Tridiag.diag;
+      fill 2 t.Tridiag.upper;
+      fill 5 b;
+      let x = view 6 in
+      Tridiag.solve_into ~n ~lower:(view 0) ~diag:(view 1) ~upper:(view 2)
+        ~cp:(view 3) ~dp:(view 4) ~b:(view 5) ~x;
+      (* bit-identical over the live prefix, and the writes must show
+         through a freshly-carved view of the parent slab — [Vec.view]
+         aliases the slab's memory, it never copies *)
+      bits_equal_prefix n x_ref x
+      && bits_equal_prefix n x_ref (Vec.view slab ~pos:(6 * cap) ~len:cap))
+
 (* ---------- Newton ---------- *)
 
 let test_newton_scalar () =
   let problem =
     {
-      Newton.residual = (fun x -> [| (x.(0) *. x.(0)) -. 4.0 |]);
-      solve_linearized = (fun x f -> [| f.(0) /. (2.0 *. x.(0)) |]);
+      Newton.residual = (fun x -> Vec.of_list [ (x.{0} *. x.{0}) -. 4.0 ]);
+      solve_linearized = (fun x f -> Vec.of_list [ f.{0} /. (2.0 *. x.{0}) ]);
     }
   in
-  let out = Newton.solve problem [| 1.0 |] in
+  let out = Newton.solve problem (Vec.of_list [ 1.0 ]) in
   Alcotest.(check bool) "converged" true out.Newton.converged;
-  check_close "root" 2.0 out.Newton.x.(0)
+  check_close "root" 2.0 out.Newton.x.{0}
 
 let test_newton_2d () =
   (* x^2 + y^2 = 2, x = y -> (1, 1) *)
-  let residual x = [| (x.(0) *. x.(0)) +. (x.(1) *. x.(1)) -. 2.0; x.(0) -. x.(1) |] in
+  let residual x =
+    Vec.of_list [ (x.{0} *. x.{0}) +. (x.{1} *. x.{1}) -. 2.0; x.{0} -. x.{1} ]
+  in
   let solve_linearized x f =
-    let j = Mat.of_rows [| [| 2.0 *. x.(0); 2.0 *. x.(1) |]; [| 1.0; -1.0 |] |] in
+    let j = Mat.of_rows [| [| 2.0 *. x.{0}; 2.0 *. x.{1} |]; [| 1.0; -1.0 |] |] in
     Lu.solve j f
   in
-  let out = Newton.solve { Newton.residual; solve_linearized } [| 2.0; 0.5 |] in
+  let out = Newton.solve { Newton.residual; solve_linearized } (Vec.of_list [ 2.0; 0.5 ]) in
   Alcotest.(check bool) "converged" true out.Newton.converged;
-  check_close "x" 1.0 out.Newton.x.(0);
-  check_close "y" 1.0 out.Newton.x.(1)
+  check_close "x" 1.0 out.Newton.x.{0};
+  check_close "y" 1.0 out.Newton.x.{1}
 
 let test_newton_failure_reported () =
   (* no real root of x^2 + 1 *)
   let problem =
     {
-      Newton.residual = (fun x -> [| (x.(0) *. x.(0)) +. 1.0 |]);
-      solve_linearized = (fun x f -> [| f.(0) /. (2.0 *. x.(0) +. 1e-9) |]);
+      Newton.residual = (fun x -> Vec.of_list [ (x.{0} *. x.{0}) +. 1.0 ]);
+      solve_linearized = (fun x f -> Vec.of_list [ f.{0} /. (2.0 *. x.{0} +. 1e-9) ]);
     }
   in
   let out =
     Newton.solve ~config:{ Newton.default_config with max_iterations = 25 } problem
-      [| 3.0 |]
+      (Vec.of_list [ 3.0 ])
   in
   Alcotest.(check bool) "not converged" false out.Newton.converged
 
@@ -366,7 +406,7 @@ let test_polyfit_max_residual () =
 
 let test_interp_linear () =
   let ax = Interp.axis ~start:0.0 ~stop:2.0 ~count:3 in
-  let samples = [| 0.0; 10.0; 40.0 |] in
+  let samples = Vec.of_list [ 0.0; 10.0; 40.0 ] in
   check_close "knot value" 10.0 (Interp.linear ax samples 1.0);
   check_close "between" 5.0 (Interp.linear ax samples 0.5);
   check_close "extrapolate" 55.0 (Interp.linear ax samples 2.5)
@@ -385,12 +425,12 @@ let prop_interp_exact_at_knots =
       let n = 5 in
       let ax = Interp.axis ~start:(-1.0) ~stop:1.0 ~count:n in
       let samples =
-        Array.init n (fun _ ->
+        Vec.init n (fun _ ->
             QCheck2.Gen.generate1 ~rand:rng (QCheck2.Gen.float_range (-4.0) 4.0))
       in
       let ok = ref true in
       for i = 0 to n - 1 do
-        if Float.abs (Interp.linear ax samples (Interp.knot ax i) -. samples.(i)) > 1e-9
+        if Float.abs (Interp.linear ax samples (Interp.knot ax i) -. samples.{i}) > 1e-9
         then ok := false
       done;
       !ok)
@@ -447,14 +487,14 @@ let test_quad_smallest_positive () =
 (* ---------- Ode ---------- *)
 
 let test_rk4_exponential () =
-  let f _ x = [| -.x.(0) |] in
-  let traj = Ode.rk4 ~f ~t0:0.0 ~x0:[| 1.0 |] ~t1:1.0 ~steps:100 in
+  let f _ x = Vec.of_list [ -.x.{0} ] in
+  let traj = Ode.rk4 ~f ~t0:0.0 ~x0:(Vec.of_list [ 1.0 ]) ~t1:1.0 ~steps:100 in
   let _, x_end = traj.(Array.length traj - 1) in
-  check_close ~eps:1e-6 "e^-1" (exp (-1.0)) x_end.(0)
+  check_close ~eps:1e-6 "e^-1" (exp (-1.0)) x_end.{0}
 
 let test_rk4_errors () =
   Alcotest.check_raises "steps" (Invalid_argument "Ode.rk4: steps < 1") (fun () ->
-      ignore (Ode.rk4 ~f:(fun _ x -> x) ~t0:0.0 ~x0:[| 1.0 |] ~t1:1.0 ~steps:0))
+      ignore (Ode.rk4 ~f:(fun _ x -> x) ~t0:0.0 ~x0:(Vec.of_list [ 1.0 ]) ~t1:1.0 ~steps:0))
 
 (* ---------- Stats ---------- *)
 
@@ -498,6 +538,7 @@ let () =
           prop prop_bordered_solve_into;
           prop prop_sherman_morrison_solve_into;
           prop prop_lu_factorize_into;
+          prop prop_tridiag_solve_into_views;
         ] );
       ( "newton",
         [

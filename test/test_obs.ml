@@ -13,6 +13,7 @@ module Prometheus = Tqwm_obs.Prometheus
 module Series = Tqwm_obs.Series
 module Trace = Tqwm_obs.Trace
 module Newton = Tqwm_num.Newton
+module Vec = Tqwm_num.Vec
 module Parallel = Tqwm_sta.Parallel
 module Stage_cache = Tqwm_sta.Stage_cache
 module Timing_graph = Tqwm_sta.Timing_graph
@@ -649,10 +650,10 @@ let test_newton_stalled () =
   let stuck =
     Newton.solve
       {
-        Newton.residual = (fun _ -> [| 1.0 |]);
-        solve_linearized = (fun _ _ -> [| 1e-20 |]);
+        Newton.residual = (fun _ -> Vec.of_list [ 1.0 ]);
+        solve_linearized = (fun _ _ -> Vec.of_list [ 1e-20 ]);
       }
-      [| 0.0 |]
+      (Vec.of_list [ 0.0 ])
   in
   Alcotest.(check bool) "stalled" true stuck.Newton.stalled;
   Alcotest.(check bool) "not converged" false stuck.Newton.converged;
@@ -660,10 +661,10 @@ let test_newton_stalled () =
   let ok =
     Newton.solve
       {
-        Newton.residual = (fun x -> [| x.(0) -. 2.0 |]);
-        solve_linearized = (fun x f -> [| f.(0) /. 1.0 |] |> fun d -> ignore x; d);
+        Newton.residual = (fun x -> Vec.of_list [ x.{0} -. 2.0 ]);
+        solve_linearized = (fun x f -> Vec.of_list [ f.{0} /. 1.0 ] |> fun d -> ignore x; d);
       }
-      [| 0.0 |]
+      (Vec.of_list [ 0.0 ])
   in
   Alcotest.(check bool) "converged" true ok.Newton.converged;
   Alcotest.(check bool) "not stalled" false ok.Newton.stalled

@@ -104,9 +104,23 @@ def check_bench_incr(record, ctx):
     expect(cutoff, "cutoff_hits", int, ctx + ".cutoff")
 
 
-def check_bench_alloc(record, ctx):
+def check_bench_alloc(record, ctx, version=1):
     expect(record, "smoke", bool, ctx)
     expect(record, "solves_per_mode", int, ctx)
+    if version >= 2:
+        # /2 stamps the numeric-core backing store and an arena section
+        # measuring one SoA-arena propagation of a decoder tree
+        storage = expect(record, "storage", str, ctx)
+        if storage != "bigarray-float64":
+            fail(f"{ctx}: unknown storage {storage!r}")
+        arena = expect(record, "arena", dict, ctx)
+        actx = ctx + ".arena"
+        expect(arena, "workload", str, actx)
+        for field in ("stages", "levels", "packed_floats"):
+            if expect(arena, field, int, actx) <= 0:
+                fail(f"{actx}: {field} is not positive")
+        if not expect(arena, "minor_words_per_stage", NUM, actx) >= 0:
+            fail(f"{actx}: minor_words_per_stage is negative")
     scenarios = expect(record, "scenarios", list, ctx)
     if not scenarios:
         fail(f"{ctx}: empty scenarios list")
@@ -392,6 +406,7 @@ SCHEMAS = {
     "tqwm-bench-parallel/2": lambda r, c: check_bench_parallel(r, c, 2),
     "tqwm-bench-incr/1": check_bench_incr,
     "tqwm-bench-alloc/1": check_bench_alloc,
+    "tqwm-bench-alloc/2": lambda r, c: check_bench_alloc(r, c, 2),
     "tqwm-audit/1": check_audit,
     "tqwm-alloc-budget/1": check_alloc_budget,
     "tqwm-sta-report/1": check_sta_report,
@@ -518,6 +533,31 @@ def _obs_sample():
     }
 
 
+def _alloc2_sample():
+    return {
+        "schema": "tqwm-bench-alloc/2",
+        "date": "2026-08-08",
+        "commit": "0000000",
+        "smoke": True,
+        "solves_per_mode": 200,
+        "storage": "bigarray-float64",
+        "scenarios": [
+            {
+                "name": "stack6",
+                "cold": {"solver_words_per_region": 2742.1, "ms_per_solve": 0.26},
+                "warm": {"solver_words_per_region": 2742.1, "ms_per_solve": 0.28},
+            }
+        ],
+        "arena": {
+            "workload": "decoder-tree",
+            "stages": 13,
+            "levels": 3,
+            "packed_floats": 990,
+            "minor_words_per_stage": 94663.0,
+        },
+    }
+
+
 def _access_sample():
     return {
         "ts": 1754600000.25,
@@ -557,6 +597,35 @@ def self_test():
         _server_sample(), verbs={
             "stats": {"count": 2, "p50_ms": 0.1, "p99_ms": 0.2}}), True,
         check_versioned))
+
+    cases.append(("good alloc/2 record", _alloc2_sample(), True,
+                  check_versioned))
+    bad("alloc/2 missing storage", lambda r: r.pop("storage"), _alloc2_sample)
+    bad("alloc/2 unknown storage",
+        lambda r: r.update({"storage": "boxed-float-array"}), _alloc2_sample)
+    bad("alloc/2 missing arena", lambda r: r.pop("arena"), _alloc2_sample)
+    bad("alloc/2 zero packed floats",
+        lambda r: r["arena"].update({"packed_floats": 0}), _alloc2_sample)
+    # alloc/1 records never carried storage/arena — they must keep
+    # validating without them
+    alloc1 = _alloc2_sample()
+    alloc1["schema"] = "tqwm-bench-alloc/1"
+    del alloc1["storage"], alloc1["arena"]
+    cases.append(("good alloc/1 record (no storage/arena)", alloc1, True,
+                  check_versioned))
+
+    # ledger stamps are type-checked when present, not required: the
+    # earliest committed records predate Tqwm_obs.Ledger stamping, so a
+    # date-less seed record must validate...
+    dateless = _alloc2_sample()
+    del dateless["date"], dateless["commit"]
+    cases.append(("ledger with date-less seed record",
+                  [dateless, _alloc2_sample()], True, check_ledger))
+    # ...while a present-but-mistyped stamp must not
+    mistyped = _alloc2_sample()
+    mistyped["date"] = 20260808
+    cases.append(("ledger with non-string date stamp", [mistyped], False,
+                  check_ledger))
 
     cases.append(("good obs record", _obs_sample(), True, check_versioned))
     bad("obs zero trace events",
